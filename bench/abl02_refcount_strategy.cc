@@ -1,0 +1,112 @@
+// Ablation 2 (google-benchmark) — micro-costs behind the Fig. 3 profile: what exactly makes
+// classic fork's per-PTE work expensive?
+//   - atomic vs plain refcount increments over a large scattered metadata array (the lock
+//     prefix the paper blames for poor multicore scalability),
+//   - sequential vs random metadata touch order (the compound_head cache-miss cost),
+//   - the full fused per-entry fork step for calibration.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/phys/page_meta.h"
+#include "src/util/rng.h"
+
+namespace odf {
+namespace {
+
+constexpr size_t kFrames = 1 << 20;  // 4 GiB worth of page metadata.
+
+std::vector<PageMeta>& MetaArray() {
+  static auto* metas = new std::vector<PageMeta>(kFrames);
+  return *metas;
+}
+
+std::vector<uint32_t> MakeOrder(bool random) {
+  std::vector<uint32_t> order(kFrames);
+  for (uint32_t i = 0; i < kFrames; ++i) {
+    order[i] = i;
+  }
+  if (random) {
+    Rng rng(1);
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.NextBelow(i)]);
+    }
+  }
+  return order;
+}
+
+void BM_RefcountAtomic(benchmark::State& state) {
+  auto& metas = MetaArray();
+  auto order = MakeOrder(state.range(0) != 0);
+  for (auto _ : state) {
+    for (uint32_t index : order) {
+      metas[index].refcount.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kFrames));
+}
+BENCHMARK(BM_RefcountAtomic)->Arg(0)->Arg(1)->ArgNames({"random_order"});
+
+void BM_RefcountPlain(benchmark::State& state) {
+  auto& metas = MetaArray();
+  auto order = MakeOrder(state.range(0) != 0);
+  for (auto _ : state) {
+    for (uint32_t index : order) {
+      // Non-atomic increment: what fork could do if pages were never shared across CPUs.
+      auto value = metas[index].refcount.load(std::memory_order_relaxed);
+      metas[index].refcount.store(value + 1, std::memory_order_relaxed);
+      benchmark::DoNotOptimize(value);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kFrames));
+}
+BENCHMARK(BM_RefcountPlain)->Arg(0)->Arg(1)->ArgNames({"random_order"});
+
+void BM_CompoundHeadResolve(benchmark::State& state) {
+  auto& metas = MetaArray();
+  auto order = MakeOrder(/*random=*/true);
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (uint32_t index : order) {
+      sum += ResolveCompoundHead(metas[index], index);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kFrames));
+}
+BENCHMARK(BM_CompoundHeadResolve);
+
+// The full fused classic-fork per-entry step (lookup + compound resolve + atomic inc +
+// entry copy), for calibrating how the pieces compose.
+void BM_FusedForkStep(benchmark::State& state) {
+  auto& metas = MetaArray();
+  auto order = MakeOrder(/*random=*/false);
+  std::vector<uint64_t> src(kFrames);
+  std::vector<uint64_t> dst(kFrames);
+  for (uint32_t i = 0; i < kFrames; ++i) {
+    src[i] = (static_cast<uint64_t>(order[i]) << 12) | 0x67;
+  }
+  for (auto _ : state) {
+    for (uint32_t i = 0; i < kFrames; ++i) {
+      uint64_t entry = src[i];
+      uint32_t frame = static_cast<uint32_t>(entry >> 12);
+      PageMeta& meta = metas[frame];
+      uint32_t head = ResolveCompoundHead(meta, frame);
+      metas[head].refcount.fetch_add(1, std::memory_order_relaxed);
+      dst[i] = entry & ~0x2ULL;  // Write-protect + copy.
+    }
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kFrames));
+}
+BENCHMARK(BM_FusedForkStep);
+
+}  // namespace
+}  // namespace odf
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Ablation 3 — the §4 "Huge Page Support" extension, measured. The paper argues ODF could
+// support 2 MiB pages by sharing the PMD tables that describe them, but expects limited
+// benefit because there are 512x fewer upper-level tables. This bench quantifies both
+// halves of that claim:
+//   (a) on HUGE-backed mappings: classic fork copies PMD entries (compound refcounts);
+//       kOnDemandHuge shares PMD tables -> the microsecond fork returns for huge users.
+//   (b) on regular 4 KiB mappings: kOnDemandHuge vs kOnDemand shows how little is left to
+//       save above the last level (the paper's "not worth the complexity" call).
+#include "bench/bench_common.h"
+
+namespace odf {
+namespace {
+
+double MeanForkMs(uint64_t bytes, bool huge, ForkMode mode, int reps) {
+  Kernel kernel;
+  Process& parent = MakePopulatedProcess(kernel, bytes, huge);
+  return Summarize(TimeForks(kernel, parent, mode, reps)).mean;
+}
+
+void Run() {
+  BenchConfig config = BenchConfig::FromEnv();
+  PrintHeader("Ablation 3 — sharing PMD tables too (ForkMode::kOnDemandHuge, paper §4)",
+              "huge-page users regain the microsecond fork; 4 KiB users gain little");
+
+  std::printf("(a) 2 MiB huge-page-backed mappings\n");
+  TablePrinter huge_table({"Size (GB)", "fork (ms)", "on-demand-fork (ms)",
+                           "on-demand-fork-huge (ms)"});
+  for (double gb : SizeSweepGb(config.max_gb)) {
+    uint64_t bytes = GbToBytes(gb);
+    huge_table.AddRow(
+        {TablePrinter::FormatDouble(gb, 1),
+         TablePrinter::FormatDouble(MeanForkMs(bytes, true, ForkMode::kClassic, config.reps), 4),
+         TablePrinter::FormatDouble(MeanForkMs(bytes, true, ForkMode::kOnDemand, config.reps),
+                                    4),
+         TablePrinter::FormatDouble(
+             MeanForkMs(bytes, true, ForkMode::kOnDemandHuge, config.reps), 4)});
+  }
+  huge_table.Print();
+  std::printf("\n(b) regular 4 KiB mappings\n");
+  TablePrinter small_table({"Size (GB)", "on-demand-fork (ms)", "on-demand-fork-huge (ms)",
+                            "extra speedup"});
+  for (double gb : SizeSweepGb(config.max_gb)) {
+    uint64_t bytes = GbToBytes(gb);
+    double odf = MeanForkMs(bytes, false, ForkMode::kOnDemand, config.reps);
+    double odf_huge = MeanForkMs(bytes, false, ForkMode::kOnDemandHuge, config.reps);
+    small_table.AddRow({TablePrinter::FormatDouble(gb, 1), TablePrinter::FormatDouble(odf, 4),
+                        TablePrinter::FormatDouble(odf_huge, 4),
+                        TablePrinter::FormatDouble(odf / odf_huge, 1) + "x"});
+  }
+  small_table.Print();
+  std::printf(
+      "\nReading (b): the absolute saving above the last level is tiny — both variants are\n"
+      "already microseconds — which is the paper's argument for the simpler design. The\n"
+      "deeper sharing matters only when PMD entries are themselves numerous leaves (a).\n");
+}
+
+}  // namespace
+}  // namespace odf
+
+int main() {
+  odf::Run();
+  return 0;
+}

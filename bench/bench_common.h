@@ -1,0 +1,112 @@
+// Shared configuration and helpers for the paper-reproduction benchmark binaries.
+//
+// Environment knobs (all optional):
+//   ODF_BENCH_MAX_GB   largest simulated mapping in the Fig. 2/4/7 sweeps (default 8; the
+//                      paper goes to 50 — set 50 to match, given ~4 GB of RAM headroom)
+//   ODF_BENCH_REPS     repetitions per data point (default 5, like the paper)
+//   ODF_BENCH_SECONDS  duration of throughput benchmarks (default 10)
+//   ODF_BENCH_FAST     set to 1 for a quick smoke run (small sizes, 1 rep)
+#ifndef ODF_BENCH_BENCH_COMMON_H_
+#define ODF_BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/proc/kernel.h"
+#include "src/util/log.h"
+#include "src/util/stats.h"
+#include "src/util/stopwatch.h"
+#include "src/util/table_printer.h"
+
+namespace odf {
+
+struct BenchConfig {
+  double max_gb = 8.0;
+  int reps = 5;
+  double seconds = 10.0;
+  bool fast = false;
+
+  static BenchConfig FromEnv() {
+    BenchConfig config;
+    if (const char* v = std::getenv("ODF_BENCH_MAX_GB")) {
+      config.max_gb = std::atof(v);
+    }
+    if (const char* v = std::getenv("ODF_BENCH_REPS")) {
+      config.reps = std::atoi(v);
+    }
+    if (const char* v = std::getenv("ODF_BENCH_SECONDS")) {
+      config.seconds = std::atof(v);
+    }
+    if (const char* v = std::getenv("ODF_BENCH_FAST")) {
+      if (std::atoi(v) != 0) {
+        config.fast = true;
+        config.max_gb = std::min(config.max_gb, 2.0);
+        config.reps = 1;
+        config.seconds = std::min(config.seconds, 2.0);
+      }
+    }
+    return config;
+  }
+};
+
+// The paper's x-axis: 0.5, 1, 2, 4, ... GB up to max_gb (log-scale sweep; the paper samples
+// every 512 MB but plots on a log axis — the doubling sweep reproduces the plotted points).
+inline std::vector<double> SizeSweepGb(double max_gb) {
+  std::vector<double> sizes;
+  double gb = 0.5;
+  for (; gb <= max_gb + 1e-9; gb *= 2) {
+    sizes.push_back(gb);
+  }
+  // Include the ceiling itself when the doubling ladder skips it (e.g. max 50 -> ..., 32, 50).
+  if (!sizes.empty() && sizes.back() < max_gb - 1e-9) {
+    sizes.push_back(max_gb);
+  }
+  return sizes;
+}
+
+inline uint64_t GbToBytes(double gb) {
+  return static_cast<uint64_t>(gb * 1024.0 * 1024.0 * 1024.0);
+}
+
+// Creates a process with `bytes` of populated private anonymous memory (every page mapped;
+// data materialised only if `materialize`).
+inline Process& MakePopulatedProcess(Kernel& kernel, uint64_t bytes, bool huge = false,
+                                     bool materialize = false) {
+  Process& p = kernel.CreateProcess();
+  Vaddr va = p.Mmap(bytes, kProtRead | kProtWrite, huge);
+  p.address_space().PopulateRange(va, bytes);
+  if (materialize) {
+    ODF_CHECK(p.MemsetMemory(va, std::byte{0x5a}, bytes));
+  }
+  return p;
+}
+
+inline Vaddr FirstVmaStart(Process& p) {
+  return p.address_space().vmas().begin()->second.start;
+}
+
+// Times `reps` forks of `parent` (child exits immediately, as in the paper's Fig. 1 loop);
+// returns per-fork milliseconds.
+inline std::vector<double> TimeForks(Kernel& kernel, Process& parent, ForkMode mode,
+                                     int reps) {
+  std::vector<double> times_ms;
+  times_ms.reserve(static_cast<size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch sw;
+    Process& child = kernel.Fork(parent, mode);
+    times_ms.push_back(sw.ElapsedMillis());
+    kernel.Exit(child, 0);
+    kernel.Wait(parent);
+  }
+  return times_ms;
+}
+
+inline void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("Reproduces: %s\n\n", paper_ref.c_str());
+}
+
+}  // namespace odf
+
+#endif  // ODF_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,67 @@
+// Extension experiment 11 — the memory-efficiency side of on-demand-fork. The paper argues
+// ODF "improves overall system efficiency" because children that touch little memory never
+// build full page tables. This bench quantifies it: page-table frames and per-child
+// footprint (via the procfs analog) for N live children of a large parent.
+#include "bench/bench_common.h"
+#include "src/proc/procfs.h"
+
+namespace odf {
+namespace {
+
+struct FleetCost {
+  uint64_t extra_table_frames = 0;  // Page-table frames added by the fleet.
+  uint64_t child_pt_bytes = 0;      // One child's proportional table footprint.
+  double fork_total_ms = 0;
+};
+
+FleetCost MeasureFleet(uint64_t bytes, ForkMode mode, int children) {
+  Kernel kernel;
+  Process& parent = MakePopulatedProcess(kernel, bytes);
+  uint64_t before = kernel.allocator().Stats().page_table_frames;
+  Stopwatch sw;
+  std::vector<Process*> fleet;
+  for (int i = 0; i < children; ++i) {
+    fleet.push_back(&kernel.Fork(parent, mode));
+  }
+  FleetCost cost;
+  cost.fork_total_ms = sw.ElapsedMillis();
+  cost.extra_table_frames = kernel.allocator().Stats().page_table_frames - before;
+  cost.child_pt_bytes = BuildMemoryReport(*fleet.back()).page_table_bytes;
+  for (Process* child : fleet) {
+    kernel.Exit(*child, 0);
+  }
+  return cost;
+}
+
+void Run() {
+  BenchConfig config = BenchConfig::FromEnv();
+  double gb = std::min(config.max_gb, 4.0);
+  uint64_t bytes = GbToBytes(gb);
+  const int kChildren = config.fast ? 8 : 64;
+  PrintHeader("Exp. 11 — page-table memory cost of a fork fleet (efficiency claim)",
+              "ODF children share last-level tables: near-zero per-child table memory");
+  std::printf("Parent: %.1f GB mapped; fleet: %d simultaneous children\n\n", gb, kChildren);
+
+  TablePrinter table({"Mechanism", "extra PT frames (fleet)", "PT KB per child (PSS)",
+                      "total fork time (ms)"});
+  for (ForkMode mode : {ForkMode::kClassic, ForkMode::kOnDemand, ForkMode::kOnDemandHuge}) {
+    FleetCost cost = MeasureFleet(bytes, mode, kChildren);
+    table.AddRow({ForkModeName(mode), std::to_string(cost.extra_table_frames),
+                  TablePrinter::FormatDouble(static_cast<double>(cost.child_pt_bytes) / 1024.0,
+                                             1),
+                  TablePrinter::FormatDouble(cost.fork_total_ms, 2)});
+  }
+  table.Print();
+  std::printf(
+      "\nReading: classic fork duplicates every PTE table per child (512 frames per GB per\n"
+      "child); on-demand-fork adds only the upper-level skeleton, and the §4 extension\n"
+      "barely more than a PGD. Deferred tables are also deferred memory.\n");
+}
+
+}  // namespace
+}  // namespace odf
+
+int main() {
+  odf::Run();
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Figure 4: classic fork time vs size when the memory is backed by 2 MiB huge pages.
+// Expected shape: ~50x faster than 4 KiB pages at the same size (512x fewer leaf entries),
+// still growing with size.
+#include "bench/bench_common.h"
+
+namespace odf {
+namespace {
+
+void Run() {
+  BenchConfig config = BenchConfig::FromEnv();
+  PrintHeader("Fig. 4 — fork time vs size with 2 MiB huge pages",
+              "about 0.17 ms at 1 GB (vs ~6.5 ms with 4 KiB pages)");
+
+  TablePrinter table({"Size (GB)", "Fork w/ huge pages avg (ms)", "min (ms)"});
+  for (double gb : SizeSweepGb(config.max_gb)) {
+    Kernel kernel;
+    Process& parent = MakePopulatedProcess(kernel, GbToBytes(gb), /*huge=*/true);
+    StatsSummary stats =
+        Summarize(TimeForks(kernel, parent, ForkMode::kClassic, config.reps));
+    table.AddRow({TablePrinter::FormatDouble(gb, 1),
+                  TablePrinter::FormatDouble(stats.mean, 4),
+                  TablePrinter::FormatDouble(stats.min, 4)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace odf
+
+int main() {
+  odf::Run();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Figure 8: TOTAL cost (fork + subsequent accesses) — time reduction of on-demand-fork over
+// classic fork as a function of the fraction of memory accessed, for five read/write mixes.
+// Paper shape: ~99% reduction at 0% accessed; reduction shrinks as more memory is accessed;
+// more reads => larger reduction; still positive (4-8%) even at 100% accessed 0% read.
+//
+// The paper uses a 50 GB region and memcpy in 32 MB batches; we default to 1 GB (set
+// ODF_BENCH_FIG08_GB to scale up) with the same access pattern.
+#include "bench/bench_common.h"
+
+namespace odf {
+namespace {
+
+constexpr uint64_t kBatchBytes = 32 << 20;  // The paper's 32 MB memcpy buffer.
+
+// Forks `parent` with `mode` and sequentially accesses the first `accessed_bytes` of the
+// region in the child, interleaving reads/writes at `read_percent`. Returns total seconds.
+double RunOnce(uint64_t region_bytes, uint64_t accessed_bytes, int read_percent,
+               ForkMode mode) {
+  Kernel kernel;
+  Process& parent = MakePopulatedProcess(kernel, region_bytes);
+  Vaddr base = FirstVmaStart(parent);
+  std::vector<std::byte> buffer(kBatchBytes);
+
+  Stopwatch sw;
+  Process& child = kernel.Fork(parent, mode);
+  // Interleave read and write batches so read_percent of batches are reads (Bresenham-style
+  // error diffusion gives a deterministic, evenly spread mix).
+  uint64_t offset = 0;
+  int accumulator = 0;
+  while (offset < accessed_bytes) {
+    uint64_t chunk = std::min<uint64_t>(kBatchBytes, accessed_bytes - offset);
+    accumulator += read_percent;
+    bool is_read = accumulator >= 100;
+    if (is_read) {
+      accumulator -= 100;
+      ODF_CHECK(child.ReadMemory(base + offset, std::span(buffer.data(), chunk)));
+    } else {
+      ODF_CHECK(child.WriteMemory(base + offset, std::span(buffer.data(), chunk)));
+    }
+    offset += chunk;
+  }
+  double total = sw.ElapsedSeconds();
+  kernel.Exit(child, 0);
+  kernel.Wait(parent);
+  return total;
+}
+
+void Run() {
+  BenchConfig config = BenchConfig::FromEnv();
+  double gb = config.fast ? 0.25 : 1.0;
+  if (const char* v = std::getenv("ODF_BENCH_FIG08_GB")) {
+    gb = std::atof(v);
+  }
+  uint64_t region = GbToBytes(gb);
+  PrintHeader("Fig. 8 — total time reduction of ODF vs fork, by % memory accessed and R/W mix",
+              "~99% reduction at 0% accessed, shrinking with access fraction; reads reduce "
+              "more than writes; still positive at 100%");
+  std::printf("Region: %.2f GB (paper: 50 GB; shape preserved — see EXPERIMENTS.md)\n\n", gb);
+
+  const int kAccessSteps[] = {0, 20, 40, 60, 80, 100};
+  const int kReadMixes[] = {100, 75, 50, 25, 0};
+
+  TablePrinter table({"Accessed", "100% read", "75% read", "50% read", "25% read", "0% read"});
+  for (int accessed : kAccessSteps) {
+    std::vector<std::string> row{std::to_string(accessed) + "%"};
+    uint64_t accessed_bytes = region * static_cast<uint64_t>(accessed) / 100;
+    for (int read_percent : kReadMixes) {
+      double fork_s = RunOnce(region, accessed_bytes, read_percent, ForkMode::kClassic);
+      double odf_s = RunOnce(region, accessed_bytes, read_percent, ForkMode::kOnDemand);
+      double reduction = (fork_s - odf_s) / fork_s;
+      row.push_back(TablePrinter::FormatPercent(reduction, 1));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace odf
+
+int main() {
+  odf::Run();
+  return 0;
+}

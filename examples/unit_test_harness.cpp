@@ -1,0 +1,98 @@
+// Example: a fork-based unit-test harness (§5.3.2). The database is initialized once; every
+// test then runs in a forked child, so tests always start from a clean, identical state and
+// cannot corrupt each other — and with on-demand-fork the fork cost is microseconds even
+// against a large database.
+//
+//   ./build/examples/unit_test_harness [rows]
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/apps/minidb.h"
+#include "src/util/stopwatch.h"
+
+namespace {
+
+struct TestCase {
+  std::string name;
+  std::function<bool(odf::MiniDb&)> body;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t rows = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 500000;
+
+  odf::Kernel kernel;
+  odf::Process& parent = kernel.CreateProcess();
+  parent.set_fork_mode(odf::ForkMode::kOnDemand);  // The procfs-style opt-in.
+
+  odf::Stopwatch init_timer;
+  odf::MiniDb db = odf::MiniDb::Create(kernel, parent, rows * 256 + (256ULL << 20));
+  odf::Rng rng(1);
+  db.BulkLoadFixture("t", rows, 64, rng);
+  std::printf("initialized %llu-row database once in %.2f s\n", (unsigned long long)rows,
+              init_timer.ElapsedSeconds());
+
+  std::vector<TestCase> tests = {
+      {"select_filters_rows",
+       [](odf::MiniDb& view) {
+         auto row = view.SelectByKey("t", 12345);
+         return row.has_value() && row->ints.at(0) >= 0 && row->ints.at(0) < 1000;
+       }},
+      {"delete_by_condition",
+       [](odf::MiniDb& view) {
+         if (!view.DeleteByKey("t", 777)) {
+           return false;
+         }
+         return !view.SelectByKey("t", 777).has_value();
+       }},
+      {"update_by_condition",
+       [](odf::MiniDb& view) {
+         if (!view.UpdateByKey("t", 4242, -99)) {
+           return false;
+         }
+         return view.SelectByKey("t", 4242)->ints.at(0) == -99;
+       }},
+      {"insert_does_not_clash",
+       [rows](odf::MiniDb& view) {
+         odf::RowValue row;
+         row.key = static_cast<int64_t>(rows) + 1;
+         row.ints.push_back(1);
+         row.strings.push_back("fresh");
+         return view.Insert("t", row) && view.RowCount("t") == rows + 1;
+       }},
+      {"deleting_everything_is_isolated",
+       [](odf::MiniDb& view) {
+         // Even a destructive test cannot hurt the other tests: it runs on a COW clone.
+         for (int64_t key = 0; key < 1000; ++key) {
+           view.DeleteByKey("t", key);
+         }
+         return view.SelectByKey("t", 500) == std::nullopt;
+       }},
+  };
+
+  int failures = 0;
+  for (const TestCase& test : tests) {
+    odf::Stopwatch fork_timer;
+    odf::Process& child = kernel.Fork(parent);  // Uses the configured on-demand-fork.
+    double fork_us = fork_timer.ElapsedMicros();
+
+    odf::MiniDb view = odf::MiniDb::Attach(kernel, child, db.meta_base());
+    odf::Stopwatch test_timer;
+    bool ok = test.body(view);
+    double test_us = test_timer.ElapsedMicros();
+    kernel.Exit(child, ok ? 0 : 1);
+    kernel.Wait(parent);
+
+    std::printf("%-32s %s  (fork %7.1f us, test %9.1f us)\n", test.name.c_str(),
+                ok ? "PASS" : "FAIL", fork_us, test_us);
+    failures += ok ? 0 : 1;
+  }
+
+  std::printf("\n%zu tests, %d failures; parent still has %llu rows (isolation held)\n",
+              tests.size(), failures, (unsigned long long)db.RowCount("t"));
+  return failures == 0 ? 0 : 1;
+}

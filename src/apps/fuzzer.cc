@@ -1,0 +1,148 @@
+#include "src/apps/fuzzer.h"
+
+#include "src/util/log.h"
+#include "src/util/stopwatch.h"
+
+namespace odf {
+
+ForkServerFuzzer::ForkServerFuzzer(Kernel& kernel, Process& parent, FuzzTarget target,
+                                   FuzzerConfig config, std::vector<std::string> seed_corpus)
+    : kernel_(kernel),
+      parent_(parent),
+      target_(std::move(target)),
+      config_(config),
+      corpus_(std::move(seed_corpus)),
+      rng_(config.seed) {
+  ODF_CHECK(!corpus_.empty()) << "fuzzer needs at least one seed input";
+}
+
+std::string ForkServerFuzzer::MutateInput() {
+  std::string input = corpus_[rng_.NextBelow(corpus_.size())];
+  // AFL-ish havoc: a few stacked mutations.
+  uint64_t mutations = 1 + rng_.NextBelow(4);
+  for (uint64_t m = 0; m < mutations; ++m) {
+    switch (rng_.NextBelow(4)) {
+      case 0: {  // Byte flip.
+        if (!input.empty()) {
+          input[rng_.NextBelow(input.size())] ^= static_cast<char>(1 << rng_.NextBelow(8));
+        }
+        break;
+      }
+      case 1: {  // Insert a random digit/char (keeps many inputs parseable).
+        const char alphabet[] = "0123456789 \nISUDELNRPGC-";
+        size_t pos = input.empty() ? 0 : rng_.NextBelow(input.size());
+        input.insert(pos, 1, alphabet[rng_.NextBelow(sizeof(alphabet) - 1)]);
+        break;
+      }
+      case 2: {  // Delete a span.
+        if (input.size() > 2) {
+          size_t pos = rng_.NextBelow(input.size() - 1);
+          input.erase(pos, 1 + rng_.NextBelow(std::min<size_t>(8, input.size() - pos)));
+        }
+        break;
+      }
+      case 3: {  // Splice with another corpus entry.
+        const std::string& other = corpus_[rng_.NextBelow(corpus_.size())];
+        if (!other.empty()) {
+          input.append("\n").append(other.substr(rng_.NextBelow(other.size())));
+        }
+        break;
+      }
+    }
+  }
+  if (input.size() > config_.max_input_bytes) {
+    input.resize(config_.max_input_bytes);
+  }
+  return input;
+}
+
+uint64_t ForkServerFuzzer::ExecuteInput(const std::string& input) {
+  // The fork-server step: duplicate the initialized target for this one input.
+  Process& child = kernel_.Fork(parent_, config_.fork_mode);
+  coverage_.Clear();
+  ShellResult result = target_(child, input, &coverage_);
+  stats_.parse_errors += result.parse_errors;
+  kernel_.Exit(child, 0);
+  kernel_.Wait(parent_);
+  ++stats_.executions;
+  uint64_t new_edges = coverage_.MergeInto(virgin_);
+  stats_.covered_edges += new_edges;
+  return new_edges;
+}
+
+void ForkServerFuzzer::DeterministicStage(const std::string& input) {
+  // Bounded walking bit flips (AFL's bitflip 1/1) followed by dictionary overwrites, each
+  // variant executed once; anything that finds new edges joins the corpus.
+  size_t budget = config_.deterministic_budget;
+  for (size_t bit = 0; bit < input.size() * 8 && budget > 0; bit += 7, --budget) {
+    std::string variant = input;
+    variant[bit / 8] ^= static_cast<char>(1 << (bit % 8));
+    if (ExecuteInput(variant) > 0) {
+      ++stats_.new_coverage_inputs;
+      if (corpus_.size() < config_.corpus_limit) {
+        corpus_.push_back(std::move(variant));
+      }
+    }
+  }
+  for (const std::string& token : config_.dictionary) {
+    if (budget == 0 || token.size() >= input.size()) {
+      break;
+    }
+    --budget;
+    std::string variant = input;
+    variant.replace(rng_.NextBelow(variant.size() - token.size()), token.size(), token);
+    if (ExecuteInput(variant) > 0) {
+      ++stats_.new_coverage_inputs;
+      if (corpus_.size() < config_.corpus_limit) {
+        corpus_.push_back(std::move(variant));
+      }
+    }
+  }
+}
+
+bool ForkServerFuzzer::RunOne() {
+  std::string input = MutateInput();
+  uint64_t new_edges = ExecuteInput(input);
+  if (new_edges > 0) {
+    ++stats_.new_coverage_inputs;
+    if (corpus_.size() < config_.corpus_limit) {
+      corpus_.push_back(input);
+    }
+    if (config_.deterministic_stage) {
+      DeterministicStage(input);
+    }
+    return true;
+  }
+  return false;
+}
+
+void ForkServerFuzzer::RunFor(double seconds) {
+  Stopwatch timer;
+  while (timer.ElapsedSeconds() < seconds) {
+    RunOne();
+  }
+  stats_.elapsed_seconds += timer.ElapsedSeconds();
+}
+
+FuzzTarget MakeMiniDbShellTarget(Kernel& kernel, std::string table, Vaddr db_meta_base) {
+  return [&kernel, table = std::move(table), db_meta_base](
+             Process& child, std::string_view input, CoverageMap* coverage) {
+    MiniDb view = MiniDb::Attach(kernel, child, db_meta_base);
+    return RunMiniDbShell(view, table, input, coverage);
+  };
+}
+
+std::vector<std::string> MiniDbSeedCorpus() {
+  return {
+      "SEL 5\n",
+      "INS 900001 42 hello\nSEL 900001\n",
+      "UPD 7 99\nSEL 7\n",
+      "DEL 11\nSEL 11\n",
+      "RNG 10 20\n",
+      "UPR 1 5 77\nRNG 77 77\n",
+      "DLR 990 995\n",
+      "INS 900002 1 a\nINS 900003 2 b\nDEL 900002\nRNG 1 2\n",
+  };
+}
+
+}  // namespace odf

@@ -1,0 +1,94 @@
+// ForkServerFuzzer: an AFL-style coverage-guided fuzzer built on the simulated kernel's fork.
+//
+// Reproduces the paper's §5.3.1 setup: the target (the MiniDb shell over a large pre-loaded
+// database) is initialized ONCE in a parent process; for every input the fuzzer forks the
+// parent, runs the input in the child against the child's COW view, collects edge coverage,
+// and reaps the child. Fork cost directly gates executions/second — the Fig. 9 metric.
+#ifndef ODF_SRC_APPS_FUZZER_H_
+#define ODF_SRC_APPS_FUZZER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/apps/minidb_shell.h"
+#include "src/proc/kernel.h"
+#include "src/util/rng.h"
+
+namespace odf {
+
+struct FuzzerConfig {
+  ForkMode fork_mode = ForkMode::kClassic;
+  uint64_t seed = 1;
+  size_t max_input_bytes = 512;
+  size_t corpus_limit = 512;
+  // AFL-style deterministic stage: when an input earns a corpus slot, run a bounded pass of
+  // walking bit flips and dictionary substitutions over it before returning to havoc.
+  bool deterministic_stage = true;
+  size_t deterministic_budget = 64;  // Max deterministic executions per new corpus entry.
+  // Dictionary tokens spliced in by the mutator (AFL's -x): command keywords by default.
+  std::vector<std::string> dictionary = {"INS", "SEL", "UPD", "DEL", "RNG",
+                                         "UPR", "DLR", " ", "\n", "-1", "0"};
+};
+
+struct FuzzerStats {
+  uint64_t executions = 0;
+  uint64_t new_coverage_inputs = 0;
+  uint64_t covered_edges = 0;
+  uint64_t parse_errors = 0;
+  double elapsed_seconds = 0;
+  double ExecsPerSecond() const {
+    return elapsed_seconds > 0 ? static_cast<double>(executions) / elapsed_seconds : 0;
+  }
+};
+
+// The target callback: runs one input inside the forked child process and reports coverage.
+// (The analog of the instrumented target binary; `child` is the forked process.)
+using FuzzTarget = std::function<ShellResult(Process& child, std::string_view input,
+                                             CoverageMap* coverage)>;
+
+class ForkServerFuzzer {
+ public:
+  // `parent` must already be initialized (target state loaded). Seeds form the initial
+  // corpus.
+  ForkServerFuzzer(Kernel& kernel, Process& parent, FuzzTarget target, FuzzerConfig config,
+                   std::vector<std::string> seed_corpus);
+
+  // Runs one fuzz iteration: pick + mutate an input, fork, execute, merge coverage, reap.
+  // When an input earns a corpus slot and the deterministic stage is enabled, a bounded
+  // pass of bit flips and dictionary insertions runs on it immediately (like AFL's
+  // deterministic stages on fresh queue entries). Returns true on new coverage.
+  bool RunOne();
+
+  // Runs iterations until `seconds` of wall-clock time elapse; updates stats continuously.
+  void RunFor(double seconds);
+
+  const FuzzerStats& stats() const { return stats_; }
+  size_t corpus_size() const { return corpus_.size(); }
+
+ private:
+  std::string MutateInput();
+  // Executes one concrete input (fork/run/merge/reap); returns new-edge count.
+  uint64_t ExecuteInput(const std::string& input);
+  void DeterministicStage(const std::string& input);
+
+  Kernel& kernel_;
+  Process& parent_;
+  FuzzTarget target_;
+  FuzzerConfig config_;
+  std::vector<std::string> corpus_;
+  std::array<uint8_t, CoverageMap::kSize> virgin_{};
+  CoverageMap coverage_;
+  Rng rng_;
+  FuzzerStats stats_;
+};
+
+// Convenience: builds the MiniDb-shell target bound to `table` and `db_meta_base`.
+FuzzTarget MakeMiniDbShellTarget(Kernel& kernel, std::string table, Vaddr db_meta_base);
+
+// The standard seed corpus for the MiniDb shell (valid commands the mutator can splice).
+std::vector<std::string> MiniDbSeedCorpus();
+
+}  // namespace odf
+
+#endif  // ODF_SRC_APPS_FUZZER_H_

@@ -1,0 +1,208 @@
+#include "src/apps/kvstore.h"
+
+#include <cstring>
+#include <vector>
+
+#include "src/util/log.h"
+#include "src/util/stopwatch.h"
+
+namespace odf {
+
+namespace {
+
+constexpr uint64_t kMetaMagic = 0x6b'76'73'74'6f'72'65'00ULL;  // "kvstore".
+
+// Meta block layout (in-sim).
+constexpr Vaddr kOffMagic = 0;
+constexpr Vaddr kOffBucketCount = 8;
+constexpr Vaddr kOffKeyCount = 16;
+constexpr Vaddr kOffBuckets = 24;
+constexpr Vaddr kOffHeapBase = 32;
+constexpr uint64_t kMetaSize = 40;
+
+// Entry layout: [u64 next][u32 key_len][u32 val_len][key bytes][value bytes].
+constexpr Vaddr kEntryNext = 0;
+constexpr Vaddr kEntryKeyLen = 8;
+constexpr Vaddr kEntryValLen = 12;
+constexpr Vaddr kEntryKey = 16;
+
+uint64_t HashKey(std::string_view key) {
+  uint64_t hash = 1469598103934665603ULL;  // FNV-1a.
+  for (char c : key) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+KvStore KvStore::Create(Kernel& kernel, Process& process, uint64_t heap_capacity,
+                        uint64_t bucket_count) {
+  SimHeap heap = SimHeap::Create(process, heap_capacity);
+  Vaddr meta = heap.Alloc(kMetaSize);
+  Vaddr buckets = heap.Alloc(bucket_count * 8);
+  ODF_CHECK(process.MemsetMemory(buckets, std::byte{0}, bucket_count * 8));
+  process.StoreU64(meta + kOffMagic, kMetaMagic);
+  process.StoreU64(meta + kOffBucketCount, bucket_count);
+  process.StoreU64(meta + kOffKeyCount, 0);
+  process.StoreU64(meta + kOffBuckets, buckets);
+  process.StoreU64(meta + kOffHeapBase, heap.base());
+  return KvStore(&kernel, heap, meta);
+}
+
+KvStore KvStore::Attach(Kernel& kernel, Process& process, Vaddr meta_base) {
+  ODF_CHECK(process.LoadU64(meta_base + kOffMagic) == kMetaMagic)
+      << "no kvstore at " << meta_base;
+  Vaddr heap_base = process.LoadU64(meta_base + kOffHeapBase);
+  return KvStore(&kernel, SimHeap::Attach(process, heap_base), meta_base);
+}
+
+Vaddr KvStore::BucketSlot(std::string_view key) {
+  Process& p = process();
+  uint64_t bucket_count = p.LoadU64(meta_base_ + kOffBucketCount);
+  Vaddr buckets = p.LoadU64(meta_base_ + kOffBuckets);
+  return buckets + (HashKey(key) % bucket_count) * 8;
+}
+
+Vaddr KvStore::FindEntry(std::string_view key, Vaddr* prev_link_out) {
+  Process& p = process();
+  Vaddr prev_link = BucketSlot(key);
+  Vaddr entry = p.LoadU64(prev_link);
+  std::vector<std::byte> key_buffer;
+  while (entry != 0) {
+    uint32_t key_len = p.LoadU32(entry + kEntryKeyLen);
+    if (key_len == key.size()) {
+      key_buffer.resize(key_len);
+      ODF_CHECK(p.ReadMemory(entry + kEntryKey, key_buffer));
+      if (std::memcmp(key_buffer.data(), key.data(), key_len) == 0) {
+        if (prev_link_out != nullptr) {
+          *prev_link_out = prev_link;
+        }
+        return entry;
+      }
+    }
+    prev_link = entry + kEntryNext;
+    entry = p.LoadU64(prev_link);
+  }
+  if (prev_link_out != nullptr) {
+    *prev_link_out = 0;
+  }
+  return 0;
+}
+
+void KvStore::Set(std::string_view key, std::string_view value) {
+  Process& p = process();
+  Vaddr prev_link = 0;
+  Vaddr existing = FindEntry(key, &prev_link);
+  if (existing != 0) {
+    uint32_t val_len = p.LoadU32(existing + kEntryValLen);
+    if (val_len == value.size()) {  // Overwrite in place (the common Redis update).
+      ODF_CHECK(p.WriteMemory(existing + kEntryKey + key.size(),
+                              std::as_bytes(std::span(value.data(), value.size()))));
+      return;
+    }
+    // Size changed: unlink and free, then insert fresh.
+    p.StoreU64(prev_link, p.LoadU64(existing + kEntryNext));
+    heap_.Free(existing);
+    p.StoreU64(meta_base_ + kOffKeyCount, p.LoadU64(meta_base_ + kOffKeyCount) - 1);
+  }
+  Vaddr entry = heap_.Alloc(kEntryKey + key.size() + value.size());
+  Vaddr bucket = BucketSlot(key);
+  p.StoreU64(entry + kEntryNext, p.LoadU64(bucket));
+  p.StoreU32(entry + kEntryKeyLen, static_cast<uint32_t>(key.size()));
+  p.StoreU32(entry + kEntryValLen, static_cast<uint32_t>(value.size()));
+  ODF_CHECK(p.WriteMemory(entry + kEntryKey, std::as_bytes(std::span(key.data(), key.size()))));
+  ODF_CHECK(p.WriteMemory(entry + kEntryKey + key.size(),
+                          std::as_bytes(std::span(value.data(), value.size()))));
+  p.StoreU64(bucket, entry);
+  p.StoreU64(meta_base_ + kOffKeyCount, p.LoadU64(meta_base_ + kOffKeyCount) + 1);
+}
+
+std::optional<std::string> KvStore::Get(std::string_view key) {
+  Process& p = process();
+  Vaddr entry = FindEntry(key, nullptr);
+  if (entry == 0) {
+    return std::nullopt;
+  }
+  uint32_t val_len = p.LoadU32(entry + kEntryValLen);
+  std::string value(val_len, '\0');
+  ODF_CHECK(p.ReadMemory(entry + kEntryKey + key.size(),
+                         std::as_writable_bytes(std::span(value.data(), value.size()))));
+  return value;
+}
+
+bool KvStore::Delete(std::string_view key) {
+  Process& p = process();
+  Vaddr prev_link = 0;
+  Vaddr entry = FindEntry(key, &prev_link);
+  if (entry == 0) {
+    return false;
+  }
+  p.StoreU64(prev_link, p.LoadU64(entry + kEntryNext));
+  heap_.Free(entry);
+  p.StoreU64(meta_base_ + kOffKeyCount, p.LoadU64(meta_base_ + kOffKeyCount) - 1);
+  return true;
+}
+
+uint64_t KvStore::Count() { return process().LoadU64(meta_base_ + kOffKeyCount); }
+
+void KvStore::FillSequential(uint64_t n, uint64_t value_size, Rng& rng) {
+  std::string value(value_size, '\0');
+  for (uint64_t i = 0; i < n; ++i) {
+    // Vary the value content cheaply; full-random bytes are unnecessary for memory shape.
+    for (size_t j = 0; j < value.size(); j += 64) {
+      value[j] = static_cast<char>(rng.Next());
+    }
+    Set("key:" + std::to_string(i), value);
+  }
+}
+
+uint64_t KvStore::SaveSnapshot(const std::string& path) {
+  Process& p = process();
+  auto file = kernel_->fs().Open(path);
+  file->Truncate(0);
+  uint64_t offset = 0;
+  uint64_t bucket_count = p.LoadU64(meta_base_ + kOffBucketCount);
+  Vaddr buckets = p.LoadU64(meta_base_ + kOffBuckets);
+  std::vector<std::byte> buffer;
+  for (uint64_t b = 0; b < bucket_count; ++b) {
+    Vaddr entry = p.LoadU64(buckets + b * 8);
+    while (entry != 0) {
+      uint32_t key_len = p.LoadU32(entry + kEntryKeyLen);
+      uint32_t val_len = p.LoadU32(entry + kEntryValLen);
+      buffer.resize(8 + key_len + val_len);
+      std::memcpy(buffer.data(), &key_len, 4);
+      std::memcpy(buffer.data() + 4, &val_len, 4);
+      ODF_CHECK(p.ReadMemory(entry + kEntryKey,
+                             std::span(buffer.data() + 8, key_len + val_len)));
+      file->Write(offset, buffer);
+      offset += buffer.size();
+      entry = p.LoadU64(entry + kEntryNext);
+    }
+  }
+  return offset;
+}
+
+double KvStore::SnapshotWithFork(const std::string& path, ForkMode mode) {
+  Process& parent = process();
+  Stopwatch fork_timer;
+  Process& child = kernel_->Fork(parent, mode);
+  double blocked_micros = fork_timer.ElapsedMicros();
+
+  KvStore child_view = Attach(*kernel_, child, meta_base_);
+  child_view.SaveSnapshot(path);
+  kernel_->Exit(child, 0);
+  kernel_->Wait(parent);
+  return blocked_micros;
+}
+
+KvStoreStats KvStore::Stats() {
+  KvStoreStats stats;
+  stats.key_count = Count();
+  stats.bucket_count = process().LoadU64(meta_base_ + kOffBucketCount);
+  stats.bytes_in_heap = heap_.Stats().allocated_bytes;
+  return stats;
+}
+
+}  // namespace odf

@@ -1,0 +1,74 @@
+// KvStore: a Redis-like in-memory key-value store whose entire dataset (hash table, chains,
+// keys and values) lives in simulated process memory.
+//
+// Reproduces the paper's Redis snapshot scenario (§5.3.3): the serving process periodically
+// forks so a child can serialize a consistent snapshot to the in-memory filesystem while the
+// parent keeps answering requests. The fork mechanism (classic vs on-demand) is the variable
+// under test; the snapshot blocking time and the request tail latency are the metrics.
+#ifndef ODF_SRC_APPS_KVSTORE_H_
+#define ODF_SRC_APPS_KVSTORE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/apps/simalloc.h"
+#include "src/proc/kernel.h"
+#include "src/util/rng.h"
+
+namespace odf {
+
+struct KvStoreStats {
+  uint64_t key_count = 0;
+  uint64_t bucket_count = 0;
+  uint64_t bytes_in_heap = 0;
+};
+
+class KvStore {
+ public:
+  // Creates an empty store inside `process`, with a heap of `heap_capacity` bytes.
+  static KvStore Create(Kernel& kernel, Process& process, uint64_t heap_capacity,
+                        uint64_t bucket_count = 1 << 20);
+
+  // Re-binds the store in a forked child (same base address, identical state).
+  static KvStore Attach(Kernel& kernel, Process& process, Vaddr meta_base);
+
+  void Set(std::string_view key, std::string_view value);
+  std::optional<std::string> Get(std::string_view key);
+  bool Delete(std::string_view key);
+  uint64_t Count();
+
+  // Bulk-loads `n` keys ("key:<i>" -> random bytes of value_size) — the production-condition
+  // dataset of §5.3.3 (996 MB before snapshotting experiments).
+  void FillSequential(uint64_t n, uint64_t value_size, Rng& rng);
+
+  // Serializes every entry to `path` in the in-memory filesystem, reading through THIS
+  // process's view — run it in a forked child for a consistent snapshot. Returns bytes
+  // written.
+  uint64_t SaveSnapshot(const std::string& path);
+
+  // Forks the owning process with `mode`, has the child write the snapshot and exit, and
+  // reaps it. Returns the time spent *blocked in fork* (the paper's latest_fork_usec metric)
+  // in microseconds.
+  double SnapshotWithFork(const std::string& path, ForkMode mode);
+
+  KvStoreStats Stats();
+  Vaddr meta_base() const { return meta_base_; }
+  Process& process() { return heap_.process(); }
+
+ private:
+  KvStore(Kernel* kernel, SimHeap heap, Vaddr meta_base)
+      : kernel_(kernel), heap_(heap), meta_base_(meta_base) {}
+
+  Vaddr FindEntry(std::string_view key, Vaddr* prev_link_out);
+  Vaddr BucketSlot(std::string_view key);
+
+  Kernel* kernel_;
+  SimHeap heap_;
+  Vaddr meta_base_;
+};
+
+}  // namespace odf
+
+#endif  // ODF_SRC_APPS_KVSTORE_H_

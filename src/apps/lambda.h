@@ -1,0 +1,67 @@
+// LambdaPlatform: a serverless function platform built on fork (paper §2.4.3).
+//
+// The paper's third motivating use case: serverless frameworks cache an initialized runtime
+// ("warm template") and clone it per invocation to avoid cold starts. Here the template is a
+// process holding the language runtime image plus the function's initialized state (a large
+// read-mostly lookup table in simulated memory); each invocation forks the template, runs
+// the handler against the clone's COW view, and exits. The fork mechanism decides the
+// startup portion of the invocation latency — the quantity SAND/Catalyzer-style systems
+// fight for.
+#ifndef ODF_SRC_APPS_LAMBDA_H_
+#define ODF_SRC_APPS_LAMBDA_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/apps/simalloc.h"
+#include "src/proc/kernel.h"
+#include "src/util/rng.h"
+
+namespace odf {
+
+struct LambdaConfig {
+  ForkMode fork_mode = ForkMode::kOnDemand;
+  uint64_t runtime_image_bytes = 128ULL << 20;  // Interpreter + libraries, populated.
+  uint64_t state_table_entries = 1 << 20;       // Function state: precomputed lookup table.
+  uint64_t handler_touches = 256;               // Working-set entries per invocation.
+};
+
+struct LambdaInvocation {
+  double startup_us = 0;  // Time to stand up the execution environment (the fork).
+  double run_us = 0;      // Handler execution time.
+  uint64_t result = 0;    // Handler output (checksum), for validation.
+};
+
+class LambdaPlatform {
+ public:
+  // "Deploys" the function: boots the runtime image and initializes the function state
+  // once. This is the cold-start cost that warm invocations amortize away.
+  static LambdaPlatform Deploy(Kernel& kernel, const LambdaConfig& config);
+
+  // Warm invocation: fork the template, run the handler in the clone, tear it down.
+  LambdaInvocation Invoke(std::span<const uint8_t> payload);
+
+  // Cold invocation baseline: build a fresh template from scratch and run the handler in
+  // it directly (what a platform without template caching pays every time).
+  LambdaInvocation InvokeCold(std::span<const uint8_t> payload);
+
+  double deploy_seconds() const { return deploy_seconds_; }
+  Process& template_process() { return *template_process_; }
+
+ private:
+  LambdaPlatform(Kernel* kernel, LambdaConfig config) : kernel_(kernel), config_(config) {}
+
+  // Builds runtime image + state in `process`; returns the state table's base address.
+  static Vaddr InitializeTemplate(Process& process, const LambdaConfig& config);
+  uint64_t RunHandler(Process& process, Vaddr state_base, std::span<const uint8_t> payload);
+
+  Kernel* kernel_;
+  LambdaConfig config_;
+  Process* template_process_ = nullptr;
+  Vaddr state_base_ = 0;
+  double deploy_seconds_ = 0;
+};
+
+}  // namespace odf
+
+#endif  // ODF_SRC_APPS_LAMBDA_H_

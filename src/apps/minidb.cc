@@ -1,0 +1,429 @@
+#include "src/apps/minidb.h"
+
+#include <cstring>
+
+#include "src/util/log.h"
+
+namespace odf {
+
+namespace {
+
+constexpr uint64_t kDbMagic = 0x6d'69'6e'69'64'62'00'01ULL;  // "minidb".
+
+// DB meta block.
+constexpr Vaddr kOffMagic = 0;
+constexpr Vaddr kOffTableHead = 8;
+constexpr Vaddr kOffHeapBase = 16;
+constexpr uint64_t kDbMetaSize = 24;
+
+// Table block: header, then col_count column descriptors of {u32 type, u32 size}.
+constexpr Vaddr kTblNext = 0;
+constexpr Vaddr kTblName = 8;  // 24 bytes, NUL-padded.
+constexpr uint64_t kTblNameSize = 24;
+constexpr Vaddr kTblColCount = 32;
+constexpr Vaddr kTblRowSize = 40;
+constexpr Vaddr kTblRowCount = 48;
+constexpr Vaddr kTblSegHead = 56;
+constexpr Vaddr kTblSegTail = 64;
+constexpr Vaddr kTblIndexBuckets = 72;
+constexpr Vaddr kTblIndexBucketCount = 80;
+constexpr Vaddr kTblSchema = 88;
+
+constexpr uint64_t kRowsPerSegment = 256;
+constexpr uint64_t kIndexBucketCount = 1 << 16;
+
+// Segment: {u64 next, u64 used, rows...}. A row slot: {u64 live_flag, column bytes...}.
+constexpr Vaddr kSegNext = 0;
+constexpr Vaddr kSegUsed = 8;
+constexpr Vaddr kSegRows = 16;
+constexpr uint64_t kRowHeader = 8;
+
+// Index entry: {u64 next, i64 key, u64 row_va}.
+constexpr Vaddr kIdxNext = 0;
+constexpr Vaddr kIdxKey = 8;
+constexpr Vaddr kIdxRow = 16;
+constexpr uint64_t kIdxEntrySize = 24;
+
+uint64_t HashInt(int64_t key) {
+  uint64_t h = static_cast<uint64_t>(key) * 0x9e3779b97f4a7c15ULL;
+  return h ^ (h >> 32);
+}
+
+}  // namespace
+
+MiniDb MiniDb::Create(Kernel& kernel, Process& process, uint64_t heap_capacity) {
+  SimHeap heap = SimHeap::Create(process, heap_capacity);
+  Vaddr meta = heap.Alloc(kDbMetaSize);
+  process.StoreU64(meta + kOffMagic, kDbMagic);
+  process.StoreU64(meta + kOffTableHead, 0);
+  process.StoreU64(meta + kOffHeapBase, heap.base());
+  return MiniDb(&kernel, heap, meta);
+}
+
+MiniDb MiniDb::Attach(Kernel& kernel, Process& process, Vaddr meta_base) {
+  ODF_CHECK(process.LoadU64(meta_base + kOffMagic) == kDbMagic) << "no minidb at " << meta_base;
+  Vaddr heap_base = process.LoadU64(meta_base + kOffHeapBase);
+  return MiniDb(&kernel, SimHeap::Attach(process, heap_base), meta_base);
+}
+
+Vaddr MiniDb::FindTable(const std::string& name) {
+  Process& p = process();
+  char buffer[kTblNameSize];
+  Vaddr table = p.LoadU64(meta_base_ + kOffTableHead);
+  while (table != 0) {
+    ODF_CHECK(p.ReadMemory(table + kTblName, std::as_writable_bytes(std::span(buffer))));
+    if (name.compare(0, kTblNameSize, buffer, strnlen(buffer, kTblNameSize)) == 0) {
+      return table;
+    }
+    table = p.LoadU64(table + kTblNext);
+  }
+  return 0;
+}
+
+std::vector<ColumnSpec> MiniDb::ReadSchema(Vaddr table) {
+  Process& p = process();
+  uint64_t col_count = p.LoadU64(table + kTblColCount);
+  std::vector<ColumnSpec> schema(col_count);
+  for (uint64_t i = 0; i < col_count; ++i) {
+    uint32_t type = p.LoadU32(table + kTblSchema + i * 8);
+    uint32_t size = p.LoadU32(table + kTblSchema + i * 8 + 4);
+    schema[i] = ColumnSpec{static_cast<ColumnType>(type), size};
+  }
+  return schema;
+}
+
+uint64_t MiniDb::RowSize(const std::vector<ColumnSpec>& schema) {
+  uint64_t size = 0;
+  for (const ColumnSpec& col : schema) {
+    size += col.size;
+  }
+  return size;
+}
+
+void MiniDb::CreateTable(const std::string& name, const std::vector<ColumnSpec>& columns) {
+  ODF_CHECK(FindTable(name) == 0) << "table exists: " << name;
+  ODF_CHECK(name.size() < kTblNameSize);
+  Process& p = process();
+
+  // Full schema = implicit int64 key column + the user columns.
+  std::vector<ColumnSpec> schema;
+  schema.push_back(ColumnSpec{ColumnType::kInt64, 8});
+  schema.insert(schema.end(), columns.begin(), columns.end());
+
+  Vaddr table = heap_.Alloc(kTblSchema + schema.size() * 8);
+  char name_buffer[kTblNameSize] = {};
+  std::memcpy(name_buffer, name.data(), name.size());
+  ODF_CHECK(p.WriteMemory(table + kTblName, std::as_bytes(std::span(name_buffer))));
+  p.StoreU64(table + kTblColCount, schema.size());
+  p.StoreU64(table + kTblRowSize, RowSize(schema));
+  p.StoreU64(table + kTblRowCount, 0);
+  p.StoreU64(table + kTblSegHead, 0);
+  p.StoreU64(table + kTblSegTail, 0);
+  Vaddr buckets = heap_.Alloc(kIndexBucketCount * 8);
+  ODF_CHECK(p.MemsetMemory(buckets, std::byte{0}, kIndexBucketCount * 8));
+  p.StoreU64(table + kTblIndexBuckets, buckets);
+  p.StoreU64(table + kTblIndexBucketCount, kIndexBucketCount);
+  for (uint64_t i = 0; i < schema.size(); ++i) {
+    p.StoreU32(table + kTblSchema + i * 8, static_cast<uint32_t>(schema[i].type));
+    p.StoreU32(table + kTblSchema + i * 8 + 4, schema[i].size);
+  }
+  // Link into the table list.
+  p.StoreU64(table + kTblNext, p.LoadU64(meta_base_ + kOffTableHead));
+  p.StoreU64(meta_base_ + kOffTableHead, table);
+}
+
+bool MiniDb::HasTable(const std::string& name) { return FindTable(name) != 0; }
+
+Vaddr MiniDb::IndexLookup(Vaddr table, int64_t key, Vaddr* prev_link_out) {
+  Process& p = process();
+  Vaddr buckets = p.LoadU64(table + kTblIndexBuckets);
+  uint64_t bucket_count = p.LoadU64(table + kTblIndexBucketCount);
+  Vaddr prev_link = buckets + (HashInt(key) % bucket_count) * 8;
+  Vaddr entry = p.LoadU64(prev_link);
+  while (entry != 0) {
+    if (static_cast<int64_t>(p.LoadU64(entry + kIdxKey)) == key) {
+      if (prev_link_out != nullptr) {
+        *prev_link_out = prev_link;
+      }
+      return entry;
+    }
+    prev_link = entry + kIdxNext;
+    entry = p.LoadU64(prev_link);
+  }
+  return 0;
+}
+
+void MiniDb::IndexInsert(Vaddr table, int64_t key, Vaddr row) {
+  Process& p = process();
+  Vaddr buckets = p.LoadU64(table + kTblIndexBuckets);
+  uint64_t bucket_count = p.LoadU64(table + kTblIndexBucketCount);
+  Vaddr slot = buckets + (HashInt(key) % bucket_count) * 8;
+  Vaddr entry = heap_.Alloc(kIdxEntrySize);
+  p.StoreU64(entry + kIdxNext, p.LoadU64(slot));
+  p.StoreU64(entry + kIdxKey, static_cast<uint64_t>(key));
+  p.StoreU64(entry + kIdxRow, row);
+  p.StoreU64(slot, entry);
+}
+
+bool MiniDb::IndexRemove(Vaddr table, int64_t key) {
+  Process& p = process();
+  Vaddr prev_link = 0;
+  Vaddr entry = IndexLookup(table, key, &prev_link);
+  if (entry == 0) {
+    return false;
+  }
+  p.StoreU64(prev_link, p.LoadU64(entry + kIdxNext));
+  heap_.Free(entry);
+  return true;
+}
+
+Vaddr MiniDb::AppendRowSlot(Vaddr table) {
+  Process& p = process();
+  uint64_t row_size = p.LoadU64(table + kTblRowSize);
+  uint64_t slot_size = kRowHeader + row_size;
+  Vaddr tail = p.LoadU64(table + kTblSegTail);
+  if (tail != 0) {
+    uint64_t used = p.LoadU64(tail + kSegUsed);
+    if (used < kRowsPerSegment) {
+      p.StoreU64(tail + kSegUsed, used + 1);
+      return tail + kSegRows + used * slot_size;
+    }
+  }
+  Vaddr segment = heap_.Alloc(kSegRows + kRowsPerSegment * slot_size);
+  p.StoreU64(segment + kSegNext, 0);
+  p.StoreU64(segment + kSegUsed, 1);
+  if (tail != 0) {
+    p.StoreU64(tail + kSegNext, segment);
+  } else {
+    p.StoreU64(table + kTblSegHead, segment);
+  }
+  p.StoreU64(table + kTblSegTail, segment);
+  return segment + kSegRows;
+}
+
+bool MiniDb::Insert(const std::string& table_name, const RowValue& row) {
+  Vaddr table = FindTable(table_name);
+  ODF_CHECK(table != 0) << "no such table: " << table_name;
+  if (IndexLookup(table, row.key, nullptr) != 0) {
+    return false;  // Duplicate primary key.
+  }
+  Process& p = process();
+  std::vector<ColumnSpec> schema = ReadSchema(table);
+
+  Vaddr slot = AppendRowSlot(table);
+  p.StoreU64(slot, 1);  // Live.
+  Vaddr cursor = slot + kRowHeader;
+  size_t int_index = 0;
+  size_t string_index = 0;
+  for (size_t c = 0; c < schema.size(); ++c) {
+    const ColumnSpec& col = schema[c];
+    if (col.type == ColumnType::kInt64) {
+      int64_t value = c == 0 ? row.key
+                             : (int_index < row.ints.size() ? row.ints[int_index] : 0);
+      if (c != 0) {
+        ++int_index;
+      }
+      p.StoreU64(cursor, static_cast<uint64_t>(value));
+    } else {
+      std::string value =
+          string_index < row.strings.size() ? row.strings[string_index] : std::string();
+      ++string_index;
+      value.resize(col.size, '\0');
+      ODF_CHECK(p.WriteMemory(cursor, std::as_bytes(std::span(value.data(), value.size()))));
+    }
+    cursor += col.size;
+  }
+  IndexInsert(table, row.key, slot);
+  p.StoreU64(table + kTblRowCount, p.LoadU64(table + kTblRowCount) + 1);
+  return true;
+}
+
+RowValue MiniDb::ReadRow(Vaddr row, const std::vector<ColumnSpec>& schema) {
+  Process& p = process();
+  RowValue value;
+  Vaddr cursor = row + kRowHeader;
+  for (size_t c = 0; c < schema.size(); ++c) {
+    const ColumnSpec& col = schema[c];
+    if (col.type == ColumnType::kInt64) {
+      int64_t v = static_cast<int64_t>(p.LoadU64(cursor));
+      if (c == 0) {
+        value.key = v;
+      } else {
+        value.ints.push_back(v);
+      }
+    } else {
+      std::string text(col.size, '\0');
+      ODF_CHECK(p.ReadMemory(cursor, std::as_writable_bytes(std::span(text.data(), text.size()))));
+      text.resize(strnlen(text.c_str(), text.size()));
+      value.strings.push_back(std::move(text));
+    }
+    cursor += col.size;
+  }
+  return value;
+}
+
+std::optional<RowValue> MiniDb::SelectByKey(const std::string& table_name, int64_t key) {
+  Vaddr table = FindTable(table_name);
+  ODF_CHECK(table != 0) << "no such table: " << table_name;
+  Vaddr entry = IndexLookup(table, key, nullptr);
+  if (entry == 0) {
+    return std::nullopt;
+  }
+  Vaddr row = process().LoadU64(entry + kIdxRow);
+  return ReadRow(row, ReadSchema(table));
+}
+
+bool MiniDb::UpdateByKey(const std::string& table_name, int64_t key, int64_t new_value) {
+  Vaddr table = FindTable(table_name);
+  ODF_CHECK(table != 0) << "no such table: " << table_name;
+  Vaddr entry = IndexLookup(table, key, nullptr);
+  if (entry == 0) {
+    return false;
+  }
+  Process& p = process();
+  Vaddr row = p.LoadU64(entry + kIdxRow);
+  std::vector<ColumnSpec> schema = ReadSchema(table);
+  // Find the first int column after the key.
+  Vaddr cursor = row + kRowHeader + schema[0].size;
+  for (size_t c = 1; c < schema.size(); ++c) {
+    if (schema[c].type == ColumnType::kInt64) {
+      p.StoreU64(cursor, static_cast<uint64_t>(new_value));
+      return true;
+    }
+    cursor += schema[c].size;
+  }
+  return false;
+}
+
+bool MiniDb::DeleteByKey(const std::string& table_name, int64_t key) {
+  Vaddr table = FindTable(table_name);
+  ODF_CHECK(table != 0) << "no such table: " << table_name;
+  Process& p = process();
+  Vaddr entry = IndexLookup(table, key, nullptr);
+  if (entry == 0) {
+    return false;
+  }
+  Vaddr row = p.LoadU64(entry + kIdxRow);
+  p.StoreU64(row, 0);  // Dead.
+  IndexRemove(table, key);
+  p.StoreU64(table + kTblRowCount, p.LoadU64(table + kTblRowCount) - 1);
+  return true;
+}
+
+template <typename Fn>
+uint64_t MiniDb::ForEachLiveRow(Vaddr table, Fn&& fn) {
+  Process& p = process();
+  uint64_t row_size = p.LoadU64(table + kTblRowSize);
+  uint64_t slot_size = kRowHeader + row_size;
+  uint64_t matched = 0;
+  Vaddr segment = p.LoadU64(table + kTblSegHead);
+  while (segment != 0) {
+    uint64_t used = p.LoadU64(segment + kSegUsed);
+    for (uint64_t i = 0; i < used; ++i) {
+      Vaddr row = segment + kSegRows + i * slot_size;
+      if (p.LoadU64(row) != 0 && fn(row)) {
+        ++matched;
+      }
+    }
+    segment = p.LoadU64(segment + kSegNext);
+  }
+  return matched;
+}
+
+namespace {
+
+// Byte offset (past the row header) of the int_column_index-th kInt64 column after the key.
+uint64_t IntColumnOffset(const std::vector<ColumnSpec>& schema, uint64_t int_column_index) {
+  uint64_t offset = schema[0].size;
+  uint64_t seen = 0;
+  for (size_t c = 1; c < schema.size(); ++c) {
+    if (schema[c].type == ColumnType::kInt64) {
+      if (seen == int_column_index) {
+        return offset;
+      }
+      ++seen;
+    }
+    offset += schema[c].size;
+  }
+  ODF_CHECK(false) << "no int column with index " << int_column_index;
+  return 0;
+}
+
+}  // namespace
+
+uint64_t MiniDb::CountWhereIntColumn(const std::string& table_name, uint64_t int_column_index,
+                                     int64_t min_inclusive, int64_t max_inclusive) {
+  Vaddr table = FindTable(table_name);
+  ODF_CHECK(table != 0);
+  std::vector<ColumnSpec> schema = ReadSchema(table);
+  uint64_t offset = kRowHeader + IntColumnOffset(schema, int_column_index);
+  Process& p = process();
+  return ForEachLiveRow(table, [&](Vaddr row) {
+    int64_t v = static_cast<int64_t>(p.LoadU64(row + offset));
+    return v >= min_inclusive && v <= max_inclusive;
+  });
+}
+
+uint64_t MiniDb::DeleteWhereIntColumn(const std::string& table_name, uint64_t int_column_index,
+                                      int64_t min_inclusive, int64_t max_inclusive) {
+  Vaddr table = FindTable(table_name);
+  ODF_CHECK(table != 0);
+  std::vector<ColumnSpec> schema = ReadSchema(table);
+  uint64_t offset = kRowHeader + IntColumnOffset(schema, int_column_index);
+  Process& p = process();
+  uint64_t deleted = ForEachLiveRow(table, [&](Vaddr row) {
+    int64_t v = static_cast<int64_t>(p.LoadU64(row + offset));
+    if (v < min_inclusive || v > max_inclusive) {
+      return false;
+    }
+    int64_t key = static_cast<int64_t>(p.LoadU64(row + kRowHeader));
+    p.StoreU64(row, 0);
+    IndexRemove(table, key);
+    return true;
+  });
+  p.StoreU64(table + kTblRowCount, p.LoadU64(table + kTblRowCount) - deleted);
+  return deleted;
+}
+
+uint64_t MiniDb::UpdateWhereIntColumn(const std::string& table_name, uint64_t int_column_index,
+                                      int64_t min_inclusive, int64_t max_inclusive,
+                                      int64_t new_value) {
+  Vaddr table = FindTable(table_name);
+  ODF_CHECK(table != 0);
+  std::vector<ColumnSpec> schema = ReadSchema(table);
+  uint64_t offset = kRowHeader + IntColumnOffset(schema, int_column_index);
+  Process& p = process();
+  return ForEachLiveRow(table, [&](Vaddr row) {
+    int64_t v = static_cast<int64_t>(p.LoadU64(row + offset));
+    if (v < min_inclusive || v > max_inclusive) {
+      return false;
+    }
+    p.StoreU64(row + offset, static_cast<uint64_t>(new_value));
+    return true;
+  });
+}
+
+uint64_t MiniDb::RowCount(const std::string& table_name) {
+  Vaddr table = FindTable(table_name);
+  ODF_CHECK(table != 0);
+  return process().LoadU64(table + kTblRowCount);
+}
+
+void MiniDb::BulkLoadFixture(const std::string& table, uint64_t rows, uint32_t text_width,
+                             Rng& rng) {
+  if (!HasTable(table)) {
+    CreateTable(table, {ColumnSpec{ColumnType::kInt64, 8},
+                        ColumnSpec{ColumnType::kText, text_width}});
+  }
+  std::string text(text_width, 'x');
+  for (uint64_t i = 0; i < rows; ++i) {
+    RowValue row;
+    row.key = static_cast<int64_t>(i);
+    row.ints.push_back(static_cast<int64_t>(rng.NextBelow(1000)));
+    text[0] = static_cast<char>('a' + (i % 26));
+    row.strings.push_back(text);
+    ODF_CHECK(Insert(table, row)) << "bulk load duplicate at " << i;
+  }
+}
+
+}  // namespace odf

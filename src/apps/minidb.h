@@ -1,0 +1,104 @@
+// MiniDb: a small relational database (fixed-width rows, hash primary index, segment row
+// storage) living entirely in simulated process memory.
+//
+// Stands in for SQLite in two of the paper's experiments:
+//  - §5.3.1 fuzzing: the command interpreter (minidb_shell.h) is the fuzz target, run against
+//    a database pre-loaded with a large dataset, forked per input.
+//  - §5.3.2 unit testing: tests run in forked children from a post-initialization snapshot
+//    (SELECT / DELETE / UPDATE with predicates), so initialization is paid once.
+#ifndef ODF_SRC_APPS_MINIDB_H_
+#define ODF_SRC_APPS_MINIDB_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/apps/simalloc.h"
+#include "src/proc/kernel.h"
+#include "src/util/rng.h"
+
+namespace odf {
+
+enum class ColumnType : uint32_t {
+  kInt64 = 1,
+  kText = 2,  // Fixed-width, NUL-padded.
+};
+
+struct ColumnSpec {
+  ColumnType type = ColumnType::kInt64;
+  uint32_t size = 8;  // Bytes; 8 for kInt64, the field width for kText.
+};
+
+// A row value in host space, for inserts and query results.
+struct RowValue {
+  int64_t key = 0;                   // Column 0: the primary key.
+  std::vector<int64_t> ints;         // Values for kInt64 columns after the key, in order.
+  std::vector<std::string> strings;  // Values for kText columns, in order.
+};
+
+class MiniDb {
+ public:
+  static MiniDb Create(Kernel& kernel, Process& process, uint64_t heap_capacity);
+  static MiniDb Attach(Kernel& kernel, Process& process, Vaddr meta_base);
+
+  // Creates a table whose column 0 is an implicit int64 primary key; `columns` describes the
+  // remaining columns. Fatal if the table exists.
+  void CreateTable(const std::string& name, const std::vector<ColumnSpec>& columns);
+  bool HasTable(const std::string& name);
+
+  // Inserts a row; returns false if the key already exists.
+  bool Insert(const std::string& table, const RowValue& row);
+
+  // Point lookup through the hash index — touches O(1) pages, like the paper's unit tests.
+  std::optional<RowValue> SelectByKey(const std::string& table, int64_t key);
+
+  // Updates the first kInt64 column (after the key) of the matching row.
+  bool UpdateByKey(const std::string& table, int64_t key, int64_t new_value);
+
+  bool DeleteByKey(const std::string& table, int64_t key);
+
+  // Full-scan aggregates, for tests that exercise predicate evaluation.
+  uint64_t CountWhereIntColumn(const std::string& table, uint64_t int_column_index,
+                               int64_t min_inclusive, int64_t max_inclusive);
+  uint64_t DeleteWhereIntColumn(const std::string& table, uint64_t int_column_index,
+                                int64_t min_inclusive, int64_t max_inclusive);
+  uint64_t UpdateWhereIntColumn(const std::string& table, uint64_t int_column_index,
+                                int64_t min_inclusive, int64_t max_inclusive,
+                                int64_t new_value);
+
+  uint64_t RowCount(const std::string& table);
+
+  // Bulk-loads `rows` rows of shape (key=i, int payload, text payload) — the "large initial
+  // database" of §5.3.1/§5.3.2. Creates the table if needed.
+  void BulkLoadFixture(const std::string& table, uint64_t rows, uint32_t text_width, Rng& rng);
+
+  Vaddr meta_base() const { return meta_base_; }
+  Process& process() { return heap_.process(); }
+  SimHeap& heap() { return heap_; }
+
+ private:
+  MiniDb(Kernel* kernel, SimHeap heap, Vaddr meta_base)
+      : kernel_(kernel), heap_(heap), meta_base_(meta_base) {}
+
+  Vaddr FindTable(const std::string& name);
+  std::vector<ColumnSpec> ReadSchema(Vaddr table);
+  uint64_t RowSize(const std::vector<ColumnSpec>& schema);
+  Vaddr IndexLookup(Vaddr table, int64_t key, Vaddr* prev_link_out);
+  void IndexInsert(Vaddr table, int64_t key, Vaddr row);
+  bool IndexRemove(Vaddr table, int64_t key);
+  Vaddr AppendRowSlot(Vaddr table);
+  RowValue ReadRow(Vaddr row, const std::vector<ColumnSpec>& schema);
+
+  template <typename Fn>
+  uint64_t ForEachLiveRow(Vaddr table, Fn&& fn);  // fn(Vaddr row) -> bool "count it".
+
+  Kernel* kernel_;
+  SimHeap heap_;
+  Vaddr meta_base_;
+};
+
+}  // namespace odf
+
+#endif  // ODF_SRC_APPS_MINIDB_H_

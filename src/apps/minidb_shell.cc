@@ -1,0 +1,205 @@
+#include "src/apps/minidb_shell.h"
+
+#include <charconv>
+
+namespace odf {
+
+namespace {
+
+// Instrumentation point ids (arbitrary distinct constants, like compile-time edge ids).
+enum CovId : uint32_t {
+  kCovStart = 11,
+  kCovLine = 101,
+  kCovIns = 211,
+  kCovInsDup = 223,
+  kCovSel = 307,
+  kCovSelHit = 311,
+  kCovSelMiss = 331,
+  kCovUpd = 401,
+  kCovUpdHit = 409,
+  kCovDel = 503,
+  kCovDelHit = 509,
+  kCovRng = 601,
+  kCovRngEmpty = 607,
+  kCovRngSome = 613,
+  kCovUpr = 701,
+  kCovDlr = 809,
+  kCovBadCmd = 907,
+  kCovBadArgs = 911,
+};
+
+struct Cursor {
+  std::string_view text;
+
+  std::string_view NextToken() {
+    while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+      text.remove_prefix(1);
+    }
+    size_t end = 0;
+    while (end < text.size() && text[end] != ' ' && text[end] != '\t') {
+      ++end;
+    }
+    std::string_view token = text.substr(0, end);
+    text.remove_prefix(end);
+    return token;
+  }
+
+  bool NextInt(int64_t* out) {
+    std::string_view token = NextToken();
+    if (token.empty()) {
+      return false;
+    }
+    auto [ptr, ec] = std::from_chars(token.begin(), token.end(), *out);
+    return ec == std::errc() && ptr == token.end();
+  }
+};
+
+// Range commands touch at most this many keys per invocation (indexed access).
+constexpr int64_t kMaxRangeSpan = 256;
+
+void Cov(CoverageMap* coverage, uint32_t id) {
+  if (coverage != nullptr) {
+    coverage->Hit(id);
+  }
+}
+
+}  // namespace
+
+ShellResult RunMiniDbShell(MiniDb& db, const std::string& table, std::string_view input,
+                           CoverageMap* coverage) {
+  ShellResult result;
+  if (coverage != nullptr) {
+    coverage->ResetRun();
+  }
+  Cov(coverage, kCovStart);
+
+  while (!input.empty()) {
+    size_t newline = input.find('\n');
+    std::string_view line = input.substr(0, newline);
+    input = newline == std::string_view::npos ? std::string_view() : input.substr(newline + 1);
+    if (line.empty()) {
+      continue;
+    }
+    Cov(coverage, kCovLine);
+    Cursor cursor{line};
+    std::string_view cmd = cursor.NextToken();
+
+    if (cmd == "INS") {
+      Cov(coverage, kCovIns);
+      int64_t key = 0;
+      int64_t payload = 0;
+      if (!cursor.NextInt(&key) || !cursor.NextInt(&payload)) {
+        Cov(coverage, kCovBadArgs);
+        ++result.parse_errors;
+        continue;
+      }
+      RowValue row;
+      row.key = key;
+      row.ints.push_back(payload);
+      std::string_view text = cursor.NextToken();
+      row.strings.emplace_back(text.substr(0, 64));
+      if (db.Insert(table, row)) {
+        ++result.rows_touched;
+      } else {
+        Cov(coverage, kCovInsDup);
+      }
+      ++result.commands_executed;
+    } else if (cmd == "SEL") {
+      Cov(coverage, kCovSel);
+      int64_t key = 0;
+      if (!cursor.NextInt(&key)) {
+        Cov(coverage, kCovBadArgs);
+        ++result.parse_errors;
+        continue;
+      }
+      auto row = db.SelectByKey(table, key);
+      Cov(coverage, row.has_value() ? kCovSelHit : kCovSelMiss);
+      result.rows_touched += row.has_value() ? 1u : 0u;
+      ++result.commands_executed;
+    } else if (cmd == "UPD") {
+      Cov(coverage, kCovUpd);
+      int64_t key = 0;
+      int64_t value = 0;
+      if (!cursor.NextInt(&key) || !cursor.NextInt(&value)) {
+        Cov(coverage, kCovBadArgs);
+        ++result.parse_errors;
+        continue;
+      }
+      if (db.UpdateByKey(table, key, value)) {
+        Cov(coverage, kCovUpdHit);
+        ++result.rows_touched;
+      }
+      ++result.commands_executed;
+    } else if (cmd == "DEL") {
+      Cov(coverage, kCovDel);
+      int64_t key = 0;
+      if (!cursor.NextInt(&key)) {
+        Cov(coverage, kCovBadArgs);
+        ++result.parse_errors;
+        continue;
+      }
+      if (db.DeleteByKey(table, key)) {
+        Cov(coverage, kCovDelHit);
+        ++result.rows_touched;
+      }
+      ++result.commands_executed;
+    } else if (cmd == "RNG") {
+      Cov(coverage, kCovRng);
+      int64_t lo = 0;
+      int64_t hi = 0;
+      if (!cursor.NextInt(&lo) || !cursor.NextInt(&hi) || lo > hi) {
+        Cov(coverage, kCovBadArgs);
+        ++result.parse_errors;
+        continue;
+      }
+      // Indexed range query: resolved through the primary-key index with a bounded span,
+      // like SQLite answering a predicate via an index (keeps executions short-lived).
+      uint64_t count = 0;
+      for (int64_t key = lo; key <= hi && key - lo < kMaxRangeSpan; ++key) {
+        if (db.SelectByKey(table, key).has_value()) {
+          ++count;
+        }
+      }
+      Cov(coverage, count == 0 ? kCovRngEmpty : kCovRngSome);
+      result.rows_touched += count;
+      ++result.commands_executed;
+    } else if (cmd == "UPR") {
+      Cov(coverage, kCovUpr);
+      int64_t lo = 0;
+      int64_t hi = 0;
+      int64_t value = 0;
+      if (!cursor.NextInt(&lo) || !cursor.NextInt(&hi) || !cursor.NextInt(&value) || lo > hi) {
+        Cov(coverage, kCovBadArgs);
+        ++result.parse_errors;
+        continue;
+      }
+      for (int64_t key = lo; key <= hi && key - lo < kMaxRangeSpan; ++key) {
+        if (db.UpdateByKey(table, key, value)) {
+          ++result.rows_touched;
+        }
+      }
+      ++result.commands_executed;
+    } else if (cmd == "DLR") {
+      Cov(coverage, kCovDlr);
+      int64_t lo = 0;
+      int64_t hi = 0;
+      if (!cursor.NextInt(&lo) || !cursor.NextInt(&hi) || lo > hi) {
+        Cov(coverage, kCovBadArgs);
+        ++result.parse_errors;
+        continue;
+      }
+      for (int64_t key = lo; key <= hi && key - lo < kMaxRangeSpan; ++key) {
+        if (db.DeleteByKey(table, key)) {
+          ++result.rows_touched;
+        }
+      }
+      ++result.commands_executed;
+    } else {
+      Cov(coverage, kCovBadCmd);
+      ++result.parse_errors;
+    }
+  }
+  return result;
+}
+
+}  // namespace odf

@@ -1,0 +1,71 @@
+// A tiny command interpreter over MiniDb — the fuzz target for the §5.3.1 experiment (the
+// analog of SQLite's fuzzershell). It parses untrusted byte input into database commands and
+// executes them, reporting edge coverage to the fuzzer through explicit instrumentation
+// points (the analog of AFL's compile-time instrumentation).
+//
+// Command language (newline-separated):
+//   INS <key> <int> <text>   insert a row
+//   SEL <key>                point select
+//   UPD <key> <int>          update by key
+//   DEL <key>                delete by key
+//   RNG <lo> <hi>            count rows with payload in [lo, hi]
+//   UPR <lo> <hi> <v>        range update
+//   DLR <lo> <hi>            range delete
+#ifndef ODF_SRC_APPS_MINIDB_SHELL_H_
+#define ODF_SRC_APPS_MINIDB_SHELL_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "src/apps/minidb.h"
+
+namespace odf {
+
+// Edge-coverage bitmap, AFL-style (64 KiB of hit counters shared between fuzzer and target —
+// the analog of AFL's SHM segment).
+class CoverageMap {
+ public:
+  static constexpr size_t kSize = 1 << 16;
+
+  void Hit(uint32_t location) {
+    uint32_t edge = (location ^ (previous_ >> 1)) % kSize;
+    ++map_[edge];
+    previous_ = location;
+  }
+
+  void ResetRun() { previous_ = 0; }
+  void Clear() { map_.fill(0); }
+
+  // Merges this run's map into `virgin`; returns the number of newly covered edges.
+  uint64_t MergeInto(std::array<uint8_t, kSize>& virgin) const {
+    uint64_t new_edges = 0;
+    for (size_t i = 0; i < kSize; ++i) {
+      if (map_[i] != 0 && virgin[i] == 0) {
+        virgin[i] = 1;
+        ++new_edges;
+      }
+    }
+    return new_edges;
+  }
+
+  const std::array<uint8_t, kSize>& raw() const { return map_; }
+
+ private:
+  std::array<uint8_t, kSize> map_{};
+  uint32_t previous_ = 0;
+};
+
+struct ShellResult {
+  uint64_t commands_executed = 0;
+  uint64_t parse_errors = 0;
+  uint64_t rows_touched = 0;
+};
+
+// Executes `input` against `db` (typically a forked child's view), reporting coverage.
+ShellResult RunMiniDbShell(MiniDb& db, const std::string& table, std::string_view input,
+                           CoverageMap* coverage);
+
+}  // namespace odf
+
+#endif  // ODF_SRC_APPS_MINIDB_SHELL_H_

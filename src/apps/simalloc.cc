@@ -1,0 +1,172 @@
+#include "src/apps/simalloc.h"
+
+#include <bit>
+
+#include "src/util/log.h"
+
+namespace odf {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x0d'f0'9e'a9'51'6d'a1'10ULL;
+constexpr uint64_t kBins = 32;
+constexpr uint64_t kAlign = 16;
+constexpr uint64_t kMinPayload = 16;
+constexpr uint64_t kSplitSlack = 64;  // Split only when the tail is worth keeping.
+
+// In-sim header layout (offsets from heap base).
+constexpr Vaddr kOffMagic = 0;
+constexpr Vaddr kOffCapacity = 8;
+constexpr Vaddr kOffBrk = 16;
+constexpr Vaddr kOffAllocated = 24;
+constexpr Vaddr kOffAllocations = 32;
+constexpr Vaddr kOffFrees = 40;
+constexpr Vaddr kOffFreeHeads = 48;
+constexpr Vaddr kHeaderSize = kOffFreeHeads + kBins * 8;  // 304; data starts at 512.
+constexpr Vaddr kDataStart = 512;
+
+// Block layout: [u64 size_and_flags][payload...]; free blocks store the next-free va in the
+// first payload word. size is the payload size; bit 0 flags "in use".
+constexpr uint64_t kBlockHeader = 8;
+constexpr uint64_t kInUseFlag = 1;
+
+uint64_t RoundUp(uint64_t value, uint64_t align) { return (value + align - 1) & ~(align - 1); }
+
+// Bin that holds blocks of `size`: floor(log2(size)).
+uint64_t BinOf(uint64_t size) {
+  return static_cast<uint64_t>(63 - std::countl_zero(size)) % kBins;
+}
+
+// Smallest bin whose every block is guaranteed >= size: ceil(log2(size)).
+uint64_t CeilBinOf(uint64_t size) {
+  uint64_t bin = BinOf(size);
+  return (size & (size - 1)) == 0 ? bin : bin + 1;
+}
+
+}  // namespace
+
+SimHeap SimHeap::Create(Process& process, uint64_t capacity) {
+  ODF_CHECK(capacity >= kDataStart + 4096) << "heap capacity too small";
+  Vaddr base = process.Mmap(capacity, kProtRead | kProtWrite);
+  SimHeap heap(&process, base);
+  process.StoreU64(base + kOffMagic, kMagic);
+  process.StoreU64(base + kOffCapacity, capacity);
+  process.StoreU64(base + kOffBrk, kDataStart);
+  process.StoreU64(base + kOffAllocated, 0);
+  process.StoreU64(base + kOffAllocations, 0);
+  process.StoreU64(base + kOffFrees, 0);
+  for (uint64_t bin = 0; bin < kBins; ++bin) {
+    process.StoreU64(base + kOffFreeHeads + bin * 8, 0);
+  }
+  return heap;
+}
+
+SimHeap SimHeap::Attach(Process& process, Vaddr base) {
+  SimHeap heap(&process, base);
+  ODF_CHECK(process.LoadU64(base + kOffMagic) == kMagic) << "no heap at " << base;
+  return heap;
+}
+
+Vaddr SimHeap::Alloc(uint64_t size) {
+  Process& p = *process_;
+  size = RoundUp(size < kMinPayload ? kMinPayload : size, kAlign);
+
+  // 1) Search the free lists, first-fit in the ceil bin, then any larger bin's head.
+  for (uint64_t bin = CeilBinOf(size); bin < kBins; ++bin) {
+    Vaddr head_slot = base_ + kOffFreeHeads + bin * 8;
+    Vaddr prev_slot = head_slot;
+    Vaddr block = p.LoadU64(head_slot);
+    int scanned = 0;
+    while (block != 0 && scanned < 16) {  // Bounded chain scan in the exact-fit bin.
+      uint64_t block_size = p.LoadU64(block) & ~kInUseFlag;
+      if (block_size >= size) {
+        Vaddr next = p.LoadU64(block + kBlockHeader);
+        p.StoreU64(prev_slot, next);  // Unlink.
+        // Split if the remainder is useful.
+        if (block_size >= size + kBlockHeader + kSplitSlack) {
+          Vaddr tail = block + kBlockHeader + size;
+          uint64_t tail_size = block_size - size - kBlockHeader;
+          p.StoreU64(tail, tail_size);
+          Vaddr tail_bin_slot = base_ + kOffFreeHeads + BinOf(tail_size) * 8;
+          p.StoreU64(tail + kBlockHeader, p.LoadU64(tail_bin_slot));
+          p.StoreU64(tail_bin_slot, tail);
+          block_size = size;
+        }
+        p.StoreU64(block, block_size | kInUseFlag);
+        p.StoreU64(base_ + kOffAllocated, p.LoadU64(base_ + kOffAllocated) + block_size);
+        p.StoreU64(base_ + kOffAllocations, p.LoadU64(base_ + kOffAllocations) + 1);
+        return block + kBlockHeader;
+      }
+      prev_slot = block + kBlockHeader;
+      block = p.LoadU64(prev_slot);
+      ++scanned;
+    }
+  }
+
+  // 2) Carve fresh space.
+  uint64_t brk = p.LoadU64(base_ + kOffBrk);
+  uint64_t capacity = p.LoadU64(base_ + kOffCapacity);
+  uint64_t needed = kBlockHeader + size;
+  ODF_CHECK(brk + needed <= capacity) << "SimHeap exhausted: brk=" << brk << " need=" << needed
+                                      << " capacity=" << capacity;
+  Vaddr block = base_ + brk;
+  p.StoreU64(base_ + kOffBrk, brk + needed);
+  p.StoreU64(block, size | kInUseFlag);
+  p.StoreU64(base_ + kOffAllocated, p.LoadU64(base_ + kOffAllocated) + size);
+  p.StoreU64(base_ + kOffAllocations, p.LoadU64(base_ + kOffAllocations) + 1);
+  return block + kBlockHeader;
+}
+
+void SimHeap::Free(Vaddr payload) {
+  Process& p = *process_;
+  Vaddr block = payload - kBlockHeader;
+  uint64_t size_flags = p.LoadU64(block);
+  ODF_CHECK((size_flags & kInUseFlag) != 0) << "double free at " << payload;
+  uint64_t size = size_flags & ~kInUseFlag;
+  p.StoreU64(block, size);
+  Vaddr bin_slot = base_ + kOffFreeHeads + BinOf(size) * 8;
+  p.StoreU64(block + kBlockHeader, p.LoadU64(bin_slot));
+  p.StoreU64(bin_slot, block);
+  p.StoreU64(base_ + kOffAllocated, p.LoadU64(base_ + kOffAllocated) - size);
+  p.StoreU64(base_ + kOffFrees, p.LoadU64(base_ + kOffFrees) + 1);
+}
+
+SimHeapStats SimHeap::Stats() {
+  Process& p = *process_;
+  SimHeapStats stats;
+  stats.capacity = p.LoadU64(base_ + kOffCapacity);
+  stats.brk = p.LoadU64(base_ + kOffBrk);
+  stats.allocated_bytes = p.LoadU64(base_ + kOffAllocated);
+  stats.allocations = p.LoadU64(base_ + kOffAllocations);
+  stats.frees = p.LoadU64(base_ + kOffFrees);
+  return stats;
+}
+
+bool SimHeap::CheckConsistency() {
+  Process& p = *process_;
+  if (p.LoadU64(base_ + kOffMagic) != kMagic) {
+    return false;
+  }
+  uint64_t brk = p.LoadU64(base_ + kOffBrk);
+  uint64_t capacity = p.LoadU64(base_ + kOffCapacity);
+  if (brk > capacity) {
+    return false;
+  }
+  for (uint64_t bin = 0; bin < kBins; ++bin) {
+    Vaddr block = p.LoadU64(base_ + kOffFreeHeads + bin * 8);
+    int hops = 0;
+    while (block != 0) {
+      if (block < base_ + kDataStart || block >= base_ + brk || ++hops > 1000000) {
+        return false;
+      }
+      uint64_t size_flags = p.LoadU64(block);
+      if ((size_flags & kInUseFlag) != 0) {
+        return false;  // Free-list entry marked in-use.
+      }
+      block = p.LoadU64(block + kBlockHeader);
+    }
+  }
+  return true;
+}
+
+}  // namespace odf

@@ -1,0 +1,59 @@
+// SimHeap: a heap allocator whose metadata AND payload live entirely inside a simulated
+// process's address space.
+//
+// Why: the evaluation workloads (Redis-like store, SQLite-like DB, guest VM images) must keep
+// their data in simulated memory so that fork really shares/copies it through the page
+// tables under test. Because all allocator state is in-sim (a header block at the region
+// base, free-list links in block headers), a forked child sees a bit-identical heap: binding
+// a SimHeap view to the child process at the same base address "re-opens" the heap, exactly
+// like a real fork child reusing libc's heap.
+#ifndef ODF_SRC_APPS_SIMALLOC_H_
+#define ODF_SRC_APPS_SIMALLOC_H_
+
+#include <cstdint>
+
+#include "src/proc/process.h"
+
+namespace odf {
+
+struct SimHeapStats {
+  uint64_t capacity = 0;
+  uint64_t brk = 0;              // High-water mark of carved memory.
+  uint64_t allocated_bytes = 0;  // Live payload bytes.
+  uint64_t allocations = 0;
+  uint64_t frees = 0;
+};
+
+class SimHeap {
+ public:
+  // Creates a new heap: maps `capacity` bytes in `process` and writes the header.
+  static SimHeap Create(Process& process, uint64_t capacity);
+
+  // Binds a view onto an existing heap (e.g. in a forked child) at the same base address.
+  static SimHeap Attach(Process& process, Vaddr base);
+
+  // Allocates `size` bytes; returns the payload address. Fatal on exhaustion (workloads size
+  // their heaps up front, like the paper's pre-populated experiments).
+  Vaddr Alloc(uint64_t size);
+
+  // Frees a block previously returned by Alloc.
+  void Free(Vaddr payload);
+
+  Vaddr base() const { return base_; }
+  Process& process() { return *process_; }
+
+  SimHeapStats Stats();
+
+  // Validates internal invariants (header magic, free-list sanity). Test aid.
+  bool CheckConsistency();
+
+ private:
+  SimHeap(Process* process, Vaddr base) : process_(process), base_(base) {}
+
+  Process* process_;
+  Vaddr base_;
+};
+
+}  // namespace odf
+
+#endif  // ODF_SRC_APPS_SIMALLOC_H_

@@ -1,0 +1,274 @@
+#include "src/apps/vmclone.h"
+
+#include <map>
+#include <string>
+
+#include "src/util/log.h"
+
+namespace odf {
+
+namespace {
+
+constexpr uint64_t kRegCount = 16;
+constexpr Vaddr kPcOffset = kRegCount * 8;
+
+// Extra op used by the guest kernel; kept out of the public enum surface until needed.
+constexpr uint8_t kOpSub = 14;  // r1 -= r2
+
+// Tiny two-pass assembler: instructions reference labels, resolved to instruction indices.
+class GuestAssembler {
+ public:
+  void Label(const std::string& name) { labels_[name] = code_.size(); }
+
+  void Emit(GuestOp op, uint8_t r1 = 0, uint8_t r2 = 0, uint32_t imm = 0) {
+    code_.push_back(EncodeInstr(op, r1, r2, imm));
+  }
+
+  void EmitSub(uint8_t r1, uint8_t r2) {
+    code_.push_back(EncodeInstr(static_cast<GuestOp>(kOpSub), r1, r2, 0));
+  }
+
+  // Emits a jump to a label (patched in Finalize).
+  void EmitJump(GuestOp op, uint8_t r1, const std::string& label) {
+    fixups_.emplace_back(code_.size(), label);
+    Emit(op, r1, 0, 0);
+  }
+
+  std::vector<uint64_t> Finalize() {
+    for (const auto& [index, label] : fixups_) {
+      auto it = labels_.find(label);
+      ODF_CHECK(it != labels_.end()) << "undefined guest label " << label;
+      code_[index] |= static_cast<uint64_t>(it->second) << 32;  // imm field.
+    }
+    return code_;
+  }
+
+ private:
+  std::vector<uint64_t> code_;
+  std::map<std::string, size_t> labels_;
+  std::vector<std::pair<size_t, std::string>> fixups_;
+};
+
+// The guest kernel: a syscall-dispatch loop. Each input byte selects an operation (read /
+// write / read-modify-write) on a pseudo-random 8-byte-aligned location in the guest image,
+// like a kernel executing a stream of fuzzed syscalls against its own data structures.
+//
+// Register allocation:
+//   r0 input_base  r1 input_len  r2 cursor    r3 current byte
+//   r4 image_base  r5 image_span r6 address   r7 running hash
+//   r8/r11/r12 scratch           r9 = 8       r10 = 3
+std::vector<uint64_t> BuildGuestKernel() {
+  GuestAssembler as;
+  as.Label("loop");
+  as.Emit(GuestOp::kMov, 8, 1);        // r8 = len
+  as.EmitSub(8, 2);                    // r8 -= cursor
+  as.EmitJump(GuestOp::kJz, 8, "end");
+  as.Emit(GuestOp::kMov, 6, 0);        // r6 = input_base
+  as.Emit(GuestOp::kAddi, 6, 0, 8);    // skip the u64 length header
+  as.Emit(GuestOp::kAdd, 6, 2);        // + cursor
+  as.Emit(GuestOp::kLdb, 3, 6);        // r3 = input[cursor]
+  // Address generation: r8 = ((b * golden + cursor * 0x10001) % span) & ~7.
+  as.Emit(GuestOp::kMov, 8, 3);
+  as.Emit(GuestOp::kMovi, 11, 0, 0x9e3779b9u);
+  as.Emit(GuestOp::kMul, 8, 11);
+  as.Emit(GuestOp::kMov, 12, 2);
+  as.Emit(GuestOp::kMovi, 11, 0, 0x10001u);
+  as.Emit(GuestOp::kMul, 12, 11);
+  as.Emit(GuestOp::kAdd, 8, 12);
+  as.Emit(GuestOp::kMod, 8, 5);        // % image_span
+  as.Emit(GuestOp::kMov, 11, 8);
+  as.Emit(GuestOp::kMod, 11, 9);       // r11 = r8 % 8
+  as.EmitSub(8, 11);                   // align down to 8
+  as.Emit(GuestOp::kMov, 6, 4);
+  as.Emit(GuestOp::kAdd, 6, 8);        // r6 = image_base + offset
+  // Dispatch on b % 3.
+  as.Emit(GuestOp::kMov, 11, 3);
+  as.Emit(GuestOp::kMod, 11, 10);
+  as.EmitJump(GuestOp::kJz, 11, "read");
+  as.Emit(GuestOp::kMovi, 12, 0, 1);
+  as.EmitSub(11, 12);
+  as.EmitJump(GuestOp::kJz, 11, "write");
+  // Read-modify-write "syscall".
+  as.Emit(GuestOp::kLoad, 8, 6);
+  as.Emit(GuestOp::kXor, 8, 7);
+  as.Emit(GuestOp::kStore, 6, 8);
+  as.EmitJump(GuestOp::kJmp, 0, "next");
+  as.Label("read");
+  as.Emit(GuestOp::kLoad, 8, 6);
+  as.Emit(GuestOp::kAdd, 7, 8);
+  as.EmitJump(GuestOp::kJmp, 0, "next");
+  as.Label("write");
+  as.Emit(GuestOp::kStore, 6, 7);
+  as.Label("next");
+  as.Emit(GuestOp::kMovi, 12, 0, 1);
+  as.Emit(GuestOp::kAdd, 2, 12);       // ++cursor
+  as.EmitJump(GuestOp::kJmp, 0, "loop");
+  as.Label("end");
+  as.Emit(GuestOp::kHalt);
+  return as.Finalize();
+}
+
+}  // namespace
+
+uint64_t EncodeInstr(GuestOp op, uint8_t r1, uint8_t r2, uint32_t imm) {
+  return static_cast<uint64_t>(op) | (static_cast<uint64_t>(r1) << 8) |
+         (static_cast<uint64_t>(r2) << 16) | (static_cast<uint64_t>(imm) << 32);
+}
+
+GuestExit RunGuest(Process& process, Vaddr cpu_base, Vaddr code_base, uint64_t max_steps) {
+  GuestExit exit_state;
+  uint64_t regs[kRegCount];
+  for (uint64_t r = 0; r < kRegCount; ++r) {
+    regs[r] = process.LoadU64(cpu_base + r * 8);
+  }
+  uint64_t pc = process.LoadU64(cpu_base + kPcOffset);
+
+  auto sync_cpu = [&] {
+    for (uint64_t r = 0; r < kRegCount; ++r) {
+      process.StoreU64(cpu_base + r * 8, regs[r]);
+    }
+    process.StoreU64(cpu_base + kPcOffset, pc);
+  };
+
+  for (uint64_t step = 0; step < max_steps; ++step) {
+    uint64_t word = 0;
+    if (!process.ReadMemory(code_base + pc * 8,
+                            std::as_writable_bytes(std::span(&word, 1)))) {
+      exit_state.reason = GuestExit::Reason::kBadAccess;
+      exit_state.steps = step;
+      sync_cpu();
+      return exit_state;
+    }
+    auto op = static_cast<uint8_t>(word & 0xff);
+    auto r1 = static_cast<uint8_t>((word >> 8) & 0x0f);
+    auto r2 = static_cast<uint8_t>((word >> 16) & 0x0f);
+    auto imm = static_cast<uint32_t>(word >> 32);
+    ++pc;
+
+    bool ok = true;
+    switch (static_cast<GuestOp>(op)) {
+      case GuestOp::kHalt:
+        exit_state.reason = GuestExit::Reason::kHalt;
+        exit_state.steps = step + 1;
+        sync_cpu();
+        return exit_state;
+      case GuestOp::kMovi:
+        regs[r1] = imm;
+        break;
+      case GuestOp::kMov:
+        regs[r1] = regs[r2];
+        break;
+      case GuestOp::kLoad: {
+        uint64_t value = 0;
+        ok = process.ReadMemory(regs[r2], std::as_writable_bytes(std::span(&value, 1)));
+        regs[r1] = value;
+        break;
+      }
+      case GuestOp::kStore:
+        ok = process.WriteMemory(regs[r1], std::as_bytes(std::span(&regs[r2], 1)));
+        break;
+      case GuestOp::kLdb: {
+        uint8_t value = 0;
+        ok = process.ReadMemory(regs[r2], std::as_writable_bytes(std::span(&value, 1)));
+        regs[r1] = value;
+        break;
+      }
+      case GuestOp::kAdd:
+        regs[r1] += regs[r2];
+        break;
+      case GuestOp::kAddi:
+        regs[r1] += imm;
+        break;
+      case GuestOp::kXor:
+        regs[r1] ^= regs[r2];
+        break;
+      case GuestOp::kMul:
+        regs[r1] *= regs[r2];
+        break;
+      case GuestOp::kMod:
+        regs[r1] = regs[r2] == 0 ? 0 : regs[r1] % regs[r2];
+        break;
+      case GuestOp::kJz:
+        if (regs[r1] == 0) {
+          pc = imm;
+        }
+        break;
+      case GuestOp::kJnz:
+        if (regs[r1] != 0) {
+          pc = imm;
+        }
+        break;
+      case GuestOp::kJmp:
+        pc = imm;
+        break;
+      default:
+        if (op == kOpSub) {
+          regs[r1] -= regs[r2];
+          break;
+        }
+        exit_state.reason = GuestExit::Reason::kBadInstruction;
+        exit_state.steps = step + 1;
+        sync_cpu();
+        return exit_state;
+    }
+    if (!ok) {
+      exit_state.reason = GuestExit::Reason::kBadAccess;
+      exit_state.steps = step + 1;
+      sync_cpu();
+      return exit_state;
+    }
+  }
+  exit_state.reason = GuestExit::Reason::kStepLimit;
+  exit_state.steps = max_steps;
+  sync_cpu();
+  return exit_state;
+}
+
+VirtualMachine VirtualMachine::Boot(Kernel& kernel, const VmConfig& config) {
+  Process& process = kernel.CreateProcess();
+  VirtualMachine vm(&kernel, &process, config);
+
+  // Guest "physical" memory image.
+  vm.image_base_ = process.Mmap(config.image_bytes, kProtRead | kProtWrite);
+  uint64_t populate_bytes = config.image_bytes * config.populate_fraction_percent / 100;
+  // Fill the image like a booted OS: mapped everywhere, data materialised where "booted".
+  process.address_space().PopulateRange(vm.image_base_, config.image_bytes);
+  for (Vaddr va = vm.image_base_; va < vm.image_base_ + populate_bytes; va += kPageSize) {
+    process.StoreU64(va, 0x05'1a'7e'05ULL ^ va);  // One word per page: "OS state".
+  }
+
+  // Guest kernel code.
+  std::vector<uint64_t> code = BuildGuestKernel();
+  vm.code_base_ = process.Mmap(code.size() * 8, kProtRead | kProtWrite);
+  ODF_CHECK(process.WriteMemory(vm.code_base_, std::as_bytes(std::span(code))));
+
+  // CPU state + syscall input buffer.
+  vm.cpu_base_ = process.Mmap(kPageSize, kProtRead | kProtWrite);
+  vm.input_base_ = process.Mmap(64 * kPageSize, kProtRead | kProtWrite);
+  process.StoreU64(vm.cpu_base_ + 0 * 8, vm.input_base_);       // r0 input_base.
+  process.StoreU64(vm.cpu_base_ + 4 * 8, vm.image_base_);       // r4 image_base.
+  process.StoreU64(vm.cpu_base_ + 5 * 8, config.image_bytes);   // r5 image_span.
+  process.StoreU64(vm.cpu_base_ + 9 * 8, 8);                    // r9 = 8.
+  process.StoreU64(vm.cpu_base_ + 10 * 8, 3);                   // r10 = 3.
+  return vm;
+}
+
+GuestExit VirtualMachine::RunInputInClone(std::span<const uint8_t> input) {
+  Process& clone = kernel_->Fork(*process_, config_.fork_mode);
+
+  // Inject the input and reset the clone's CPU for the run.
+  clone.StoreU64(input_base_, input.size());
+  if (!input.empty()) {
+    ODF_CHECK(clone.WriteMemory(input_base_ + 8, std::as_bytes(std::span(input))));
+  }
+  clone.StoreU64(cpu_base_ + 1 * 8, input.size());  // r1 = len.
+  clone.StoreU64(cpu_base_ + 2 * 8, 0);             // r2 = cursor.
+  clone.StoreU64(cpu_base_ + kPcOffset, 0);         // pc = 0.
+
+  GuestExit exit_state = RunGuest(clone, cpu_base_, code_base_, config_.max_steps_per_input);
+  kernel_->Exit(clone, 0);
+  kernel_->Wait(*process_);
+  return exit_state;
+}
+
+}  // namespace odf

@@ -1,0 +1,88 @@
+// VM cloning (TriforceAFL analog, §5.3.4): a "virtual machine" is a simulated process whose
+// address space holds a guest memory image, a bytecode guest kernel, and the guest CPU state.
+// Cloning the VM for each fuzz input is one fork of that process; the guest kernel then runs
+// inside the clone, interpreting the input as a stream of pseudo-syscalls that scatter
+// reads/writes across the guest image (which is what a kernel under syscall fuzzing does).
+//
+// All guest state — memory, program, registers — lives in simulated memory, so a clone is a
+// bit-exact, COW-isolated copy of the VM, exactly like QEMU under TriforceAFL's fork.
+#ifndef ODF_SRC_APPS_VMCLONE_H_
+#define ODF_SRC_APPS_VMCLONE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/proc/kernel.h"
+#include "src/util/rng.h"
+
+namespace odf {
+
+// Guest ISA: one 64-bit word per instruction, [op:8][r1:8][r2:8][unused:8][imm:32].
+// 16 general registers; PC is register 15 by convention but kept separately in CPU state.
+enum class GuestOp : uint8_t {
+  kHalt = 0,
+  kMovi = 1,   // r1 = imm
+  kMov = 2,    // r1 = r2
+  kLoad = 3,   // r1 = mem64[r2]
+  kStore = 4,  // mem64[r1] = r2
+  kLdb = 5,    // r1 = mem8[r2]
+  kAdd = 6,    // r1 += r2
+  kAddi = 7,   // r1 += imm
+  kXor = 8,    // r1 ^= r2
+  kMul = 9,    // r1 *= r2
+  kMod = 10,   // r1 %= r2 (r2 != 0, else r1 = 0)
+  kJz = 11,    // if (r1 == 0) pc = imm
+  kJnz = 12,   // if (r1 != 0) pc = imm
+  kJmp = 13,   // pc = imm
+};
+
+uint64_t EncodeInstr(GuestOp op, uint8_t r1, uint8_t r2, uint32_t imm);
+
+struct GuestExit {
+  enum class Reason { kHalt, kStepLimit, kBadInstruction, kBadAccess };
+  Reason reason = Reason::kHalt;
+  uint64_t steps = 0;
+};
+
+// Runs the guest CPU inside `process` until HALT, a fault, or `max_steps`.
+// `cpu_base` holds 16 registers then the PC (all u64); `code_base` is the program.
+GuestExit RunGuest(Process& process, Vaddr cpu_base, Vaddr code_base, uint64_t max_steps);
+
+struct VmConfig {
+  uint64_t image_bytes = 188ULL << 20;  // The paper's observed QEMU footprint (188 MB).
+  uint64_t populate_fraction_percent = 100;
+  uint64_t max_steps_per_input = 20000;
+  ForkMode fork_mode = ForkMode::kClassic;
+};
+
+// A booted VM, ready to be cloned per input.
+class VirtualMachine {
+ public:
+  // "Boots" the VM: creates the process, maps and fills the guest image, installs the guest
+  // kernel (the syscall-fuzzing dispatch loop) and CPU state.
+  static VirtualMachine Boot(Kernel& kernel, const VmConfig& config);
+
+  // Clones the VM (one fork), injects `input` into the clone's syscall buffer, runs the
+  // guest kernel in the clone, tears the clone down. Returns the guest exit state.
+  GuestExit RunInputInClone(std::span<const uint8_t> input);
+
+  Process& process() { return *process_; }
+  const VmConfig& config() const { return config_; }
+
+ private:
+  VirtualMachine(Kernel* kernel, Process* process, VmConfig config)
+      : kernel_(kernel), process_(process), config_(config) {}
+
+  Kernel* kernel_;
+  Process* process_;
+  VmConfig config_;
+  Vaddr image_base_ = 0;
+  Vaddr code_base_ = 0;
+  Vaddr cpu_base_ = 0;
+  Vaddr input_base_ = 0;  // {u64 len, bytes...}
+};
+
+}  // namespace odf
+
+#endif  // ODF_SRC_APPS_VMCLONE_H_

@@ -1,0 +1,60 @@
+#include "src/core/fork.h"
+
+#include "src/core/fork_internal.h"
+#include "src/util/log.h"
+#include "src/util/stopwatch.h"
+
+namespace odf {
+
+const char* ForkModeName(ForkMode mode) {
+  switch (mode) {
+    case ForkMode::kClassic:
+      return "fork";
+    case ForkMode::kOnDemand:
+      return "on-demand-fork";
+    case ForkMode::kOnDemandHuge:
+      return "on-demand-fork-huge";
+  }
+  return "?";
+}
+
+void CopyVmaList(const AddressSpace& parent, AddressSpace& child) {
+  for (const auto& [start, vma] : parent.vmas()) {
+    child.AdoptVmaForFork(vma);
+  }
+}
+
+void CopyAddressSpace(AddressSpace& parent, AddressSpace& child, ForkMode mode,
+                      ForkProfile* profile, ForkCounters* counters) {
+  ODF_CHECK(child.vmas().empty()) << "fork target must be a fresh address space";
+  Stopwatch total;
+  CopyVmaList(parent, child);
+  switch (mode) {
+    case ForkMode::kClassic:
+      ClassicCopyPageTables(parent, child, profile, counters);
+      if (counters != nullptr) {
+        ++counters->classic_forks;
+      }
+      break;
+    case ForkMode::kOnDemand:
+      OnDemandSharePageTables(parent, child, profile, counters, /*share_pmd_tables=*/false);
+      if (counters != nullptr) {
+        ++counters->on_demand_forks;
+      }
+      break;
+    case ForkMode::kOnDemandHuge:
+      OnDemandSharePageTables(parent, child, profile, counters, /*share_pmd_tables=*/true);
+      if (counters != nullptr) {
+        ++counters->on_demand_forks;
+      }
+      break;
+  }
+  // The parent's cached translations may have lost write permission (PTE-level for classic,
+  // PMD-level for on-demand); flush, as the kernel flushes the hardware TLB on fork.
+  parent.tlb().FlushAll();
+  if (profile != nullptr) {
+    profile->total_ns += total.ElapsedNanos();
+  }
+}
+
+}  // namespace odf

@@ -1,0 +1,73 @@
+// The fork engines: classic fork (copy every last-level entry, per-page refcounts — what
+// Linux does) and on-demand-fork (share last-level tables, defer copying to faults — the
+// paper's contribution). Both operate on the simulated mm (AddressSpace).
+#ifndef ODF_SRC_CORE_FORK_H_
+#define ODF_SRC_CORE_FORK_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/mm/address_space.h"
+
+namespace odf {
+
+enum class ForkMode {
+  kClassic,       // Traditional fork: copy PTE tables eagerly, COW data pages.
+  kOnDemand,      // On-demand-fork: share PTE tables, COW them at fault time.
+  kOnDemandHuge,  // Extension sketched in §4 "Huge Page Support": additionally share PMD
+                  // tables (which describe 2 MiB pages directly), write-protecting at the
+                  // PUD level. Tables then COW lazily at two levels.
+};
+
+// Cost attribution for the fork invocation, mirroring the perf-events breakdown of Fig. 3.
+// Filled when a profile pointer is passed to CopyAddressSpace (the instrumented path times
+// each sub-operation in separate batched passes per table).
+struct ForkProfile {
+  uint64_t pte_entries_copied = 0;
+  uint64_t pte_tables_visited = 0;
+  uint64_t huge_entries_copied = 0;
+  uint64_t meta_resolve_ns = 0;  // compound_head() analog: first touch of PageMeta.
+  uint64_t refcount_ns = 0;      // page_ref_inc() analog: atomic increments.
+  uint64_t entry_copy_ns = 0;    // Writing protected entries to both tables.
+  uint64_t table_alloc_ns = 0;   // Allocating child PTE tables.
+  uint64_t upper_level_ns = 0;   // Copying PGD/PUD/PMD structure.
+  uint64_t total_ns = 0;
+
+  uint64_t AttributedNs() const {
+    return meta_resolve_ns + refcount_ns + entry_copy_ns + table_alloc_ns + upper_level_ns;
+  }
+};
+
+// Counters the fork paths bump; exposed for tests and the Fig. 2 scalability analysis.
+struct ForkCounters {
+  // Atomic: forks of independent processes may run concurrently (§4 "Thread Safety").
+  std::atomic<uint64_t> classic_forks{0};
+  std::atomic<uint64_t> on_demand_forks{0};
+  std::atomic<uint64_t> pte_entries_copied{0};
+  std::atomic<uint64_t> pte_tables_shared{0};
+  std::atomic<uint64_t> pmd_tables_shared{0};  // kOnDemandHuge only.
+  std::atomic<uint64_t> huge_entries_copied{0};
+};
+
+// Duplicates `parent`'s virtual memory into `child` (a freshly constructed, empty address
+// space) according to `mode`. The VMA list is copied either way; the difference is entirely
+// in how last-level page tables are treated:
+//
+//   kClassic:  allocate a child PTE table per parent PTE table; for every present entry,
+//              resolve the page's metadata, atomically take a page reference, write-protect
+//              private mappings in both copies. Shared-file entries keep their write bit.
+//
+//   kOnDemand: copy only the upper three levels; each parent PTE table gets its share count
+//              incremented and both parent and child PMD entries write-protected (§3.1).
+//              Huge (PMD-level) mappings are copied eagerly like classic fork, matching the
+//              paper's 4 KiB-only implementation scope (§4).
+//
+// The parent's TLB is fully flushed (its translations may have lost write permission).
+void CopyAddressSpace(AddressSpace& parent, AddressSpace& child, ForkMode mode,
+                      ForkProfile* profile = nullptr, ForkCounters* counters = nullptr);
+
+const char* ForkModeName(ForkMode mode);
+
+}  // namespace odf
+
+#endif  // ODF_SRC_CORE_FORK_H_

@@ -1,0 +1,185 @@
+// Classic fork: the Linux copy_page_range analog. For every present last-level entry the
+// kernel resolves the page's metadata (the compound_head() hotspot of Fig. 3), atomically
+// increments the page reference count (the page_ref_inc() hotspot), write-protects private
+// mappings in both parent and child, and writes the child entry.
+#include <array>
+
+#include "src/core/fork_internal.h"
+#include "src/mm/range_ops.h"
+#include "src/util/log.h"
+#include "src/util/stopwatch.h"
+
+namespace odf {
+
+namespace {
+
+// Copies the present entries of one parent PTE table slice [lo, hi) into the child's table,
+// fused loop (the fast path used by real forks).
+void CopyPteSliceFused(FrameAllocator& allocator, SwapSpace* swap, uint64_t* src,
+                       uint64_t* dst, Vaddr lo, Vaddr hi, bool wrprotect,
+                       ForkCounters* counters) {
+  uint64_t copied = 0;
+  for (Vaddr va = lo; va < hi; va += kPageSize) {
+    uint64_t index = TableIndex(va, PtLevel::kPte);
+    Pte entry = LoadEntry(&src[index]);
+    if (entry.IsSwap()) {
+      // Swapped page: both processes reference the immutable slot (swap_map semantics).
+      ODF_CHECK(swap != nullptr);
+      swap->IncRef(entry.swap_slot());
+      StoreEntry(&dst[index], entry);
+      ++copied;
+      continue;
+    }
+    if (!entry.IsPresent()) {
+      continue;
+    }
+    FrameId frame = entry.frame();
+    PageMeta& meta = allocator.GetMeta(frame);               // struct page lookup.
+    FrameId head = ResolveCompoundHead(meta, frame);         // compound_head().
+    allocator.GetMeta(head).refcount.fetch_add(1, std::memory_order_relaxed);  // page_ref_inc.
+    if (wrprotect && entry.IsWritable()) {
+      Pte protected_entry = entry.WithoutFlag(kPteWritable);
+      StoreEntry(&src[index], protected_entry);
+      entry = protected_entry;
+    }
+    StoreEntry(&dst[index], entry);
+    ++copied;
+  }
+  if (counters != nullptr) {
+    counters->pte_entries_copied += copied;
+  }
+}
+
+// Instrumented variant: performs the same work in three batched passes so the time spent in
+// metadata resolution, refcounting, and entry writing can be attributed separately (the
+// Fig. 3 breakdown).
+void CopyPteSliceProfiled(FrameAllocator& allocator, SwapSpace* swap, uint64_t* src,
+                          uint64_t* dst, Vaddr lo, Vaddr hi, bool wrprotect,
+                          ForkProfile* profile, ForkCounters* counters) {
+  std::array<uint64_t, kEntriesPerTable> indices;
+  std::array<FrameId, kEntriesPerTable> heads;
+  size_t present = 0;
+
+  Stopwatch sw;
+  for (Vaddr va = lo; va < hi; va += kPageSize) {
+    uint64_t index = TableIndex(va, PtLevel::kPte);
+    Pte entry = LoadEntry(&src[index]);
+    if (entry.IsSwap()) {
+      ODF_CHECK(swap != nullptr);
+      swap->IncRef(entry.swap_slot());
+      StoreEntry(&dst[index], entry);
+      continue;
+    }
+    if (!entry.IsPresent()) {
+      continue;
+    }
+    FrameId frame = entry.frame();
+    PageMeta& meta = allocator.GetMeta(frame);
+    heads[present] = ResolveCompoundHead(meta, frame);
+    indices[present] = index;
+    ++present;
+  }
+  profile->meta_resolve_ns += sw.ElapsedNanos();
+
+  sw.Restart();
+  for (size_t i = 0; i < present; ++i) {
+    allocator.GetMeta(heads[i]).refcount.fetch_add(1, std::memory_order_relaxed);
+  }
+  profile->refcount_ns += sw.ElapsedNanos();
+
+  sw.Restart();
+  for (size_t i = 0; i < present; ++i) {
+    uint64_t index = indices[i];
+    Pte entry = LoadEntry(&src[index]);
+    if (wrprotect && entry.IsWritable()) {
+      Pte protected_entry = entry.WithoutFlag(kPteWritable);
+      StoreEntry(&src[index], protected_entry);
+      entry = protected_entry;
+    }
+    StoreEntry(&dst[index], entry);
+  }
+  profile->entry_copy_ns += sw.ElapsedNanos();
+
+  profile->pte_entries_copied += present;
+  if (counters != nullptr) {
+    counters->pte_entries_copied += present;
+  }
+}
+
+}  // namespace
+
+void CopyHugeEntry(FrameAllocator& allocator, uint64_t* parent_slot, uint64_t* child_slot,
+                   ForkCounters* counters) {
+  Pte entry = LoadEntry(parent_slot);
+  ODF_DCHECK(entry.IsPresent() && entry.IsHuge());
+  FrameId head = entry.frame();
+  allocator.GetMeta(head).refcount.fetch_add(1, std::memory_order_relaxed);
+  if (entry.IsWritable()) {
+    Pte protected_entry = entry.WithoutFlag(kPteWritable);
+    StoreEntry(parent_slot, protected_entry);
+    entry = protected_entry;
+  }
+  StoreEntry(child_slot, entry);
+  if (counters != nullptr) {
+    ++counters->huge_entries_copied;
+  }
+}
+
+void ClassicCopyPageTables(AddressSpace& parent, AddressSpace& child, ForkProfile* profile,
+                           ForkCounters* counters) {
+  FrameAllocator& allocator = parent.allocator();
+  Walker& parent_walker = parent.walker();
+  Walker& child_walker = child.walker();
+
+  for (const auto& [start, vma] : parent.vmas()) {
+    bool wrprotect = vma.kind != VmaKind::kFileShared;
+    for (Vaddr chunk = EntryBase(vma.start, PtLevel::kPmd); chunk < vma.end;
+         chunk += kPteTableSpan) {
+      // If an earlier kOnDemandHuge fork left this PUD span's PMD table shared, classic
+      // fork must not mutate the shared copy: dedicate it for the parent first.
+      EnsureExclusivePmdPath(parent, chunk);
+      uint64_t* parent_pmd = parent_walker.FindEntry(parent.pgd(), chunk, PtLevel::kPmd);
+      if (parent_pmd == nullptr) {
+        continue;
+      }
+      Pte pmd = LoadEntry(parent_pmd);
+      if (!pmd.IsPresent()) {
+        continue;
+      }
+
+      if (pmd.IsHuge()) {
+        uint64_t* child_pmd = child_walker.EnsureEntry(child.pgd(), chunk, PtLevel::kPmd);
+        if (!LoadEntry(child_pmd).IsPresent()) {
+          CopyHugeEntry(allocator, parent_pmd, child_pmd, counters);
+        }
+        continue;
+      }
+
+      // If the parent is itself sharing this table from an earlier on-demand-fork, classic
+      // fork must not mutate the shared copy on other processes' behalf: dedicate first.
+      if (allocator.GetMeta(pmd.frame()).pt_share_count.load(std::memory_order_acquire) > 1) {
+        DedicatePteTable(parent, chunk, parent_pmd);
+        pmd = LoadEntry(parent_pmd);
+      }
+      uint64_t* src = allocator.TableEntries(pmd.frame());
+
+      Vaddr lo = std::max(chunk, vma.start);
+      Vaddr hi = std::min(chunk + kPteTableSpan, vma.end);
+
+      Stopwatch alloc_sw;
+      uint64_t* first_child_slot = child_walker.EnsureEntry(child.pgd(), lo, PtLevel::kPte);
+      uint64_t* dst = first_child_slot - TableIndex(lo, PtLevel::kPte);
+      if (profile != nullptr) {
+        profile->table_alloc_ns += alloc_sw.ElapsedNanos();
+        ++profile->pte_tables_visited;
+        CopyPteSliceProfiled(allocator, parent.swap_space(), src, dst, lo, hi, wrprotect,
+                             profile, counters);
+      } else {
+        CopyPteSliceFused(allocator, parent.swap_space(), src, dst, lo, hi, wrprotect,
+                          counters);
+      }
+    }
+  }
+}
+
+}  // namespace odf

@@ -1,0 +1,26 @@
+// Internal entry points shared between the fork engine translation units.
+#ifndef ODF_SRC_CORE_FORK_INTERNAL_H_
+#define ODF_SRC_CORE_FORK_INTERNAL_H_
+
+#include "src/core/fork.h"
+
+namespace odf {
+
+// Classic fork's copy_page_range analog (fork_classic.cc).
+void ClassicCopyPageTables(AddressSpace& parent, AddressSpace& child, ForkProfile* profile,
+                           ForkCounters* counters);
+
+// On-demand-fork's share-last-level walk (fork_odf.cc). With share_pmd_tables, PMD tables
+// are shared as well (the §4 huge-page generalization).
+void OnDemandSharePageTables(AddressSpace& parent, AddressSpace& child, ForkProfile* profile,
+                             ForkCounters* counters, bool share_pmd_tables);
+
+// Copies a huge (PMD-level) mapping entry from `parent_slot` into `child_slot`: takes a
+// reference on the compound page and write-protects private mappings in both entries.
+// Shared-file huge mappings are not supported (matches AddressSpace).
+void CopyHugeEntry(FrameAllocator& allocator, uint64_t* parent_slot, uint64_t* child_slot,
+                   ForkCounters* counters);
+
+}  // namespace odf
+
+#endif  // ODF_SRC_CORE_FORK_INTERNAL_H_

@@ -1,0 +1,141 @@
+#include "src/fs/mem_fs.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/util/log.h"
+
+namespace odf {
+
+MemFile::~MemFile() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  for (auto& [index, frame] : cache_) {
+    allocator_->DecRef(frame);
+  }
+  cache_.clear();
+}
+
+uint64_t MemFile::size() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return size_;
+}
+
+FrameId MemFile::GetPage(uint64_t index) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = cache_.find(index);
+  if (it != cache_.end()) {
+    return it->second;
+  }
+  // Faulting a page into the cache does not change the file size (pages past EOF can be
+  // cached for mappings, as in real page caches).
+  FrameId frame = allocator_->Allocate(kPageFlagFile | kPageFlagZeroFill);
+  cache_.emplace(index, frame);
+  return frame;
+}
+
+FrameId MemFile::PeekPage(uint64_t index) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = cache_.find(index);
+  return it == cache_.end() ? kInvalidFrame : it->second;
+}
+
+void MemFile::Write(uint64_t offset, std::span<const std::byte> data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    uint64_t pos = offset + written;
+    uint64_t index = pos / kPageSize;
+    uint64_t in_page = pos % kPageSize;
+    size_t chunk = std::min<size_t>(data.size() - written, kPageSize - in_page);
+    FrameId frame = GetPage(index);
+    std::byte* dest = allocator_->MaterializeData(frame);
+    std::memcpy(dest + in_page, data.data() + written, chunk);
+    written += chunk;
+  }
+  std::lock_guard<std::mutex> guard(mutex_);
+  size_ = std::max(size_, offset + data.size());
+}
+
+void MemFile::Read(uint64_t offset, std::span<std::byte> out) const {
+  size_t done = 0;
+  while (done < out.size()) {
+    uint64_t pos = offset + done;
+    uint64_t index = pos / kPageSize;
+    uint64_t in_page = pos % kPageSize;
+    size_t chunk = std::min<size_t>(out.size() - done, kPageSize - in_page);
+    FrameId frame = PeekPage(index);
+    if (frame == kInvalidFrame) {
+      std::memset(out.data() + done, 0, chunk);
+    } else {
+      const std::byte* src = allocator_->PeekData(frame);
+      if (src == nullptr) {
+        std::memset(out.data() + done, 0, chunk);
+      } else {
+        std::memcpy(out.data() + done, src + in_page, chunk);
+      }
+    }
+    done += chunk;
+  }
+}
+
+void MemFile::Truncate(uint64_t new_size) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  uint64_t keep_pages = (new_size + kPageSize - 1) / kPageSize;
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (it->first >= keep_pages) {
+      allocator_->DecRef(it->second);
+      it = cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  size_ = new_size;
+}
+
+uint64_t MemFile::CachedPages() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return cache_.size();
+}
+
+void MemFile::ForEachCachedPage(const std::function<void(uint64_t, FrameId)>& fn) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  for (const auto& [index, frame] : cache_) {
+    fn(index, frame);
+  }
+}
+
+std::shared_ptr<MemFile> MemFilesystem::Open(const std::string& path) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = files_.find(path);
+  if (it != files_.end()) {
+    return it->second;
+  }
+  auto file = std::make_shared<MemFile>(path, allocator_);
+  files_.emplace(path, file);
+  return file;
+}
+
+std::shared_ptr<MemFile> MemFilesystem::Lookup(const std::string& path) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = files_.find(path);
+  return it == files_.end() ? nullptr : it->second;
+}
+
+bool MemFilesystem::Remove(const std::string& path) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return files_.erase(path) != 0;
+}
+
+size_t MemFilesystem::FileCount() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return files_.size();
+}
+
+void MemFilesystem::ForEachFile(
+    const std::function<void(const std::shared_ptr<MemFile>&)>& fn) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  for (const auto& [path, file] : files_) {
+    fn(file);
+  }
+}
+
+}  // namespace odf

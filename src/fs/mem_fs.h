@@ -1,0 +1,90 @@
+// In-memory filesystem substrate (tmpfs-like) for file-backed mappings (paper §3.7).
+//
+// File content lives directly in page-cache frames: each file holds one reference per cached
+// frame. Shared file mappings install the cache frame itself; private file mappings install
+// it read-only and the fault handler COWs it into an anonymous frame on write — the same
+// ownership rules the kernel applies, which is what lets on-demand-fork "leave the work of
+// managing physical memory pages" to the filesystem for these regions.
+#ifndef ODF_SRC_FS_MEM_FS_H_
+#define ODF_SRC_FS_MEM_FS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "src/phys/frame_allocator.h"
+#include "src/pt/geometry.h"
+
+namespace odf {
+
+class MemFile {
+ public:
+  MemFile(std::string name, FrameAllocator* allocator)
+      : name_(std::move(name)), allocator_(allocator) {}
+  ~MemFile();
+
+  MemFile(const MemFile&) = delete;
+  MemFile& operator=(const MemFile&) = delete;
+
+  const std::string& name() const { return name_; }
+  uint64_t size() const;
+
+  // Returns the page-cache frame for page `index`, faulting it in (zero-filled) if absent.
+  // The returned frame stays referenced by the cache; mappers take their own reference.
+  FrameId GetPage(uint64_t index);
+
+  // Returns the cached frame or kInvalidFrame without populating.
+  FrameId PeekPage(uint64_t index) const;
+
+  // File I/O through the page cache.
+  void Write(uint64_t offset, std::span<const std::byte> data);
+  void Read(uint64_t offset, std::span<std::byte> out) const;
+
+  // Shrinks or grows the file; truncated pages are released from the cache.
+  void Truncate(uint64_t new_size);
+
+  uint64_t CachedPages() const;
+
+  // Invokes `fn(page_index, frame)` for every cached page (auditing).
+  void ForEachCachedPage(const std::function<void(uint64_t, FrameId)>& fn) const;
+
+ private:
+  std::string name_;
+  FrameAllocator* allocator_;
+  mutable std::mutex mutex_;
+  uint64_t size_ = 0;
+  std::unordered_map<uint64_t, FrameId> cache_;
+};
+
+class MemFilesystem {
+ public:
+  explicit MemFilesystem(FrameAllocator* allocator) : allocator_(allocator) {}
+
+  // Creates the file if absent; returns it either way.
+  std::shared_ptr<MemFile> Open(const std::string& path);
+
+  // Returns nullptr if absent.
+  std::shared_ptr<MemFile> Lookup(const std::string& path) const;
+
+  // Unlinks the path. The file's memory is released when the last mapping drops it.
+  bool Remove(const std::string& path);
+
+  size_t FileCount() const;
+
+  // Invokes `fn(file)` for every file currently in the filesystem (auditing).
+  void ForEachFile(const std::function<void(const std::shared_ptr<MemFile>&)>& fn) const;
+
+ private:
+  FrameAllocator* allocator_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<MemFile>> files_;
+};
+
+}  // namespace odf
+
+#endif  // ODF_SRC_FS_MEM_FS_H_

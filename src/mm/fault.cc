@@ -1,0 +1,228 @@
+#include "src/mm/fault.h"
+
+#include <cstring>
+
+#include "src/mm/range_ops.h"
+#include "src/util/log.h"
+
+namespace odf {
+
+namespace {
+
+// Installs the demand-paged mapping for a not-present PTE (anonymous zero page or page-cache
+// page). The caller guarantees `slot` lives in a table exclusive to this address space
+// (shared tables are dedicated before any install — see HandleFault).
+void DemandInstall(AddressSpace& as, VmArea& vma, Vaddr va, uint64_t* slot) {
+  FrameAllocator& allocator = as.allocator();
+  uint64_t flags = kPtePresent | kPteUser | kPteAccessed;
+  FrameId frame;
+  if (vma.kind == VmaKind::kAnonPrivate) {
+    frame = allocator.Allocate(kPageFlagAnon | kPageFlagZeroFill);
+    if (vma.IsWritable()) {
+      flags |= kPteWritable;
+    }
+    ++as.stats().demand_zero_faults;
+  } else {
+    FrameId cache_frame = vma.file->GetPage(vma.FilePageIndex(va));
+    allocator.IncRef(cache_frame);
+    frame = cache_frame;
+    if (vma.kind == VmaKind::kFileShared && vma.IsWritable()) {
+      flags |= kPteWritable;
+    }
+    // Private file pages stay read-only: the first write COWs them off the page cache.
+    ++as.stats().file_faults;
+  }
+  StoreEntry(slot, Pte::Make(frame, flags));
+}
+
+// Write to a present but non-writable 4 KiB PTE: either re-enable the write bit (sole owner
+// or shared file mapping) or copy the page (COW).
+void DataCowFault(AddressSpace& as, VmArea& vma, Vaddr va, uint64_t* slot) {
+  FrameAllocator& allocator = as.allocator();
+  Pte entry = LoadEntry(slot);
+  ODF_DCHECK(entry.IsPresent() && !entry.IsWritable());
+  FrameId frame = entry.frame();
+  PageMeta& meta = allocator.GetMeta(frame);
+
+  if (vma.kind == VmaKind::kFileShared) {
+    // Shared mappings never COW; the write permission was only missing transiently (e.g.
+    // after a PTE-table dedication write-protected every entry).
+    StoreEntry(slot, entry.WithFlag(kPteWritable | kPteDirty));
+    as.tlb().InvalidatePage(va);
+    ++as.stats().cow_reuse_faults;
+    return;
+  }
+
+  uint32_t refs = meta.refcount.load(std::memory_order_acquire);
+  if (refs == 1) {
+    // Sole owner — reuse the page in place. (A frame still owned by the page cache always
+    // has the cache's reference, so refs == 1 implies it is exclusively ours.)
+    StoreEntry(slot, entry.WithFlag(kPteWritable | kPteDirty));
+    as.tlb().InvalidatePage(va);
+    ++as.stats().cow_reuse_faults;
+    return;
+  }
+
+  FrameId copy = allocator.Allocate(kPageFlagAnon);
+  const std::byte* src = allocator.PeekData(frame);
+  if (src != nullptr) {
+    std::byte* dst = allocator.MaterializeData(copy, /*zero=*/false);
+    std::memcpy(dst, src, kPageSize);
+  }
+  // else: the source was never materialised (logical zero) — the copy stays lazy-zero.
+  StoreEntry(slot, Pte::Make(copy, kPtePresent | kPteWritable | kPteUser | kPteAccessed |
+                                       kPteDirty));
+  PutMappedPage(allocator, entry, /*huge=*/false);
+  as.tlb().InvalidatePage(va);
+  ++as.stats().cow_page_faults;
+}
+
+// Demand-populate a huge (2 MiB) mapping at the PMD level.
+void HugeDemandInstall(AddressSpace& as, VmArea& vma, uint64_t* pmd_slot) {
+  FrameAllocator& allocator = as.allocator();
+  ODF_DCHECK(vma.kind == VmaKind::kAnonPrivate) << "huge mappings are anonymous-only";
+  FrameId head = allocator.AllocateCompound(kPageFlagAnon | kPageFlagZeroFill);
+  uint64_t flags = kPtePresent | kPteUser | kPteAccessed | kPteHuge;
+  if (vma.IsWritable()) {
+    flags |= kPteWritable;
+  }
+  StoreEntry(pmd_slot, Pte::Make(head, flags));
+  ++as.stats().demand_zero_faults;
+}
+
+// Write to a present but non-writable huge PMD entry: COW the whole 2 MiB page. This is the
+// 512x fault-amplification cost the paper attributes to huge pages (§2.3, Table 1).
+void HugeCowFault(AddressSpace& as, Vaddr chunk_base, uint64_t* pmd_slot) {
+  FrameAllocator& allocator = as.allocator();
+  Pte entry = LoadEntry(pmd_slot);
+  FrameId head = entry.frame();
+  PageMeta& meta = allocator.GetMeta(head);
+
+  if (meta.refcount.load(std::memory_order_acquire) == 1) {
+    StoreEntry(pmd_slot, entry.WithFlag(kPteWritable | kPteDirty));
+    as.tlb().InvalidateRange(chunk_base, chunk_base + kHugePageSize);
+    ++as.stats().cow_reuse_faults;
+    return;
+  }
+
+  FrameId copy = allocator.AllocateCompound(kPageFlagAnon);
+  const std::byte* src = allocator.PeekData(head);
+  if (src != nullptr) {
+    std::byte* dst = allocator.MaterializeData(copy, /*zero=*/false);
+    std::memcpy(dst, src, kHugePageSize);
+  }
+  StoreEntry(pmd_slot, Pte::Make(copy, kPtePresent | kPteWritable | kPteUser | kPteAccessed |
+                                           kPteDirty | kPteHuge));
+  PutMappedPage(allocator, entry, /*huge=*/true);
+  as.tlb().InvalidateRange(chunk_base, chunk_base + kHugePageSize);
+  ++as.stats().cow_huge_faults;
+}
+
+}  // namespace
+
+FaultResult HandleFault(AddressSpace& as, Vaddr va, AccessType access, FrameId* frame_out) {
+  Walker& walker = as.walker();
+  // Each iteration removes one fault cause; the chain is bounded (table creation -> shared
+  // table COW -> demand install -> data COW -> success).
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    Translation t = walker.Translate(as.pgd(), va, access);
+    if (t.status == TranslateStatus::kOk) {
+      bool writable_cached = access == AccessType::kWrite;
+      as.tlb().Insert(va, t.frame, writable_cached);
+      if (frame_out != nullptr) {
+        *frame_out = t.frame;
+      }
+      return FaultResult::kHandled;
+    }
+
+    VmArea* vma = as.FindVma(va);
+    if (vma == nullptr) {
+      ++as.stats().segv_faults;
+      return FaultResult::kSegvUnmapped;
+    }
+    uint32_t needed = access == AccessType::kWrite ? kProtWrite : kProtRead;
+    if ((vma->prot & needed) == 0) {
+      ++as.stats().segv_faults;
+      return FaultResult::kSegvProt;
+    }
+
+    if (t.status == TranslateStatus::kNotWritable) {
+      if (t.fault_level == PtLevel::kPud) {
+        // §4 extension: the PUD write-protection marks a shared PMD table (kOnDemandHuge).
+        uint64_t* pud_slot = walker.FindEntry(as.pgd(), va, PtLevel::kPud);
+        ODF_CHECK(pud_slot != nullptr);
+        DedicatePmdTable(as, EntryBase(va, PtLevel::kPud), pud_slot);
+        continue;
+      }
+      if (t.fault_level == PtLevel::kPmd) {
+        uint64_t* pmd_slot = walker.FindEntry(as.pgd(), va, PtLevel::kPmd);
+        ODF_CHECK(pmd_slot != nullptr);
+        Pte pmd = LoadEntry(pmd_slot);
+        Vaddr chunk_base = EntryBase(va, PtLevel::kPmd);
+        if (pmd.IsHuge()) {
+          HugeCowFault(as, chunk_base, pmd_slot);
+        } else {
+          // The on-demand-fork path: the PMD write-protection marks a shared PTE table.
+          DedicatePteTable(as, chunk_base, pmd_slot);
+        }
+        continue;
+      }
+      ODF_CHECK(t.fault_level == PtLevel::kPte)
+          << "write-protection fault at unexpected level "
+          << static_cast<int>(t.fault_level);
+      uint64_t* slot = walker.FindEntry(as.pgd(), va, PtLevel::kPte);
+      ODF_CHECK(slot != nullptr);
+      DataCowFault(as, *vma, va, slot);
+      continue;
+    }
+
+    // Not present somewhere along the walk. Installing an entry MUTATES the table it lands
+    // in, so any shared table on the path must be dedicated first: sharers' VMA layouts can
+    // diverge after fork, and an entry installed into a shared table would silently appear
+    // in every sharer's address space. (ODF's "fast read" applies to PRESENT pages only.)
+    EnsureExclusivePmdPath(as, va);
+    if (vma->huge) {
+      uint64_t* pmd_slot = walker.EnsureEntry(as.pgd(), va, PtLevel::kPmd);
+      Pte pmd = LoadEntry(pmd_slot);
+      if (!pmd.IsPresent()) {
+        HugeDemandInstall(as, *vma, pmd_slot);
+      }
+      continue;
+    }
+    uint64_t* pmd_probe = walker.FindEntry(as.pgd(), va, PtLevel::kPmd);
+    if (pmd_probe != nullptr) {
+      Pte pmd_entry = LoadEntry(pmd_probe);
+      if (pmd_entry.IsPresent() && !pmd_entry.IsHuge() &&
+          as.allocator().GetMeta(pmd_entry.frame())
+                  .pt_share_count.load(std::memory_order_acquire) > 1) {
+        DedicatePteTable(as, EntryBase(va, PtLevel::kPmd), pmd_probe);
+      }
+    }
+    uint64_t* slot = walker.EnsureEntry(as.pgd(), va, PtLevel::kPte);
+    Pte entry = LoadEntry(slot);
+    if (entry.IsSwap()) {
+      // Swap-in: bring the page back from the swap device into a fresh private frame.
+      SwapSpace* swap = as.swap_space();
+      ODF_CHECK(swap != nullptr);
+      FrameId frame = as.allocator().Allocate(kPageFlagAnon);
+      std::byte* dst = as.allocator().MaterializeData(frame, /*zero=*/false);
+      swap->ReadIn(entry.swap_slot(), dst);
+      swap->DecRef(entry.swap_slot());
+      uint64_t flags = kPtePresent | kPteUser | kPteAccessed;
+      if (vma->IsWritable()) {
+        flags |= kPteWritable;
+      }
+      StoreEntry(slot, Pte::Make(frame, flags));
+      ++as.stats().swap_in_faults;
+      continue;
+    }
+    if (!entry.IsPresent()) {
+      DemandInstall(as, *vma, va, slot);
+    }
+    // Present but blocked: loop back; the NotWritable branch will resolve it.
+  }
+  ODF_CHECK(false) << "fault handler failed to converge at va " << va;
+  return FaultResult::kSegvUnmapped;
+}
+
+}  // namespace odf

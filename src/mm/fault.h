@@ -1,0 +1,24 @@
+// The page-fault handler: demand paging, data-page COW, and — the paper's contribution —
+// copy-on-write of shared last-level page tables (§3.4).
+#ifndef ODF_SRC_MM_FAULT_H_
+#define ODF_SRC_MM_FAULT_H_
+
+#include "src/mm/address_space.h"
+
+namespace odf {
+
+enum class FaultResult {
+  kHandled,      // Translation now succeeds; retry the access.
+  kSegvUnmapped, // No VMA covers the address.
+  kSegvProt,     // The VMA forbids this access.
+};
+
+// Resolves all fault causes for an access to `va` until the translation succeeds or the
+// access is found to be illegal. On success the final translation is inserted into the TLB
+// and `frame_out` (if non-null) receives the 4 KiB frame.
+FaultResult HandleFault(AddressSpace& as, Vaddr va, AccessType access,
+                        FrameId* frame_out = nullptr);
+
+}  // namespace odf
+
+#endif  // ODF_SRC_MM_FAULT_H_

@@ -1,0 +1,475 @@
+#include "src/mm/range_ops.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "src/util/log.h"
+
+namespace odf {
+
+namespace {
+
+// Number of split locks; hashing table frames across a small array mirrors the kernel's
+// per-table page locks without per-frame storage.
+constexpr size_t kSplitLockCount = 64;
+
+bool TableIsEmpty(FrameAllocator& allocator, FrameId table) {
+  const uint64_t* entries = allocator.TableEntries(table);
+  for (uint64_t i = 0; i < kEntriesPerTable; ++i) {
+    if (!LoadEntry(&entries[i]).IsNone()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::mutex& PtSplitLock(FrameId table) {
+  static std::array<std::mutex, kSplitLockCount> locks;
+  return locks[table % kSplitLockCount];
+}
+
+void PutMappedPage(FrameAllocator& allocator, Pte entry, bool huge) {
+  FrameId frame = entry.frame();
+  if (huge) {
+    ODF_DCHECK(allocator.GetMeta(frame).IsCompoundHead());
+    allocator.DecRef(frame);
+    return;
+  }
+  PageMeta& meta = allocator.GetMeta(frame);
+  allocator.DecRef(ResolveCompoundHead(meta, frame));
+}
+
+void DropPteTableReference(FrameAllocator& allocator, SwapSpace* swap, FrameId table) {
+  PageMeta& meta = allocator.GetMeta(table);
+  uint32_t previous = meta.pt_share_count.fetch_sub(1, std::memory_order_acq_rel);
+  ODF_DCHECK(previous != 0) << "PTE table share underflow on frame " << table;
+  if (previous != 1) {
+    return;
+  }
+  // Last reference: release the per-page references this table holds on behalf of all its
+  // (former) sharers, then free the table frame itself. Swap entries release their slot.
+  uint64_t* entries = allocator.TableEntries(table);
+  for (uint64_t i = 0; i < kEntriesPerTable; ++i) {
+    Pte entry = LoadEntry(&entries[i]);
+    if (entry.IsPresent()) {
+      PutMappedPage(allocator, entry, /*huge=*/false);
+      StoreEntry(&entries[i], Pte());
+    } else if (entry.IsSwap()) {
+      ODF_CHECK(swap != nullptr) << "swap entry without a swap device";
+      swap->DecRef(entry.swap_slot());
+      StoreEntry(&entries[i], Pte());
+    }
+  }
+  allocator.DecRef(table);
+}
+
+void DropPmdTableReference(FrameAllocator& allocator, SwapSpace* swap, FrameId table) {
+  PageMeta& meta = allocator.GetMeta(table);
+  uint32_t previous = meta.pt_share_count.fetch_sub(1, std::memory_order_acq_rel);
+  ODF_DCHECK(previous != 0) << "PMD table share underflow on frame " << table;
+  if (previous != 1) {
+    return;
+  }
+  // Last reference: release whatever the PMD table maps — huge pages directly, PTE tables
+  // transitively (each of which puts its own pages when its count hits zero).
+  uint64_t* entries = allocator.TableEntries(table);
+  for (uint64_t i = 0; i < kEntriesPerTable; ++i) {
+    Pte entry = LoadEntry(&entries[i]);
+    if (!entry.IsPresent()) {
+      continue;
+    }
+    if (entry.IsHuge()) {
+      PutMappedPage(allocator, entry, /*huge=*/true);
+    } else {
+      DropPteTableReference(allocator, swap, entry.frame());
+    }
+    StoreEntry(&entries[i], Pte());
+  }
+  allocator.DecRef(table);
+}
+
+FrameId DedicatePmdTable(AddressSpace& as, Vaddr pud_span_base, uint64_t* pud_slot) {
+  FrameAllocator& allocator = as.allocator();
+  Pte pud = LoadEntry(pud_slot);
+  ODF_DCHECK(pud.IsPresent() && !pud.IsHuge());
+  FrameId shared = pud.frame();
+
+  std::lock_guard<std::mutex> guard(PtSplitLock(shared));
+  PageMeta& shared_meta = allocator.GetMeta(shared);
+  uint32_t share = shared_meta.pt_share_count.load(std::memory_order_acquire);
+  ODF_DCHECK(share >= 1);
+  Vaddr span_end = pud_span_base + EntrySpan(PtLevel::kPud);
+  if (share == 1) {
+    StoreEntry(pud_slot, pud.WithFlag(kPteWritable));
+    as.tlb().InvalidateRange(pud_span_base, span_end);
+    ++as.stats().pmd_table_fixups;
+    return shared;
+  }
+
+  FrameId dedicated = AllocPageTable(allocator);
+  uint64_t* src = allocator.TableEntries(shared);
+  uint64_t* dst = allocator.TableEntries(dedicated);
+  for (uint64_t i = 0; i < kEntriesPerTable; ++i) {
+    Pte entry = LoadEntry(&src[i]);
+    if (!entry.IsPresent()) {
+      continue;
+    }
+    if (entry.IsHuge()) {
+      // Take a reference on the 2 MiB compound page; keep both entries COW-protected.
+      FrameId head = entry.frame();
+      allocator.GetMeta(head).refcount.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // The copy becomes one more sharer of the PTE table below.
+      allocator.GetMeta(entry.frame())
+          .pt_share_count.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (entry.IsWritable()) {
+      Pte protected_entry = entry.WithoutFlag(kPteWritable);
+      StoreEntry(&src[i], protected_entry);
+      entry = protected_entry;
+    }
+    StoreEntry(&dst[i], entry);
+  }
+  StoreEntry(pud_slot, Pte::Make(dedicated, kPtePresent | kPteWritable | kPteUser |
+                                                (pud.flags() & kPteAccessed)));
+  uint32_t previous = shared_meta.pt_share_count.fetch_sub(1, std::memory_order_acq_rel);
+  ODF_DCHECK(previous >= 2);
+  as.tlb().InvalidateRange(pud_span_base, span_end);
+  ++as.stats().pmd_table_cow_faults;
+  return dedicated;
+}
+
+void EnsureExclusivePmdPath(AddressSpace& as, Vaddr va) {
+  uint64_t* pud_slot = as.walker().FindEntry(as.pgd(), va, PtLevel::kPud);
+  if (pud_slot == nullptr) {
+    return;
+  }
+  Pte pud = LoadEntry(pud_slot);
+  if (!pud.IsPresent() || pud.IsHuge()) {
+    return;
+  }
+  if (as.allocator().GetMeta(pud.frame()).pt_share_count.load(std::memory_order_acquire) >
+      1) {
+    DedicatePmdTable(as, EntryBase(va, PtLevel::kPud), pud_slot);
+  }
+}
+
+FrameId DedicatePteTable(AddressSpace& as, Vaddr chunk_base, uint64_t* pmd_slot) {
+  FrameAllocator& allocator = as.allocator();
+  Pte pmd = LoadEntry(pmd_slot);
+  ODF_DCHECK(pmd.IsPresent() && !pmd.IsHuge());
+  FrameId shared = pmd.frame();
+
+  std::lock_guard<std::mutex> guard(PtSplitLock(shared));
+  PageMeta& shared_meta = allocator.GetMeta(shared);
+  uint32_t share = shared_meta.pt_share_count.load(std::memory_order_acquire);
+  ODF_DCHECK(share >= 1);
+  if (share == 1) {
+    // The other sharers went away while we were faulting: the table is already ours.
+    // Re-enable the hierarchical write permission and keep it (paper §3.4: "both the
+    // previously shared table and the new table become dedicated").
+    StoreEntry(pmd_slot, pmd.WithFlag(kPteWritable));
+    as.tlb().InvalidateRange(chunk_base, chunk_base + kPteTableSpan);
+    ++as.stats().pte_table_fixups;
+    return shared;
+  }
+
+  FrameId dedicated = AllocPageTable(allocator);
+  uint64_t* src = allocator.TableEntries(shared);
+  uint64_t* dst = allocator.TableEntries(dedicated);
+  for (uint64_t i = 0; i < kEntriesPerTable; ++i) {
+    Pte entry = LoadEntry(&src[i]);
+    if (entry.IsSwap()) {
+      // Swapped page: the private copy references the immutable slot too; each side will
+      // swap in its own copy on fault (trivially correct COW for swapped pages).
+      ODF_CHECK(as.swap_space() != nullptr);
+      as.swap_space()->IncRef(entry.swap_slot());
+      StoreEntry(&dst[i], entry);
+      continue;
+    }
+    if (!entry.IsPresent()) {
+      continue;
+    }
+    // Take a reference on the mapped page for the new table. This loop is the deferred cost
+    // the paper measures in Table 1: one metadata lookup + atomic increment per entry.
+    FrameId frame = entry.frame();
+    PageMeta& meta = allocator.GetMeta(frame);
+    FrameId head = ResolveCompoundHead(meta, frame);
+    allocator.GetMeta(head).refcount.fetch_add(1, std::memory_order_relaxed);
+    // Write-protect the entry in both copies so the first write to each data page still
+    // triggers a per-page COW; the accessed bit is duplicated as-is (§3.2).
+    if (entry.IsWritable()) {
+      Pte protected_entry = entry.WithoutFlag(kPteWritable);
+      StoreEntry(&src[i], protected_entry);
+      entry = protected_entry;
+    }
+    StoreEntry(&dst[i], entry);
+  }
+  // Repoint this address space's PMD entry at the private copy, restoring write permission
+  // at the PMD level, and drop our reference to the shared table.
+  StoreEntry(pmd_slot, Pte::Make(dedicated, kPtePresent | kPteWritable | kPteUser |
+                                                (pmd.flags() & kPteAccessed)));
+  uint32_t previous = shared_meta.pt_share_count.fetch_sub(1, std::memory_order_acq_rel);
+  ODF_DCHECK(previous >= 2);
+  as.tlb().InvalidateRange(chunk_base, chunk_base + kPteTableSpan);
+  ++as.stats().pte_table_cow_faults;
+  return dedicated;
+}
+
+bool RangeHasLiveVma(const AddressSpace& as, Vaddr lo, Vaddr hi) {
+  if (lo >= hi) {
+    return false;
+  }
+  const auto& vmas = as.vmas();
+  auto it = vmas.upper_bound(lo);
+  if (it != vmas.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.Overlaps(lo, hi)) {
+      return true;
+    }
+  }
+  return it != vmas.end() && it->second.Overlaps(lo, hi);
+}
+
+void ZapRange(AddressSpace& as, Vaddr start, Vaddr end) {
+  FrameAllocator& allocator = as.allocator();
+  Walker& walker = as.walker();
+  start = PageAlignDown(start);
+  end = PageAlignUp(end);
+
+  Vaddr chunk_base = start & ~(kPteTableSpan - 1);
+  for (; chunk_base < end; chunk_base += kPteTableSpan) {
+    Vaddr chunk_end = chunk_base + kPteTableSpan;
+    Vaddr lo = std::max(chunk_base, start);
+    Vaddr hi = std::min(chunk_end, end);
+
+    // §4 extension: a shared PMD table (kOnDemandHuge) covers this chunk's whole 1 GiB PUD
+    // span. Either drop the span's reference wholesale (nothing else lives there) or
+    // dedicate it before mutating anything below.
+    uint64_t* pud_slot = walker.FindEntry(as.pgd(), chunk_base, PtLevel::kPud);
+    if (pud_slot != nullptr) {
+      Pte pud = LoadEntry(pud_slot);
+      if (pud.IsPresent() &&
+          allocator.GetMeta(pud.frame()).pt_share_count.load(std::memory_order_acquire) >
+              1) {
+        Vaddr pud_base = EntryBase(chunk_base, PtLevel::kPud);
+        Vaddr pud_end = pud_base + EntrySpan(PtLevel::kPud);
+        Vaddr covered_lo = std::max(pud_base, start);
+        Vaddr covered_hi = std::min(pud_end, end);
+        bool remainder_live = RangeHasLiveVma(as, pud_base, covered_lo) ||
+                              RangeHasLiveVma(as, covered_hi, pud_end);
+        if (!remainder_live) {
+          StoreEntry(pud_slot, Pte());
+          DropPmdTableReference(allocator, as.swap_space(), pud.frame());
+          as.tlb().InvalidateRange(pud_base, pud_end);
+          // Skip the rest of this PUD span (the loop increment adds one chunk).
+          chunk_base = std::min(pud_end, end) - kPteTableSpan;
+          continue;
+        }
+        DedicatePmdTable(as, pud_base, pud_slot);
+      }
+    }
+
+    uint64_t* pmd_slot = walker.FindEntry(as.pgd(), chunk_base, PtLevel::kPmd);
+    if (pmd_slot == nullptr) {
+      continue;
+    }
+    Pte pmd = LoadEntry(pmd_slot);
+    if (!pmd.IsPresent()) {
+      continue;
+    }
+
+    if (pmd.IsHuge()) {
+      // Huge mappings are unmapped at 2 MiB granularity (enforced by AddressSpace::Unmap).
+      ODF_CHECK(lo == chunk_base && hi == chunk_end)
+          << "partial unmap of a huge mapping is not supported";
+      PutMappedPage(allocator, pmd, /*huge=*/true);
+      StoreEntry(pmd_slot, Pte());
+      as.tlb().InvalidateRange(lo, hi);
+      continue;
+    }
+
+    FrameId table = pmd.frame();
+    bool full_chunk = (lo == chunk_base && hi == chunk_end);
+    uint32_t share =
+        allocator.GetMeta(table).pt_share_count.load(std::memory_order_acquire);
+
+    if (share > 1) {
+      // §3.3: if no live VMA still needs entries in this 2 MiB span, just drop our
+      // reference; otherwise COW the table and zap only our part of the private copy.
+      bool remainder_live = !full_chunk && (RangeHasLiveVma(as, chunk_base, lo) ||
+                                            RangeHasLiveVma(as, hi, chunk_end));
+      if (!remainder_live) {
+        StoreEntry(pmd_slot, Pte());
+        DropPteTableReference(allocator, as.swap_space(), table);
+        as.tlb().InvalidateRange(chunk_base, chunk_end);
+        continue;
+      }
+      table = DedicatePteTable(as, chunk_base, pmd_slot);
+    }
+
+    if (full_chunk) {
+      StoreEntry(pmd_slot, Pte());
+      // Last ref: puts every mapped page and swap slot.
+      DropPteTableReference(allocator, as.swap_space(), table);
+      as.tlb().InvalidateRange(chunk_base, chunk_end);
+      continue;
+    }
+
+    uint64_t* entries = allocator.TableEntries(table);
+    for (Vaddr va = lo; va < hi; va += kPageSize) {
+      uint64_t* slot = &entries[TableIndex(va, PtLevel::kPte)];
+      Pte entry = LoadEntry(slot);
+      if (entry.IsPresent()) {
+        PutMappedPage(allocator, entry, /*huge=*/false);
+        StoreEntry(slot, Pte());
+      } else if (entry.IsSwap()) {
+        ODF_CHECK(as.swap_space() != nullptr);
+        as.swap_space()->DecRef(entry.swap_slot());
+        StoreEntry(slot, Pte());
+      }
+    }
+    if (TableIsEmpty(allocator, table)) {
+      StoreEntry(pmd_slot, Pte());
+      DropPteTableReference(allocator, as.swap_space(), table);
+    }
+    as.tlb().InvalidateRange(lo, hi);
+  }
+}
+
+void MovePageRange(AddressSpace& as, Vaddr old_start, Vaddr new_start, uint64_t length) {
+  FrameAllocator& allocator = as.allocator();
+  Walker& walker = as.walker();
+  ODF_CHECK(IsPageAligned(old_start) && IsPageAligned(new_start) && IsPageAligned(length));
+
+  // Dedicate any shared table touched by the source range first (§3.3: remap performs COW on
+  // shared page tables), so moving entries out cannot corrupt other sharers. Shared PMD
+  // tables (§4 extension) must become exclusive before the PTE tables below them.
+  for (Vaddr chunk = old_start & ~(kPteTableSpan - 1); chunk < old_start + length;
+       chunk += kPteTableSpan) {
+    EnsureExclusivePmdPath(as, chunk);
+    uint64_t* pmd_slot = walker.FindEntry(as.pgd(), chunk, PtLevel::kPmd);
+    if (pmd_slot == nullptr) {
+      continue;
+    }
+    Pte pmd = LoadEntry(pmd_slot);
+    if (!pmd.IsPresent() || pmd.IsHuge()) {
+      continue;
+    }
+    if (allocator.GetMeta(pmd.frame()).pt_share_count.load(std::memory_order_acquire) > 1) {
+      DedicatePteTable(as, chunk, pmd_slot);
+    }
+  }
+
+  for (uint64_t offset = 0; offset < length; offset += kPageSize) {
+    uint64_t* src_slot = walker.FindEntry(as.pgd(), old_start + offset, PtLevel::kPte);
+    if (src_slot == nullptr) {
+      continue;
+    }
+    Pte entry = LoadEntry(src_slot);
+    if (entry.IsNone()) {
+      continue;  // Neither present nor swapped: nothing to move.
+    }
+    Vaddr dest_va = new_start + offset;
+    // The destination chunk's table could itself be shared (a neighbouring VMA forked
+    // earlier maps the same 2 MiB span): dedicate before inserting.
+    EnsureExclusivePmdPath(as, dest_va);
+    uint64_t* dest_pmd = walker.EnsureEntry(as.pgd(), dest_va, PtLevel::kPmd);
+    Pte dest_pmd_entry = LoadEntry(dest_pmd);
+    if (dest_pmd_entry.IsPresent() && !dest_pmd_entry.IsHuge() &&
+        allocator.GetMeta(dest_pmd_entry.frame())
+                .pt_share_count.load(std::memory_order_acquire) > 1) {
+      DedicatePteTable(as, dest_va & ~(kPteTableSpan - 1), dest_pmd);
+    }
+    uint64_t* dst_slot = walker.EnsureEntry(as.pgd(), dest_va, PtLevel::kPte);
+    ODF_DCHECK(!LoadEntry(dst_slot).IsPresent()) << "mremap destination already mapped";
+    StoreEntry(dst_slot, entry);
+    StoreEntry(src_slot, Pte());
+  }
+  as.tlb().InvalidateRange(old_start, old_start + length);
+  as.tlb().InvalidateRange(new_start, new_start + length);
+}
+
+void ProtectRange(AddressSpace& as, Vaddr start, Vaddr end, uint32_t prot) {
+  if ((prot & kProtWrite) != 0) {
+    // Permission widening takes effect lazily through the fault handler.
+    return;
+  }
+  FrameAllocator& allocator = as.allocator();
+  Walker& walker = as.walker();
+  for (Vaddr chunk = start & ~(kPteTableSpan - 1); chunk < end; chunk += kPteTableSpan) {
+    uint64_t* pud_slot = walker.FindEntry(as.pgd(), chunk, PtLevel::kPud);
+    if (pud_slot != nullptr) {
+      Pte pud = LoadEntry(pud_slot);
+      if (pud.IsPresent() && allocator.GetMeta(pud.frame())
+                                     .pt_share_count.load(std::memory_order_acquire) > 1) {
+        // A shared PMD table is already write-protected at the PUD level; the fault handler
+        // consults the VMA before any COW, so the downgrade needs no structural change.
+        continue;
+      }
+    }
+    uint64_t* pmd_slot = walker.FindEntry(as.pgd(), chunk, PtLevel::kPmd);
+    if (pmd_slot == nullptr) {
+      continue;
+    }
+    Pte pmd = LoadEntry(pmd_slot);
+    if (!pmd.IsPresent()) {
+      continue;
+    }
+    if (pmd.IsHuge()) {
+      StoreEntry(pmd_slot, pmd.WithoutFlag(kPteWritable));
+      continue;
+    }
+    FrameId table = pmd.frame();
+    if (allocator.GetMeta(table).pt_share_count.load(std::memory_order_acquire) > 1) {
+      // Already write-protected at the PMD level; the fault handler consults the VMA before
+      // any COW, so a write into the downgraded range SEGVs without table changes.
+      continue;
+    }
+    uint64_t* entries = allocator.TableEntries(table);
+    Vaddr lo = std::max(chunk, start);
+    Vaddr hi = std::min(chunk + kPteTableSpan, end);
+    for (Vaddr va = lo; va < hi; va += kPageSize) {
+      uint64_t* slot = &entries[TableIndex(va, PtLevel::kPte)];
+      Pte entry = LoadEntry(slot);
+      if (entry.IsPresent() && entry.IsWritable()) {
+        StoreEntry(slot, entry.WithoutFlag(kPteWritable));
+      }
+    }
+  }
+  as.tlb().InvalidateRange(start, end);
+}
+
+namespace {
+
+void FreeTableRecursive(FrameAllocator& allocator, SwapSpace* swap, FrameId table,
+                        PtLevel level) {
+  uint64_t* entries = allocator.TableEntries(table);
+  for (uint64_t i = 0; i < kEntriesPerTable; ++i) {
+    Pte entry = LoadEntry(&entries[i]);
+    if (!entry.IsPresent()) {
+      continue;
+    }
+    if (level == PtLevel::kPud) {
+      // PMD tables may be shared (§4 extension) or hold leftover leaf state; dropping the
+      // reference handles both (the last dropper releases huge pages and PTE tables).
+      DropPmdTableReference(allocator, swap, entry.frame());
+      StoreEntry(&entries[i], Pte());
+      continue;
+    }
+    FreeTableRecursive(allocator, swap, entry.frame(), NextLevel(level));
+    StoreEntry(&entries[i], Pte());
+  }
+  allocator.DecRef(table);
+}
+
+}  // namespace
+
+void FreePageTables(AddressSpace& as) {
+  FreeTableRecursive(as.allocator(), as.swap_space(), as.pgd(), PtLevel::kPgd);
+}
+
+}  // namespace odf

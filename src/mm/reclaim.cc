@@ -1,0 +1,81 @@
+#include "src/mm/reclaim.h"
+
+#include <algorithm>
+
+#include "src/mm/range_ops.h"
+#include "src/util/log.h"
+
+namespace odf {
+
+uint64_t ClockReclaimAddressSpace(AddressSpace& as, SwapSpace& swap, uint64_t want) {
+  FrameAllocator& allocator = as.allocator();
+  Walker& walker = as.walker();
+  uint64_t freed = 0;
+
+  for (const auto& [start, vma] : as.vmas()) {
+    if (vma.kind != VmaKind::kAnonPrivate || vma.huge || freed >= want) {
+      continue;
+    }
+    for (Vaddr chunk = EntryBase(vma.start, PtLevel::kPmd); chunk < vma.end && freed < want;
+         chunk += kPteTableSpan) {
+      // Skip spans reachable through shared tables (no rmap to fix other sharers' views).
+      uint64_t* pud_slot = walker.FindEntry(as.pgd(), chunk, PtLevel::kPud);
+      if (pud_slot == nullptr) {
+        continue;
+      }
+      Pte pud = LoadEntry(pud_slot);
+      if (!pud.IsPresent() ||
+          allocator.GetMeta(pud.frame()).pt_share_count.load(std::memory_order_acquire) > 1) {
+        continue;
+      }
+      uint64_t* pmd_slot = walker.FindEntry(as.pgd(), chunk, PtLevel::kPmd);
+      if (pmd_slot == nullptr) {
+        continue;
+      }
+      Pte pmd = LoadEntry(pmd_slot);
+      if (!pmd.IsPresent() || pmd.IsHuge() ||
+          allocator.GetMeta(pmd.frame()).pt_share_count.load(std::memory_order_acquire) > 1) {
+        continue;
+      }
+
+      uint64_t* entries = allocator.TableEntries(pmd.frame());
+      Vaddr lo = std::max(chunk, vma.start);
+      Vaddr hi = std::min(chunk + kPteTableSpan, vma.end);
+      for (Vaddr va = lo; va < hi && freed < want; va += kPageSize) {
+        uint64_t* slot = &entries[TableIndex(va, PtLevel::kPte)];
+        Pte entry = LoadEntry(slot);
+        if (!entry.IsPresent()) {
+          continue;
+        }
+        FrameId frame = entry.frame();
+        PageMeta& meta = allocator.GetMeta(frame);
+        if (meta.IsCompound() || (meta.flags & kPageFlagAnon) == 0 ||
+            meta.refcount.load(std::memory_order_acquire) != 1) {
+          continue;
+        }
+        if (entry.IsAccessed()) {
+          // Second chance: clear the bit; the page is a victim on the next pass unless the
+          // process touches it again (the walker will re-set the bit).
+          StoreEntry(slot, entry.WithoutFlag(kPteAccessed));
+          as.tlb().InvalidatePage(va);
+          continue;
+        }
+        const std::byte* data = allocator.PeekData(frame);
+        if (data == nullptr) {
+          // Never materialised: logically zero. Drop it; a refault demand-zeroes.
+          StoreEntry(slot, Pte());
+        } else {
+          SwapSlot swap_slot = swap.WriteOut(data);
+          StoreEntry(slot, Pte::MakeSwap(swap_slot));
+        }
+        allocator.DecRef(frame);
+        as.tlb().InvalidatePage(va);
+        ++as.stats().pages_swapped_out;
+        ++freed;
+      }
+    }
+  }
+  return freed;
+}
+
+}  // namespace odf

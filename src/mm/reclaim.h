@@ -1,0 +1,22 @@
+// Page reclaim: a clock (second-chance) algorithm over the accessed bits the software MMU
+// maintains, swapping out cold single-owner anonymous pages. This is the "kernel takes
+// appropriate action to free more pages" half of the paper's §4 robustness story; the OOM
+// killer lives in the Kernel facade.
+#ifndef ODF_SRC_MM_RECLAIM_H_
+#define ODF_SRC_MM_RECLAIM_H_
+
+#include "src/mm/address_space.h"
+#include "src/mm/swap.h"
+
+namespace odf {
+
+// One clock pass over `as`: pages with the accessed bit set get a second chance (the bit is
+// cleared); cold pages are swapped out (or simply dropped if their content is still
+// logical-zero). Only 4 KiB private-anonymous pages with refcount 1 living in dedicated
+// tables are eligible — pages visible through shared PTE tables are skipped, as the
+// reclaimer has no reverse map for sharers. Returns the number of frames freed.
+uint64_t ClockReclaimAddressSpace(AddressSpace& as, SwapSpace& swap, uint64_t want);
+
+}  // namespace odf
+
+#endif  // ODF_SRC_MM_RECLAIM_H_

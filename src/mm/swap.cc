@@ -1,0 +1,79 @@
+#include "src/mm/swap.h"
+
+#include <cstring>
+
+#include "src/util/log.h"
+
+namespace odf {
+
+SwapSlot SwapSpace::WriteOut(const std::byte* src) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  SwapSlot slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = slots_.size();
+    slots_.emplace_back();
+    ++stats_.total_slots;
+  }
+  Slot& entry = slots_[slot];
+  ODF_DCHECK(entry.refs == 0);
+  if (src != nullptr) {
+    if (entry.data == nullptr) {
+      entry.data = std::make_unique<std::byte[]>(kPageSize);
+    }
+    std::memcpy(entry.data.get(), src, kPageSize);
+  } else {
+    entry.data.reset();  // Logical zero; no device storage needed.
+  }
+  entry.refs = 1;
+  ++stats_.slots_in_use;
+  ++stats_.writes;
+  return slot;
+}
+
+void SwapSpace::ReadIn(SwapSlot slot, std::byte* dst) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  ODF_CHECK(slot < slots_.size() && slots_[slot].refs > 0) << "read of free swap slot " << slot;
+  const Slot& entry = slots_[slot];
+  if (entry.data == nullptr) {
+    std::memset(dst, 0, kPageSize);
+  } else {
+    std::memcpy(dst, entry.data.get(), kPageSize);
+  }
+  ++stats_.reads;
+}
+
+void SwapSpace::IncRef(SwapSlot slot) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  ODF_CHECK(slot < slots_.size() && slots_[slot].refs > 0) << "incref of free slot " << slot;
+  ++slots_[slot].refs;
+}
+
+void SwapSpace::DecRef(SwapSlot slot) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  ODF_CHECK(slot < slots_.size() && slots_[slot].refs > 0) << "decref of free slot " << slot;
+  if (--slots_[slot].refs == 0) {
+    free_slots_.push_back(slot);
+    --stats_.slots_in_use;
+    // Keep the buffer for recycling; a zeroing WriteOut replaces content anyway.
+  }
+}
+
+uint32_t SwapSpace::RefCount(SwapSlot slot) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return slot < slots_.size() ? slots_[slot].refs : 0;
+}
+
+SwapStats SwapSpace::Stats() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return stats_;
+}
+
+bool SwapSpace::AllFree() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return stats_.slots_in_use == 0;
+}
+
+}  // namespace odf

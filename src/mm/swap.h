@@ -1,0 +1,69 @@
+// SwapSpace: the simulated swap device.
+//
+// The paper's robustness story (§4) relies on the kernel's usual low-memory machinery: when
+// PTE tables (or data pages) cannot be allocated, pages are swapped out or the OOM killer
+// runs. This module provides the swap half: reference-counted 4 KiB slots on a "device"
+// outside simulated RAM (host memory — the analog of a disk), written by the reclaimer and
+// read back by the swap-in fault path.
+//
+// Slot reference counting mirrors Linux's swap_map: classic fork copies a swap PTE and takes
+// a slot reference; every swap-in or unmap drops one; the slot is recycled at zero. A slot's
+// content is immutable while referenced, which is what makes post-fork COW of swapped pages
+// trivially correct — each process faults in its own private copy.
+#ifndef ODF_SRC_MM_SWAP_H_
+#define ODF_SRC_MM_SWAP_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/phys/page_meta.h"
+
+namespace odf {
+
+using SwapSlot = uint64_t;
+
+struct SwapStats {
+  uint64_t slots_in_use = 0;
+  uint64_t total_slots = 0;      // High-water mark of device size.
+  uint64_t writes = 0;           // Pages swapped out.
+  uint64_t reads = 0;            // Pages swapped in.
+};
+
+class SwapSpace {
+ public:
+  SwapSpace() = default;
+  SwapSpace(const SwapSpace&) = delete;
+  SwapSpace& operator=(const SwapSpace&) = delete;
+
+  // Allocates a slot with refcount 1 and stores the page content. `src` may be null for a
+  // logically-zero page (the slot then reads back as zeros without storing a buffer).
+  SwapSlot WriteOut(const std::byte* src);
+
+  // Copies the slot's content into `dst` (exactly kPageSize bytes).
+  void ReadIn(SwapSlot slot, std::byte* dst);
+
+  // Slot reference management (fork copies a swap entry -> IncRef; unmap/swap-in -> DecRef).
+  void IncRef(SwapSlot slot);
+  void DecRef(SwapSlot slot);
+
+  uint32_t RefCount(SwapSlot slot) const;
+  SwapStats Stats() const;
+  bool AllFree() const;
+
+ private:
+  struct Slot {
+    std::unique_ptr<std::byte[]> data;  // Null == all-zero content.
+    uint32_t refs = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Slot> slots_;
+  std::vector<SwapSlot> free_slots_;
+  SwapStats stats_;
+};
+
+}  // namespace odf
+
+#endif  // ODF_SRC_MM_SWAP_H_

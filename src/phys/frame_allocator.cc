@@ -1,0 +1,257 @@
+#include "src/phys/frame_allocator.h"
+
+#include <cstring>
+
+#include "src/util/log.h"
+
+namespace odf {
+
+FrameAllocator::~FrameAllocator() {
+  // Frame data buffers are owned here; release whatever is still materialised.
+  for (auto& chunk : chunks_) {
+    for (size_t i = 0; i < kChunkSize; ++i) {
+      PageMeta& meta = chunk[i];
+      if (meta.data != nullptr && !meta.IsCompoundTail()) {
+        delete[] meta.data;
+        meta.data = nullptr;
+      }
+    }
+  }
+}
+
+PageMeta& FrameAllocator::MetaRef(FrameId frame) const {
+  size_t chunk = frame >> kChunkShift;
+  size_t index = frame & (kChunkSize - 1);
+  ODF_DCHECK(chunk < chunks_.size()) << "frame " << frame << " out of range";
+  return chunks_[chunk][index];
+}
+
+PageMeta& FrameAllocator::GetMeta(FrameId frame) { return MetaRef(frame); }
+const PageMeta& FrameAllocator::GetMeta(FrameId frame) const { return MetaRef(frame); }
+
+void FrameAllocator::AddChunkLocked() {
+  auto chunk = std::make_unique<PageMeta[]>(kChunkSize);
+  FrameId base = static_cast<FrameId>(chunks_.size() << kChunkShift);
+  chunks_.push_back(std::move(chunk));
+  stats_.total_frames += kChunkSize;
+  // Push in reverse so low frame ids are handed out first (mildly better locality).
+  for (size_t i = kChunkSize; i-- > 0;) {
+    free_list_.push_back(base + static_cast<FrameId>(i));
+  }
+}
+
+FrameId FrameAllocator::PopFreeLocked() {
+  if (free_list_.empty()) {
+    AddChunkLocked();
+  }
+  FrameId frame = free_list_.back();
+  free_list_.pop_back();
+  return frame;
+}
+
+void FrameAllocator::SetFrameLimit(uint64_t frames) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  frame_limit_ = frames;
+}
+
+uint64_t FrameAllocator::frame_limit() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return frame_limit_;
+}
+
+void FrameAllocator::SetReclaimCallback(ReclaimCallback callback) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  reclaim_callback_ = std::move(callback);
+}
+
+void FrameAllocator::WaitForQuota(uint64_t frames) {
+  // Like the kernel putting the faulting process to sleep while it frees memory (§4): run
+  // reclaim rounds until the allocation fits, or declare OOM when no progress is possible.
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    ReclaimCallback callback;
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      if (frame_limit_ == 0 || stats_.allocated_frames + frames <= frame_limit_) {
+        return;
+      }
+      callback = reclaim_callback_;
+    }
+    ODF_CHECK(callback) << "out of simulated memory (" << frames
+                        << " frames wanted) and no reclaimer installed";
+    uint64_t freed = callback(frames + 64);  // Batch a little slack to avoid thrash.
+    if (freed == 0) {
+      break;
+    }
+  }
+  std::lock_guard<std::mutex> guard(mutex_);
+  ODF_CHECK(frame_limit_ == 0 || stats_.allocated_frames + frames <= frame_limit_)
+      << "out of simulated memory: limit " << frame_limit_ << " frames, "
+      << stats_.allocated_frames << " allocated, " << frames << " wanted, reclaim exhausted";
+}
+
+FrameId FrameAllocator::Allocate(uint8_t flags) {
+  WaitForQuota(1);
+  std::lock_guard<std::mutex> guard(mutex_);
+  FrameId frame = PopFreeLocked();
+  PageMeta& meta = MetaRef(frame);
+  ODF_DCHECK((meta.flags & kPageFlagAllocated) == 0) << "double allocation of frame " << frame;
+  meta.flags = static_cast<uint8_t>(flags | kPageFlagAllocated);
+  meta.order = 0;
+  meta.compound_head = frame;
+  meta.refcount.store(1, std::memory_order_relaxed);
+  meta.pt_share_count.store(0, std::memory_order_relaxed);
+  ++stats_.allocated_frames;
+  if ((flags & kPageFlagPageTable) != 0) {
+    ++stats_.page_table_frames;
+    if (meta.data == nullptr) {
+      meta.data = new std::byte[kPageSize];
+      stats_.materialized_bytes += kPageSize;
+    }
+    std::memset(meta.data, 0, kPageSize);
+  }
+  return frame;
+}
+
+FrameId FrameAllocator::AllocateCompound(uint8_t flags) {
+  constexpr FrameId kCompoundFrames = 1u << kHugePageOrder;
+  WaitForQuota(kCompoundFrames);
+  std::lock_guard<std::mutex> guard(mutex_);
+  FrameId head;
+  if (!compound_free_list_.empty()) {
+    head = compound_free_list_.back();
+    compound_free_list_.pop_back();
+  } else {
+    // Grow by one chunk dedicated to compounds (like a hugetlb pool): all of its 512-aligned
+    // runs go onto the compound free list, amortising the chunk-add cost over 128 compound
+    // allocations instead of paying it per fault.
+    FrameId base = static_cast<FrameId>(chunks_.size() << kChunkShift);
+    chunks_.push_back(std::make_unique<PageMeta[]>(kChunkSize));
+    stats_.total_frames += kChunkSize;
+    for (FrameId run = static_cast<FrameId>(kChunkSize); run > kCompoundFrames;
+         run -= kCompoundFrames) {
+      compound_free_list_.push_back(base + run - kCompoundFrames);
+    }
+    head = base;
+    ODF_CHECK((head & (kCompoundFrames - 1)) == 0) << "compound carve misaligned";
+  }
+  PageMeta& head_meta = MetaRef(head);
+  head_meta.flags = static_cast<uint8_t>(flags | kPageFlagAllocated | kPageFlagCompoundHead);
+  head_meta.order = static_cast<uint8_t>(kHugePageOrder);
+  head_meta.compound_head = head;
+  head_meta.refcount.store(1, std::memory_order_relaxed);
+  head_meta.pt_share_count.store(0, std::memory_order_relaxed);
+  for (FrameId i = 1; i < kCompoundFrames; ++i) {
+    PageMeta& tail = MetaRef(head + i);
+    tail.flags = static_cast<uint8_t>(flags | kPageFlagAllocated | kPageFlagCompoundTail);
+    tail.order = 0;
+    tail.compound_head = head;
+    tail.refcount.store(0, std::memory_order_relaxed);
+  }
+  stats_.allocated_frames += kCompoundFrames;
+  return head;
+}
+
+void FrameAllocator::IncRef(FrameId frame) {
+  GetMeta(frame).refcount.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FrameAllocator::DecRef(FrameId frame) {
+  PageMeta& meta = GetMeta(frame);
+  ODF_DCHECK(!meta.IsCompoundTail()) << "DecRef on compound tail " << frame;
+  uint32_t previous = meta.refcount.fetch_sub(1, std::memory_order_acq_rel);
+  ODF_DCHECK(previous != 0) << "refcount underflow on frame " << frame;
+  if (previous == 1) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    FreeOneLocked(frame);
+  }
+}
+
+void FrameAllocator::FreeOneLocked(FrameId frame) {
+  PageMeta& meta = MetaRef(frame);
+  ODF_DCHECK((meta.flags & kPageFlagAllocated) != 0) << "double free of frame " << frame;
+  if (meta.data != nullptr) {
+    uint64_t bytes = meta.IsCompoundHead() ? kHugePageSize : kPageSize;
+    delete[] meta.data;
+    meta.data = nullptr;
+    stats_.materialized_bytes -= bytes;
+  }
+  if ((meta.flags & kPageFlagPageTable) != 0) {
+    --stats_.page_table_frames;
+  }
+  if (meta.IsCompoundHead()) {
+    constexpr FrameId kCompoundFrames = 1u << kHugePageOrder;
+    for (FrameId i = 1; i < kCompoundFrames; ++i) {
+      PageMeta& tail = MetaRef(frame + i);
+      tail.flags = 0;
+      tail.compound_head = kInvalidFrame;
+    }
+    meta.flags = 0;
+    meta.order = 0;
+    stats_.allocated_frames -= kCompoundFrames;
+    compound_free_list_.push_back(frame);
+    return;
+  }
+  meta.flags = 0;
+  meta.compound_head = kInvalidFrame;
+  --stats_.allocated_frames;
+  free_list_.push_back(frame);
+}
+
+std::byte* FrameAllocator::MaterializeData(FrameId frame, bool zero) {
+  PageMeta& meta = GetMeta(frame);
+  if (meta.IsCompoundTail()) {
+    FrameId head = meta.compound_head;
+    // A tail materialisation touches only part of the 2 MiB buffer; the rest must be zero.
+    std::byte* base = MaterializeData(head, /*zero=*/true);
+    return base + (static_cast<uint64_t>(frame - head) << kPageShift);
+  }
+  if (meta.data != nullptr) {
+    return meta.data;
+  }
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (meta.data == nullptr) {
+    uint64_t bytes = meta.IsCompoundHead() ? kHugePageSize : kPageSize;
+    auto* buffer = new std::byte[bytes];
+    if (zero) {
+      std::memset(buffer, 0, bytes);
+    }
+    meta.data = buffer;
+    stats_.materialized_bytes += bytes;
+  }
+  return meta.data;
+}
+
+std::byte* FrameAllocator::PeekData(FrameId frame) {
+  PageMeta& meta = GetMeta(frame);
+  if (meta.IsCompoundTail()) {
+    FrameId head = meta.compound_head;
+    std::byte* base = PeekData(head);
+    if (base == nullptr) {
+      return nullptr;
+    }
+    return base + (static_cast<uint64_t>(frame - head) << kPageShift);
+  }
+  return meta.data;
+}
+
+const std::byte* FrameAllocator::PeekData(FrameId frame) const {
+  return const_cast<FrameAllocator*>(this)->PeekData(frame);
+}
+
+uint64_t* FrameAllocator::TableEntries(FrameId frame) {
+  PageMeta& meta = GetMeta(frame);
+  ODF_DCHECK(meta.IsPageTable()) << "frame " << frame << " is not a page table";
+  return reinterpret_cast<uint64_t*>(meta.data);
+}
+
+FrameAllocatorStats FrameAllocator::Stats() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return stats_;
+}
+
+bool FrameAllocator::AllFree() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return stats_.allocated_frames == 0;
+}
+
+}  // namespace odf

@@ -1,0 +1,113 @@
+// Physical frame allocator for the simulated machine.
+//
+// Frames are identified by dense FrameId indices into a chunked metadata array (the analog of
+// the kernel's memmap/`struct page` array). Frame *data* (the 4 KiB contents) is materialised
+// lazily on first write so that a 50 GB simulated mapping costs only metadata — this is the
+// substitution that lets paper-scale sweeps run in a small container (see DESIGN.md).
+#ifndef ODF_SRC_PHYS_FRAME_ALLOCATOR_H_
+#define ODF_SRC_PHYS_FRAME_ALLOCATOR_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/phys/page_meta.h"
+
+namespace odf {
+
+// Aggregate allocator statistics, readable at any time (approximate under concurrency).
+struct FrameAllocatorStats {
+  uint64_t total_frames = 0;      // Frames ever created (high-water mark).
+  uint64_t allocated_frames = 0;  // Currently allocated (counting each tail of a compound).
+  uint64_t materialized_bytes = 0;  // Real memory held by frame data buffers.
+  uint64_t page_table_frames = 0;
+};
+
+class FrameAllocator {
+ public:
+  FrameAllocator() = default;
+  ~FrameAllocator();
+
+  FrameAllocator(const FrameAllocator&) = delete;
+  FrameAllocator& operator=(const FrameAllocator&) = delete;
+
+  // Allocates one 4 KiB frame. `flags` should include the owner kind (anon/file/page-table).
+  // Page-table frames get their data materialised and zeroed immediately (tables are always
+  // real memory; they are what this library is about). The frame starts with refcount 1.
+  FrameId Allocate(uint8_t flags);
+
+  // Allocates a 2 MiB compound page (512 contiguous frames, head + tails). Returns the head.
+  // The head starts with refcount 1; tails are marked and redirect to the head.
+  FrameId AllocateCompound(uint8_t flags);
+
+  // Drops one reference; frees the frame when the count hits zero. For compound heads the
+  // entire compound is freed. Must not be called on tails (callers resolve the head first).
+  void DecRef(FrameId frame);
+
+  // Adds a reference. Callers on the fork path use GetMeta + explicit atomics instead so the
+  // cost profile is visible at the call site; this is the convenience form.
+  void IncRef(FrameId frame);
+
+  PageMeta& GetMeta(FrameId frame);
+  const PageMeta& GetMeta(FrameId frame) const;
+
+  // Returns the frame's data buffer, materialising (and zero-filling) it if absent.
+  // For compound tails, returns the interior pointer into the head's 2 MiB buffer.
+  // Pass zero=false only when the caller immediately overwrites the whole buffer (COW
+  // copies), saving a redundant clear.
+  std::byte* MaterializeData(FrameId frame, bool zero = true);
+
+  // Returns the data buffer or nullptr if the frame's content is still logical-zero.
+  std::byte* PeekData(FrameId frame);
+  const std::byte* PeekData(FrameId frame) const;
+
+  // Entries view for page-table frames (asserts kPageFlagPageTable).
+  uint64_t* TableEntries(FrameId frame);
+
+  FrameAllocatorStats Stats() const;
+
+  // True when every frame ever allocated has been freed — the leak check used by tests.
+  bool AllFree() const;
+
+  // --- Simulated physical-memory pressure (paper §4 "Robustness") ---
+
+  // Caps the number of simultaneously allocated frames (the machine's RAM size). 0 (the
+  // default) means unlimited. When an allocation would exceed the limit, the reclaim
+  // callback runs (outside the allocator lock) until enough frames are free; if it cannot
+  // make progress the allocation is a fatal OOM.
+  void SetFrameLimit(uint64_t frames);
+  uint64_t frame_limit() const;
+
+  // Must free frames (swap out pages / kill a process) and return how many it freed.
+  using ReclaimCallback = std::function<uint64_t(uint64_t want)>;
+  void SetReclaimCallback(ReclaimCallback callback);
+
+ private:
+  static constexpr size_t kChunkShift = 16;  // 65536 frames (256 MiB simulated) per chunk.
+  static constexpr size_t kChunkSize = 1ULL << kChunkShift;
+
+  // Grows the metadata array by one chunk and pushes its frames onto the free list.
+  void AddChunkLocked();
+  FrameId PopFreeLocked();
+  void FreeOneLocked(FrameId frame);
+
+  PageMeta& MetaRef(FrameId frame) const;
+
+  // Blocks (outside the lock) until `frames` more can be allocated under the limit.
+  void WaitForQuota(uint64_t frames);
+
+  mutable std::mutex mutex_;
+  uint64_t frame_limit_ = 0;
+  ReclaimCallback reclaim_callback_;
+  std::vector<std::unique_ptr<PageMeta[]>> chunks_;
+  std::vector<FrameId> free_list_;
+  // Free list of 512-aligned compound candidates (freed compounds are recycled whole).
+  std::vector<FrameId> compound_free_list_;
+  FrameAllocatorStats stats_;
+};
+
+}  // namespace odf
+
+#endif  // ODF_SRC_PHYS_FRAME_ALLOCATOR_H_

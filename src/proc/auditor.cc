@@ -1,0 +1,206 @@
+#include "src/proc/auditor.h"
+
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/mm/range_ops.h"
+#include "src/util/log.h"
+
+namespace odf {
+
+namespace {
+
+struct AuditState {
+  FrameAllocator* allocator;
+  AuditResult* result;
+
+  // Expected reference counts reconstructed from the paging structures.
+  std::unordered_map<FrameId, uint64_t> pmd_table_refs;  // PUD entries -> PMD table.
+  std::unordered_map<FrameId, uint64_t> pte_table_refs;  // PMD entries -> PTE table.
+  std::unordered_map<FrameId, uint64_t> page_refs;       // Leaf entries + cache -> frame.
+  std::unordered_map<SwapSlot, uint64_t> swap_refs;      // Swap PTEs -> slot.
+
+  std::set<FrameId> distinct_pmd_tables;
+  std::set<FrameId> distinct_pte_tables;
+
+  void Violation(const std::string& message) { result->violations.push_back(message); }
+};
+
+void CheckTableFrame(AuditState& state, FrameId frame, const char* what) {
+  const PageMeta& meta = state.allocator->GetMeta(frame);
+  if ((meta.flags & kPageFlagAllocated) == 0) {
+    state.Violation(std::string(what) + " frame " + std::to_string(frame) + " is freed");
+  }
+  if (!meta.IsPageTable()) {
+    state.Violation(std::string(what) + " frame " + std::to_string(frame) +
+                    " is not flagged as a page table");
+  }
+}
+
+// Phase 1: walk one address space's upper levels, recording references and collecting the
+// distinct PMD tables (leaf tables are scanned once per distinct table in phase 2).
+void WalkAddressSpace(AuditState& state, AddressSpace& as) {
+  FrameAllocator& allocator = *state.allocator;
+  uint64_t* pgd_entries = allocator.TableEntries(as.pgd());
+  for (uint64_t g = 0; g < kEntriesPerTable; ++g) {
+    Pte pud_link = LoadEntry(&pgd_entries[g]);
+    if (!pud_link.IsPresent()) {
+      continue;
+    }
+    CheckTableFrame(state, pud_link.frame(), "PUD-table");
+    uint64_t* pud_entries = allocator.TableEntries(pud_link.frame());
+    for (uint64_t u = 0; u < kEntriesPerTable; ++u) {
+      Pte pmd_link = LoadEntry(&pud_entries[u]);
+      if (!pmd_link.IsPresent()) {
+        continue;
+      }
+      CheckTableFrame(state, pmd_link.frame(), "PMD-table");
+      ++state.pmd_table_refs[pmd_link.frame()];
+      state.distinct_pmd_tables.insert(pmd_link.frame());
+      ++state.result->tables_checked;
+    }
+  }
+}
+
+// Phase 2: each distinct PMD table contributes one reference per entry (huge page or PTE
+// table) — regardless of how many address spaces share the PMD table itself (§3.6).
+void WalkPmdTables(AuditState& state) {
+  FrameAllocator& allocator = *state.allocator;
+  for (FrameId pmd_table : state.distinct_pmd_tables) {
+    uint64_t* entries = allocator.TableEntries(pmd_table);
+    for (uint64_t i = 0; i < kEntriesPerTable; ++i) {
+      Pte entry = LoadEntry(&entries[i]);
+      if (!entry.IsPresent()) {
+        continue;
+      }
+      if (entry.IsHuge()) {
+        ++state.page_refs[entry.frame()];
+        ++state.result->leaf_entries_checked;
+        continue;
+      }
+      CheckTableFrame(state, entry.frame(), "PTE-table");
+      ++state.pte_table_refs[entry.frame()];
+      state.distinct_pte_tables.insert(entry.frame());
+      ++state.result->tables_checked;
+    }
+  }
+}
+
+// Phase 3: each distinct PTE table contributes one reference per mapped page / swap slot.
+void WalkPteTables(AuditState& state) {
+  FrameAllocator& allocator = *state.allocator;
+  for (FrameId pte_table : state.distinct_pte_tables) {
+    uint64_t* entries = allocator.TableEntries(pte_table);
+    for (uint64_t i = 0; i < kEntriesPerTable; ++i) {
+      Pte entry = LoadEntry(&entries[i]);
+      if (entry.IsSwap()) {
+        ++state.swap_refs[entry.swap_slot()];
+        ++state.result->leaf_entries_checked;
+        continue;
+      }
+      if (!entry.IsPresent()) {
+        continue;
+      }
+      FrameId frame = entry.frame();
+      const PageMeta& meta = allocator.GetMeta(frame);
+      if ((meta.flags & kPageFlagAllocated) == 0) {
+        state.Violation("leaf entry references freed frame " + std::to_string(frame));
+      }
+      if (meta.IsPageTable()) {
+        state.Violation("leaf entry references a page-table frame " + std::to_string(frame));
+      }
+      ++state.page_refs[ResolveCompoundHead(meta, frame)];
+      ++state.result->leaf_entries_checked;
+    }
+  }
+}
+
+}  // namespace
+
+std::string AuditResult::Describe() const {
+  std::ostringstream out;
+  out << "audited " << processes_audited << " processes, " << tables_checked << " tables, "
+      << leaf_entries_checked << " leaf entries: ";
+  if (violations.empty()) {
+    out << "OK";
+  } else {
+    out << violations.size() << " violations\n";
+    for (const std::string& violation : violations) {
+      out << "  - " << violation << "\n";
+    }
+  }
+  return out.str();
+}
+
+AuditResult AuditKernel(Kernel& kernel) {
+  AuditResult result;
+  AuditState state;
+  state.allocator = &kernel.allocator();
+  state.result = &result;
+
+  std::vector<Process*> processes = kernel.RunningProcesses();
+  for (Process* process : processes) {
+    WalkAddressSpace(state, process->address_space());
+    ++result.processes_audited;
+  }
+  WalkPmdTables(state);
+  WalkPteTables(state);
+
+  // Page-cache references: one per cached page, per file. Files are found through the
+  // filesystem AND through live VMAs (an unlinked file stays alive while mapped).
+  std::unordered_set<MemFile*> files;
+  std::vector<std::shared_ptr<MemFile>> file_handles;
+  kernel.fs().ForEachFile([&](const std::shared_ptr<MemFile>& file) {
+    if (files.insert(file.get()).second) {
+      file_handles.push_back(file);
+    }
+  });
+  for (Process* process : processes) {
+    for (const auto& [start, vma] : process->address_space().vmas()) {
+      if (vma.file != nullptr && files.insert(vma.file.get()).second) {
+        file_handles.push_back(vma.file);
+      }
+    }
+  }
+  for (const auto& file : file_handles) {
+    file->ForEachCachedPage([&](uint64_t index, FrameId frame) {
+      (void)index;
+      ++state.page_refs[frame];
+    });
+  }
+
+  // Compare expected vs actual counters.
+  for (const auto& [table, expected] : state.pmd_table_refs) {
+    uint64_t actual = kernel.allocator().GetMeta(table).pt_share_count.load();
+    if (actual != expected) {
+      state.Violation("PMD table " + std::to_string(table) + " share count " +
+                      std::to_string(actual) + " != referenced " + std::to_string(expected));
+    }
+  }
+  for (const auto& [table, expected] : state.pte_table_refs) {
+    uint64_t actual = kernel.allocator().GetMeta(table).pt_share_count.load();
+    if (actual != expected) {
+      state.Violation("PTE table " + std::to_string(table) + " share count " +
+                      std::to_string(actual) + " != referenced " + std::to_string(expected));
+    }
+  }
+  for (const auto& [frame, expected] : state.page_refs) {
+    uint64_t actual = kernel.allocator().GetMeta(frame).refcount.load();
+    if (actual != expected) {
+      state.Violation("frame " + std::to_string(frame) + " refcount " +
+                      std::to_string(actual) + " != referenced " + std::to_string(expected));
+    }
+  }
+  for (const auto& [slot, expected] : state.swap_refs) {
+    uint64_t actual = kernel.swap_space().RefCount(slot);
+    if (actual != expected) {
+      state.Violation("swap slot " + std::to_string(slot) + " refcount " +
+                      std::to_string(actual) + " != referenced " + std::to_string(expected));
+    }
+  }
+  return result;
+}
+
+}  // namespace odf

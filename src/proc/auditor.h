@@ -1,0 +1,41 @@
+// Global paging-structure auditor: walks EVERY process's page tables and cross-checks the
+// reference-counting invariants the on-demand-fork design rests on (DESIGN.md §invariants):
+//
+//   1. A PTE table's pt_share_count equals the number of PMD entries (across all address
+//      spaces, through shared PMD tables counted once per sharer) that reference it.
+//   2. A data frame's refcount equals the number of leaf entries in DEDICATED ownership
+//      chains that map it, plus its page-cache references (shared tables hold one reference
+//      on behalf of all their sharers — §3.6).
+//   3. A swap slot's refcount equals the number of swap PTEs referencing it.
+//   4. Table frames are flagged as tables; mapped frames are allocated; no entry references
+//      a freed frame.
+//
+// Tests run the auditor after complex scenarios; it turns subtle accounting drift into
+// immediate failures instead of leaks found at teardown.
+#ifndef ODF_SRC_PROC_AUDITOR_H_
+#define ODF_SRC_PROC_AUDITOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/proc/kernel.h"
+
+namespace odf {
+
+struct AuditResult {
+  std::vector<std::string> violations;
+  uint64_t processes_audited = 0;
+  uint64_t tables_checked = 0;
+  uint64_t leaf_entries_checked = 0;
+
+  bool ok() const { return violations.empty(); }
+  std::string Describe() const;
+};
+
+// Audits every running process in `kernel`. The kernel must be quiescent (no concurrent
+// mutation) — the auditor reads all paging structures non-atomically.
+AuditResult AuditKernel(Kernel& kernel);
+
+}  // namespace odf
+
+#endif  // ODF_SRC_PROC_AUDITOR_H_

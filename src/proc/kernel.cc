@@ -1,0 +1,156 @@
+#include "src/proc/kernel.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/mm/reclaim.h"
+#include "src/util/log.h"
+
+namespace odf {
+
+thread_local Process* Kernel::active_process_ = nullptr;
+
+Kernel::Kernel() : fs_(&allocator_) {
+  allocator_.SetReclaimCallback([this](uint64_t want) { return ReclaimMemory(want); });
+}
+
+void Kernel::SetMemoryLimitFrames(uint64_t frames) { allocator_.SetFrameLimit(frames); }
+
+uint64_t Kernel::ReclaimMemory(uint64_t want) {
+  // Snapshot the running processes (reclaim may be invoked from an allocation deep inside
+  // one of them; the table lock is not held there).
+  std::vector<Process*> candidates;
+  {
+    std::lock_guard<std::mutex> guard(table_mutex_);
+    for (auto& [pid, process] : processes_) {
+      if (process->state() == ProcessState::kRunning) {
+        candidates.push_back(process.get());
+      }
+    }
+  }
+  uint64_t freed = 0;
+  // Two clock passes: the first clears accessed bits (second chance), the second collects
+  // the pages that stayed cold.
+  for (int pass = 0; pass < 2 && freed < want; ++pass) {
+    for (Process* process : candidates) {
+      if (freed >= want) {
+        break;
+      }
+      freed += ClockReclaimAddressSpace(process->address_space(), swap_, want - freed);
+    }
+  }
+  if (freed > 0) {
+    return freed;
+  }
+  // Nothing reclaimable: OOM-kill the largest running process (by mapped bytes), like the
+  // kernel's last resort. Its teardown releases frames.
+  Process* victim = nullptr;
+  uint64_t victim_bytes = 0;
+  for (Process* process : candidates) {
+    if (process == active_process_) {
+      continue;  // Never kill the process whose allocation we are servicing.
+    }
+    uint64_t bytes = process->address_space().MappedBytes();
+    if (process->state() == ProcessState::kRunning && bytes > victim_bytes) {
+      victim = process;
+      victim_bytes = bytes;
+    }
+  }
+  if (victim == nullptr) {
+    return 0;
+  }
+  ODF_LOG(kWarn) << "OOM killer: killing pid " << victim->pid() << " (" << victim_bytes
+                 << " mapped bytes)";
+  uint64_t before = allocator_.Stats().allocated_frames;
+  Exit(*victim, -9);
+  ++oom_kills_;
+  uint64_t after = allocator_.Stats().allocated_frames;
+  return before > after ? before - after : 0;
+}
+
+Kernel::~Kernel() {
+  // Tear down in pid order; address spaces release their frames as they go.
+  std::lock_guard<std::mutex> guard(table_mutex_);
+  processes_.clear();
+}
+
+Process& Kernel::CreateProcess() {
+  auto as = std::make_unique<AddressSpace>(&allocator_, &swap_);
+  std::lock_guard<std::mutex> guard(table_mutex_);
+  Pid pid = next_pid_++;
+  auto process = std::make_unique<Process>(this, pid, /*parent=*/0, std::move(as));
+  process->set_fork_mode(default_fork_mode_);
+  Process& ref = *process;
+  processes_.emplace(pid, std::move(process));
+  return ref;
+}
+
+Process& Kernel::Fork(Process& parent, ForkMode mode, ForkProfile* profile) {
+  ODF_CHECK(parent.state() == ProcessState::kRunning);
+  ActiveProcessScope immune(&parent);  // The parent must survive its own fork's allocations.
+  auto child_as = std::make_unique<AddressSpace>(&allocator_, &swap_);
+  CopyAddressSpace(parent.address_space(), *child_as, mode, profile, &fork_counters_);
+
+  std::lock_guard<std::mutex> guard(table_mutex_);
+  Pid pid = next_pid_++;
+  auto child = std::make_unique<Process>(this, pid, parent.pid(), std::move(child_as));
+  child->set_fork_mode(parent.fork_mode());
+  parent.children_.push_back(pid);
+  Process& ref = *child;
+  processes_.emplace(pid, std::move(child));
+  return ref;
+}
+
+void Kernel::Exit(Process& process, int code) {
+  ODF_CHECK(process.state() == ProcessState::kRunning) << "double exit of pid " << process.pid();
+  process.exit_code_ = code;
+  process.as_->TearDown();
+  process.state_ = ProcessState::kZombie;
+  // Reparent any children to init (pid 0 == no reaper; they self-reap on Wait misses).
+}
+
+Pid Kernel::Wait(Process& parent) {
+  std::lock_guard<std::mutex> guard(table_mutex_);
+  for (auto it = parent.children_.begin(); it != parent.children_.end(); ++it) {
+    auto found = processes_.find(*it);
+    if (found != processes_.end() && found->second->state() == ProcessState::kZombie) {
+      Pid pid = *it;
+      processes_.erase(found);
+      parent.children_.erase(it);
+      return pid;
+    }
+  }
+  return -1;
+}
+
+Process* Kernel::FindProcess(Pid pid) {
+  std::lock_guard<std::mutex> guard(table_mutex_);
+  auto it = processes_.find(pid);
+  return it == processes_.end() ? nullptr : it->second.get();
+}
+
+std::vector<Process*> Kernel::RunningProcesses() {
+  std::lock_guard<std::mutex> guard(table_mutex_);
+  std::vector<Process*> result;
+  for (auto& [pid, process] : processes_) {
+    if (process->state() == ProcessState::kRunning) {
+      result.push_back(process.get());
+    }
+  }
+  return result;
+}
+
+size_t Kernel::ProcessCount() const {
+  std::lock_guard<std::mutex> guard(table_mutex_);
+  return processes_.size();
+}
+
+size_t Kernel::RunningProcessCount() const {
+  std::lock_guard<std::mutex> guard(table_mutex_);
+  return static_cast<size_t>(
+      std::count_if(processes_.begin(), processes_.end(), [](const auto& entry) {
+        return entry.second->state() == ProcessState::kRunning;
+      }));
+}
+
+}  // namespace odf

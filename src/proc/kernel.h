@@ -1,0 +1,116 @@
+// Kernel facade: owns the physical frame pool, the filesystem, and the process table, and
+// dispatches fork / exit / wait. This is the library's main entry point.
+//
+// Typical use:
+//   odf::Kernel kernel;
+//   odf::Process& init = kernel.CreateProcess();
+//   odf::Vaddr buf = init.Mmap(1 << 30, odf::kProtRead | odf::kProtWrite);
+//   ... fill memory ...
+//   odf::Process& child = kernel.Fork(init, odf::ForkMode::kOnDemand);
+//   ... child and parent copy-on-write as they go ...
+//   kernel.Exit(child, 0); kernel.Wait(init);
+#ifndef ODF_SRC_PROC_KERNEL_H_
+#define ODF_SRC_PROC_KERNEL_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/core/fork.h"
+#include "src/fs/mem_fs.h"
+#include "src/mm/swap.h"
+#include "src/phys/frame_allocator.h"
+#include "src/proc/process.h"
+
+namespace odf {
+
+class Kernel {
+ public:
+  Kernel();
+  ~Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // Creates a fresh process with an empty address space (execve-from-nothing analog).
+  Process& CreateProcess();
+
+  // Forks `parent` with an explicit mechanism. Thread-safe with respect to other processes;
+  // the caller must not mutate `parent` concurrently (one driver thread per process).
+  Process& Fork(Process& parent, ForkMode mode, ForkProfile* profile = nullptr);
+
+  // Forks using the parent's configured fork mode (the procfs knob, §4 "Flexibility").
+  Process& Fork(Process& parent) { return Fork(parent, parent.fork_mode()); }
+
+  // Terminates the process: tears down its address space immediately (dropping page and
+  // shared-table references) and leaves a zombie for the parent to reap.
+  void Exit(Process& process, int code = 0);
+
+  // Reaps one zombie child of `parent`; returns its pid or -1 when there is none. (The
+  // simulator has no blocking: workloads drive children to completion before waiting.)
+  Pid Wait(Process& parent);
+
+  Process* FindProcess(Pid pid);
+
+  // Global default fork mode applied to newly created processes.
+  void set_default_fork_mode(ForkMode mode) { default_fork_mode_ = mode; }
+  ForkMode default_fork_mode() const { return default_fork_mode_; }
+
+  FrameAllocator& allocator() { return allocator_; }
+  MemFilesystem& fs() { return fs_; }
+  SwapSpace& swap_space() { return swap_; }
+  ForkCounters& fork_counters() { return fork_counters_; }
+
+  // --- Memory pressure (paper §4 "Robustness") ---
+
+  // Caps simulated RAM at `frames` 4 KiB frames and arms the reclaimer: allocations beyond
+  // the limit trigger clock reclaim (swap-out of cold pages) and, as a last resort, the OOM
+  // killer. 0 removes the limit.
+  void SetMemoryLimitFrames(uint64_t frames);
+
+  // Clock-reclaims up to `want` frames across all running processes; falls back to killing
+  // the largest process when nothing is reclaimable. Returns frames freed (0 => hard OOM).
+  uint64_t ReclaimMemory(uint64_t want);
+
+  uint64_t oom_kills() const { return oom_kills_; }
+
+  // RAII marker: the process currently executing a memory operation on this thread. The
+  // OOM killer never selects it (a real kernel SIGKILLs the victim; this simulator's
+  // "victim" would otherwise keep running into its own torn-down address space).
+  class ActiveProcessScope {
+   public:
+    explicit ActiveProcessScope(Process* process) : previous_(active_process_) {
+      active_process_ = process;
+    }
+    ActiveProcessScope(const ActiveProcessScope&) = delete;
+    ActiveProcessScope& operator=(const ActiveProcessScope&) = delete;
+    ~ActiveProcessScope() { active_process_ = previous_; }
+
+   private:
+    Process* previous_;
+  };
+
+  size_t ProcessCount() const;
+  size_t RunningProcessCount() const;
+
+  // Snapshot of currently running processes (auditing/reclaim; caller must not race forks).
+  std::vector<Process*> RunningProcesses();
+
+ private:
+  static thread_local Process* active_process_;
+
+  FrameAllocator allocator_;
+  SwapSpace swap_;
+  MemFilesystem fs_;
+  uint64_t oom_kills_ = 0;
+  mutable std::mutex table_mutex_;
+  std::map<Pid, std::unique_ptr<Process>> processes_;
+  Pid next_pid_ = 1;
+  ForkMode default_fork_mode_ = ForkMode::kClassic;
+  ForkCounters fork_counters_;
+};
+
+}  // namespace odf
+
+#endif  // ODF_SRC_PROC_KERNEL_H_

@@ -1,0 +1,127 @@
+#include "src/proc/process.h"
+
+#include "src/proc/kernel.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/util/log.h"
+
+namespace odf {
+
+Process::Process(Kernel* kernel, Pid pid, Pid parent, std::unique_ptr<AddressSpace> as)
+    : kernel_(kernel), pid_(pid), parent_pid_(parent), as_(std::move(as)) {}
+
+bool Process::AccessMemory(Vaddr va, std::byte* buffer, uint64_t length, AccessType access,
+                           bool set_memory, std::byte memset_value) {
+  ODF_CHECK(state_ == ProcessState::kRunning) << "memory access on exited process " << pid_;
+  Kernel::ActiveProcessScope immune(this);  // OOM mid-access must pick another victim.
+  AddressSpace& as = *as_;
+  FrameAllocator& allocator = as.allocator();
+  uint64_t done = 0;
+  while (done < length) {
+    Vaddr current = va + done;
+    uint64_t in_page = current & (kPageSize - 1);
+    uint64_t chunk = std::min<uint64_t>(length - done, kPageSize - in_page);
+
+    FrameId frame = kInvalidFrame;
+    bool want_write = access == AccessType::kWrite;
+    if (!as.tlb().Lookup(current, want_write, &frame)) {
+      Translation t = as.walker().Translate(as.pgd(), current, access);
+      if (t.status == TranslateStatus::kOk) {
+        frame = t.frame;
+        as.tlb().Insert(current, frame, want_write);
+      } else if (HandleFault(as, current, access, &frame) != FaultResult::kHandled) {
+        return false;
+      }
+    }
+
+    if (access == AccessType::kWrite) {
+      std::byte* dest = allocator.MaterializeData(frame) + in_page;
+      if (set_memory) {
+        std::memset(dest, static_cast<int>(memset_value), chunk);
+      } else {
+        std::memcpy(dest, buffer + done, chunk);
+      }
+    } else if (buffer != nullptr) {
+      const std::byte* src = allocator.PeekData(frame);
+      if (src == nullptr) {
+        std::memset(buffer + done, 0, chunk);
+      } else {
+        std::memcpy(buffer + done, src + in_page, chunk);
+      }
+    }
+    done += chunk;
+  }
+  return true;
+}
+
+bool Process::WriteMemory(Vaddr va, std::span<const std::byte> data) {
+  // The buffer is only read on the write path; the const_cast never results in mutation.
+  return AccessMemory(va, const_cast<std::byte*>(data.data()), data.size(), AccessType::kWrite,
+                      /*set_memory=*/false, std::byte{0});
+}
+
+bool Process::ReadMemory(Vaddr va, std::span<std::byte> out) {
+  return AccessMemory(va, out.data(), out.size(), AccessType::kRead, /*set_memory=*/false,
+                      std::byte{0});
+}
+
+bool Process::MemsetMemory(Vaddr va, std::byte value, uint64_t length) {
+  return AccessMemory(va, nullptr, length, AccessType::kWrite, /*set_memory=*/true, value);
+}
+
+uint64_t Process::LoadU64(Vaddr va) {
+  uint64_t value = 0;
+  ODF_CHECK(ReadMemory(va, std::as_writable_bytes(std::span(&value, 1))))
+      << "SEGV reading u64 at " << va;
+  return value;
+}
+
+void Process::StoreU64(Vaddr va, uint64_t value) {
+  ODF_CHECK(WriteMemory(va, std::as_bytes(std::span(&value, 1))))
+      << "SEGV writing u64 at " << va;
+}
+
+uint32_t Process::LoadU32(Vaddr va) {
+  uint32_t value = 0;
+  ODF_CHECK(ReadMemory(va, std::as_writable_bytes(std::span(&value, 1))))
+      << "SEGV reading u32 at " << va;
+  return value;
+}
+
+void Process::StoreU32(Vaddr va, uint32_t value) {
+  ODF_CHECK(WriteMemory(va, std::as_bytes(std::span(&value, 1))))
+      << "SEGV writing u32 at " << va;
+}
+
+std::string Process::ReadString(Vaddr va, uint64_t max_length) {
+  std::string out;
+  out.reserve(max_length);
+  for (uint64_t i = 0; i < max_length; ++i) {
+    char c = 0;
+    if (!ReadMemory(va + i, std::as_writable_bytes(std::span(&c, 1)))) {
+      break;
+    }
+    if (c == '\0') {
+      break;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+bool Process::TouchRange(Vaddr va, uint64_t length, AccessType access) {
+  for (Vaddr current = PageAlignDown(va); current < va + length; current += kPageSize) {
+    std::byte scratch{1};
+    bool ok = access == AccessType::kWrite
+                  ? WriteMemory(current, std::span(&scratch, 1))
+                  : ReadMemory(current, std::span(&scratch, 1));
+    if (!ok) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace odf

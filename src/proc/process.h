@@ -1,0 +1,97 @@
+// Process: a simulated task with its own address space and a memory-access API that drives
+// the software MMU (TLB -> walker -> fault handler), which is how application workloads
+// exercise the fault paths the paper modifies.
+#ifndef ODF_SRC_PROC_PROCESS_H_
+#define ODF_SRC_PROC_PROCESS_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/core/fork.h"
+#include "src/mm/address_space.h"
+#include "src/mm/fault.h"
+
+namespace odf {
+
+using Pid = int32_t;
+
+enum class ProcessState {
+  kRunning,
+  kZombie,  // Exited; address space released; waiting to be reaped.
+};
+
+class Kernel;
+
+class Process {
+ public:
+  Process(Kernel* kernel, Pid pid, Pid parent, std::unique_ptr<AddressSpace> as);
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  Pid pid() const { return pid_; }
+  Pid parent_pid() const { return parent_pid_; }
+  ProcessState state() const { return state_; }
+  int exit_code() const { return exit_code_; }
+  AddressSpace& address_space() { return *as_; }
+  Kernel& kernel() { return *kernel_; }
+
+  // Per-process fork-mode configuration — the procfs knob from §4 ("Flexibility"): lets an
+  // unmodified application be switched to on-demand-fork without code changes.
+  ForkMode fork_mode() const { return fork_mode_; }
+  void set_fork_mode(ForkMode mode) { fork_mode_ = mode; }
+
+  // --- Memory access through the software MMU. Returns false on SEGV. ---
+  bool WriteMemory(Vaddr va, std::span<const std::byte> data);
+  bool ReadMemory(Vaddr va, std::span<std::byte> out);
+  bool MemsetMemory(Vaddr va, std::byte value, uint64_t length);
+
+  // Typed helpers (fatal on SEGV: used by workloads whose accesses must be legal).
+  uint64_t LoadU64(Vaddr va);
+  void StoreU64(Vaddr va, uint64_t value);
+  uint32_t LoadU32(Vaddr va);
+  void StoreU32(Vaddr va, uint32_t value);
+  std::string ReadString(Vaddr va, uint64_t max_length);
+
+  // Touches one byte per page in [va, va+length) with the given access, without transferring
+  // data. Benchmarks use it to reproduce paper access patterns cheaply.
+  bool TouchRange(Vaddr va, uint64_t length, AccessType access);
+
+  // Mapping syscalls forwarded to the address space.
+  Vaddr Mmap(uint64_t length, uint32_t prot, bool huge = false) {
+    return as_->MapAnonymous(length, prot, huge);
+  }
+  void Munmap(Vaddr start, uint64_t length) { as_->Unmap(start, length); }
+  Vaddr Mremap(Vaddr old_start, uint64_t old_length, uint64_t new_length) {
+    return as_->Remap(old_start, old_length, new_length);
+  }
+  void MadviseDontNeed(Vaddr start, uint64_t length) { as_->AdviseDontNeed(start, length); }
+  std::vector<uint8_t> Mincore(Vaddr start, uint64_t length) {
+    std::vector<uint8_t> out;
+    as_->Mincore(start, length, &out);
+    return out;
+  }
+
+ private:
+  friend class Kernel;
+
+  // Core of the memory API: per-page translate (TLB fast path) + fault + copy.
+  bool AccessMemory(Vaddr va, std::byte* buffer, uint64_t length, AccessType access,
+                    bool set_memory, std::byte memset_value);
+
+  Kernel* kernel_;
+  Pid pid_;
+  Pid parent_pid_;
+  ProcessState state_ = ProcessState::kRunning;
+  int exit_code_ = 0;
+  ForkMode fork_mode_ = ForkMode::kClassic;
+  std::unique_ptr<AddressSpace> as_;
+  std::vector<Pid> children_;
+};
+
+}  // namespace odf
+
+#endif  // ODF_SRC_PROC_PROCESS_H_

@@ -1,0 +1,56 @@
+// procfs-style memory introspection: /proc/<pid>/smaps and /proc/<pid>/status analogs.
+//
+// Besides being a debugging aid, this module makes the paper's *efficiency* claim
+// measurable: on-demand-fork defers page-table construction, so a freshly forked child's
+// page-table footprint is tiny, and pages reached through shared tables are accounted
+// proportionally (PSS) across both the page refcount and the table share count.
+#ifndef ODF_SRC_PROC_PROCFS_H_
+#define ODF_SRC_PROC_PROCFS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/proc/process.h"
+
+namespace odf {
+
+struct VmaReport {
+  Vaddr start = 0;
+  Vaddr end = 0;
+  uint32_t prot = 0;
+  VmaKind kind = VmaKind::kAnonPrivate;
+  bool huge = false;
+  uint64_t present_pages = 0;   // Resident 4 KiB pages (huge mappings count 512 each).
+  uint64_t swapped_pages = 0;   // Pages currently on the swap device.
+  uint64_t private_pages = 0;   // Present pages mapped only by this process.
+  uint64_t shared_pages = 0;    // Present pages visible to other processes too.
+  double pss_pages = 0;         // Proportional set size, in pages.
+};
+
+struct ProcessMemoryReport {
+  Pid pid = 0;
+  uint64_t vss_bytes = 0;   // Mapped virtual memory.
+  uint64_t rss_bytes = 0;   // Resident (present) memory.
+  uint64_t pss_bytes = 0;   // Proportional share of resident memory.
+  uint64_t swap_bytes = 0;
+  uint64_t upper_tables = 0;          // PGD/PUD/PMD tables owned by this process.
+  uint64_t dedicated_pte_tables = 0;  // Last-level tables only this process references.
+  uint64_t shared_pte_tables = 0;     // Last-level tables shared via on-demand-fork.
+  uint64_t shared_pmd_tables = 0;     // PMD tables shared via kOnDemandHuge (§4 extension).
+  uint64_t page_table_bytes = 0;      // Dedicated tables + proportional share of shared.
+  std::vector<VmaReport> vmas;
+};
+
+// Walks the process's paging structure and VMAs to build the report. The process must not
+// be mutated concurrently (same rule as every other per-process operation).
+ProcessMemoryReport BuildMemoryReport(Process& process);
+
+// Renders the report in a /proc/<pid>/smaps-like plain-text format.
+std::string FormatSmaps(const ProcessMemoryReport& report);
+
+// One-line /proc/<pid>/status-like summary (VmSize/VmRSS/Pss/VmSwap/page tables).
+std::string FormatStatusLine(const ProcessMemoryReport& report);
+
+}  // namespace odf
+
+#endif  // ODF_SRC_PROC_PROCFS_H_

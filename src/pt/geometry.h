@@ -1,0 +1,58 @@
+// Virtual-address geometry for the 4-level, 48-bit paging structure (Linux's default on
+// x86-64: PGD -> PUD -> PMD -> PTE table, 512 entries each).
+#ifndef ODF_SRC_PT_GEOMETRY_H_
+#define ODF_SRC_PT_GEOMETRY_H_
+
+#include <cstdint>
+
+#include "src/phys/page_meta.h"
+
+namespace odf {
+
+using Vaddr = uint64_t;
+
+inline constexpr uint64_t kTableEntryBits = 9;
+inline constexpr uint64_t kEntriesPerTable = 1ULL << kTableEntryBits;  // 512
+
+// Paging levels, ordered from the root. kPte is the last level — the one ODF shares.
+enum class PtLevel : int {
+  kPgd = 0,
+  kPud = 1,
+  kPmd = 2,
+  kPte = 3,
+};
+inline constexpr int kPtLevels = 4;
+
+// Shift of the address range covered by ONE ENTRY at each level.
+//   PGD entry: 512 GiB, PUD entry: 1 GiB, PMD entry: 2 MiB, PTE entry: 4 KiB.
+constexpr uint64_t EntryShift(PtLevel level) {
+  return kPageShift + kTableEntryBits * static_cast<uint64_t>(kPtLevels - 1 -
+                                                              static_cast<int>(level));
+}
+
+constexpr uint64_t EntrySpan(PtLevel level) { return 1ULL << EntryShift(level); }
+
+// Index of `va` into the table at `level`.
+constexpr uint64_t TableIndex(Vaddr va, PtLevel level) {
+  return (va >> EntryShift(level)) & (kEntriesPerTable - 1);
+}
+
+// Start of the region covered by the entry containing `va` at `level`.
+constexpr Vaddr EntryBase(Vaddr va, PtLevel level) { return va & ~(EntrySpan(level) - 1); }
+
+constexpr PtLevel NextLevel(PtLevel level) { return static_cast<PtLevel>(static_cast<int>(level) + 1); }
+
+// Highest user virtual address + 1 (47-bit user half, like x86-64 Linux).
+inline constexpr Vaddr kUserAddressSpaceEnd = 1ULL << 47;
+
+constexpr Vaddr PageAlignDown(Vaddr va) { return va & ~(kPageSize - 1); }
+constexpr Vaddr PageAlignUp(Vaddr va) { return (va + kPageSize - 1) & ~(kPageSize - 1); }
+constexpr bool IsPageAligned(Vaddr va) { return (va & (kPageSize - 1)) == 0; }
+constexpr bool IsHugeAligned(Vaddr va) { return (va & (kHugePageSize - 1)) == 0; }
+
+// The 2 MiB region covered by one PTE table (the unit of on-demand copying, paper §3.1).
+inline constexpr uint64_t kPteTableSpan = EntrySpan(PtLevel::kPmd);
+
+}  // namespace odf
+
+#endif  // ODF_SRC_PT_GEOMETRY_H_

@@ -1,0 +1,91 @@
+// Page-table entry encoding, bit-compatible in spirit with x86-64 (present / writable / user /
+// accessed / dirty / PS bits, frame number in the address bits). Entries are plain uint64_t in
+// the table frames; this header provides a typed value wrapper.
+#ifndef ODF_SRC_PT_PTE_H_
+#define ODF_SRC_PT_PTE_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/phys/page_meta.h"
+
+namespace odf {
+
+// Entry bit layout (matching x86-64 semantics where it matters to the design):
+//   bit 0  present
+//   bit 1  writable      — the hierarchical attribute ODF clears at the PMD level (§3.2)
+//   bit 2  user
+//   bit 5  accessed      — set by the "CPU" (walker) on translation
+//   bit 6  dirty         — set by the walker on write translation
+//   bit 7  huge (PS)     — on PMD entries: entry maps a 2 MiB compound page directly
+//   bits 12..43 frame id (we use dense FrameIds rather than physical addresses)
+enum PteBit : uint64_t {
+  kPtePresent = 1ULL << 0,
+  kPteWritable = 1ULL << 1,
+  kPteUser = 1ULL << 2,
+  kPteAccessed = 1ULL << 5,
+  kPteDirty = 1ULL << 6,
+  kPteHuge = 1ULL << 7,
+  // Software bit (ignored by the "hardware" walker because present=0): the entry is a swap
+  // entry; the frame field holds the swap-slot id instead of a frame id.
+  kPteSwap = 1ULL << 9,
+};
+
+inline constexpr uint64_t kPteFrameShift = 12;
+inline constexpr uint64_t kPteFlagsMask = (1ULL << kPteFrameShift) - 1;
+
+class Pte {
+ public:
+  constexpr Pte() = default;
+  constexpr explicit Pte(uint64_t raw) : raw_(raw) {}
+
+  static constexpr Pte Make(FrameId frame, uint64_t flags) {
+    return Pte((static_cast<uint64_t>(frame) << kPteFrameShift) | (flags & kPteFlagsMask));
+  }
+
+  constexpr uint64_t raw() const { return raw_; }
+  constexpr bool IsPresent() const { return (raw_ & kPtePresent) != 0; }
+  constexpr bool IsWritable() const { return (raw_ & kPteWritable) != 0; }
+  constexpr bool IsUser() const { return (raw_ & kPteUser) != 0; }
+  constexpr bool IsAccessed() const { return (raw_ & kPteAccessed) != 0; }
+  constexpr bool IsDirty() const { return (raw_ & kPteDirty) != 0; }
+  constexpr bool IsHuge() const { return (raw_ & kPteHuge) != 0; }
+  constexpr bool IsSwap() const { return !IsPresent() && (raw_ & kPteSwap) != 0; }
+  constexpr bool IsNone() const { return raw_ == 0; }
+
+  // For swap entries, the frame field carries the swap-slot id.
+  constexpr uint64_t swap_slot() const { return raw_ >> kPteFrameShift; }
+  static constexpr Pte MakeSwap(uint64_t slot) {
+    return Pte((slot << kPteFrameShift) | kPteSwap);
+  }
+
+  constexpr FrameId frame() const { return static_cast<FrameId>(raw_ >> kPteFrameShift); }
+  constexpr uint64_t flags() const { return raw_ & kPteFlagsMask; }
+
+  constexpr Pte WithFlag(uint64_t flag) const { return Pte(raw_ | flag); }
+  constexpr Pte WithoutFlag(uint64_t flag) const { return Pte(raw_ & ~flag); }
+  constexpr Pte WithFrame(FrameId frame) const {
+    return Pte((raw_ & kPteFlagsMask) | (static_cast<uint64_t>(frame) << kPteFrameShift));
+  }
+
+  constexpr bool operator==(const Pte&) const = default;
+
+ private:
+  uint64_t raw_ = 0;
+};
+
+// Entry words live in table frames and can be read by one sharing process while another
+// modifies them under the table's split lock (exactly the situation hardware handles with
+// cache coherence). atomic_ref with relaxed ordering makes this well-defined C++ at zero
+// cost on x86.
+inline Pte LoadEntry(const uint64_t* slot) {
+  return Pte(std::atomic_ref<const uint64_t>(*slot).load(std::memory_order_relaxed));
+}
+
+inline void StoreEntry(uint64_t* slot, Pte value) {
+  std::atomic_ref<uint64_t>(*slot).store(value.raw(), std::memory_order_relaxed);
+}
+
+}  // namespace odf
+
+#endif  // ODF_SRC_PT_PTE_H_

@@ -1,0 +1,99 @@
+// Software TLB: a small direct-mapped translation cache per address space.
+//
+// The simulator needs a TLB for two reasons. First, realism: fork and the PTE-table COW path
+// must invalidate stale translations exactly where the kernel would flush the hardware TLB,
+// and tests assert those flushes happen (a missing flush shows up as a stale-write bug).
+// Second, throughput: application workloads stream through the software MMU, and the TLB
+// keeps their common case at hash-lookup cost like real hardware would.
+#ifndef ODF_SRC_PT_TLB_H_
+#define ODF_SRC_PT_TLB_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/pt/geometry.h"
+
+namespace odf {
+
+struct TlbEntry {
+  uint64_t vpn = 0;          // Virtual page number (va >> kPageShift).
+  uint64_t generation = 0;   // Must match the TLB's generation to be valid.
+  FrameId frame = kInvalidFrame;
+  bool writable = false;
+  bool valid = false;
+};
+
+struct TlbStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t flushes = 0;
+  uint64_t single_invalidations = 0;
+};
+
+class Tlb {
+ public:
+  static constexpr size_t kEntries = 1024;  // Power of two.
+
+  // Looks up `va`; returns true and fills outputs on a hit that satisfies `want_write`.
+  bool Lookup(Vaddr va, bool want_write, FrameId* frame_out) {
+    const TlbEntry& entry = slots_[Index(va)];
+    uint64_t vpn = va >> kPageShift;
+    if (entry.valid && entry.generation == generation_ && entry.vpn == vpn &&
+        (!want_write || entry.writable)) {
+      ++stats_.hits;
+      *frame_out = entry.frame;
+      return true;
+    }
+    ++stats_.misses;
+    return false;
+  }
+
+  void Insert(Vaddr va, FrameId frame, bool writable) {
+    TlbEntry& entry = slots_[Index(va)];
+    entry.vpn = va >> kPageShift;
+    entry.generation = generation_;
+    entry.frame = frame;
+    entry.writable = writable;
+    entry.valid = true;
+  }
+
+  // Invalidates the translation for one page (invlpg analog).
+  void InvalidatePage(Vaddr va) {
+    TlbEntry& entry = slots_[Index(va)];
+    if (entry.valid && entry.vpn == (va >> kPageShift)) {
+      entry.valid = false;
+    }
+    ++stats_.single_invalidations;
+  }
+
+  // Invalidates a virtual range, page by page (bounded: falls back to a full flush when the
+  // range is large, as kernels do).
+  void InvalidateRange(Vaddr start, Vaddr end) {
+    if ((end - start) / kPageSize > kEntries) {
+      FlushAll();
+      return;
+    }
+    for (Vaddr va = PageAlignDown(start); va < end; va += kPageSize) {
+      InvalidatePage(va);
+    }
+  }
+
+  // Full flush (CR3 reload analog) — O(1) via generation bump.
+  void FlushAll() {
+    ++generation_;
+    ++stats_.flushes;
+  }
+
+  const TlbStats& stats() const { return stats_; }
+
+ private:
+  static size_t Index(Vaddr va) { return (va >> kPageShift) & (kEntries - 1); }
+
+  std::array<TlbEntry, kEntries> slots_{};
+  uint64_t generation_ = 1;
+  TlbStats stats_;
+};
+
+}  // namespace odf
+
+#endif  // ODF_SRC_PT_TLB_H_

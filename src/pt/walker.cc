@@ -1,0 +1,123 @@
+#include "src/pt/walker.h"
+
+#include "src/util/log.h"
+
+namespace odf {
+
+FrameId AllocPageTable(FrameAllocator& allocator) {
+  FrameId frame = allocator.Allocate(kPageFlagPageTable);
+  // A fresh table starts dedicated: exactly one address space references it.
+  allocator.GetMeta(frame).pt_share_count.store(1, std::memory_order_relaxed);
+  return frame;
+}
+
+Translation Walker::Translate(FrameId pgd, Vaddr va, AccessType access) {
+  Translation result;
+  FrameId table = pgd;
+  for (int l = 0; l < kPtLevels; ++l) {
+    PtLevel level = static_cast<PtLevel>(l);
+    uint64_t* entries = allocator_->TableEntries(table);
+    uint64_t* slot = &entries[TableIndex(va, level)];
+    Pte entry = LoadEntry(slot);
+    result.fault_level = level;
+    if (!entry.IsPresent()) {
+      result.status = TranslateStatus::kNotPresent;
+      return result;
+    }
+    if (access == AccessType::kWrite && !entry.IsWritable()) {
+      // Hierarchical attribute: a cleared writable bit anywhere on the path blocks writes.
+      result.status = TranslateStatus::kNotWritable;
+      return result;
+    }
+    // Hardware sets the accessed bit on every level it traverses.
+    if (!entry.IsAccessed()) {
+      StoreEntry(slot, entry.WithFlag(kPteAccessed));
+      entry = LoadEntry(slot);
+    }
+    if (level == PtLevel::kPmd && entry.IsHuge()) {
+      if (access == AccessType::kWrite) {
+        StoreEntry(slot, LoadEntry(slot).WithFlag(kPteDirty));
+      }
+      FrameId head = entry.frame();
+      uint64_t offset = (va >> kPageShift) & ((1ULL << kHugePageOrder) - 1);
+      result.status = TranslateStatus::kOk;
+      result.frame = head + static_cast<FrameId>(offset);
+      result.pte_table = kInvalidFrame;
+      result.huge = true;
+      return result;
+    }
+    if (level == PtLevel::kPte) {
+      if (access == AccessType::kWrite) {
+        StoreEntry(slot, LoadEntry(slot).WithFlag(kPteDirty));
+      }
+      result.status = TranslateStatus::kOk;
+      result.frame = entry.frame();
+      result.pte_table = table;
+      return result;
+    }
+    result.pte_table = table;  // Will hold the PTE table once we reach the last level.
+    table = entry.frame();
+  }
+  ODF_CHECK(false) << "unreachable walk state";
+  return result;
+}
+
+uint64_t* Walker::FindEntry(FrameId pgd, Vaddr va, PtLevel level) {
+  FrameId table = pgd;
+  for (int l = 0; l < kPtLevels; ++l) {
+    PtLevel current = static_cast<PtLevel>(l);
+    uint64_t* entries = allocator_->TableEntries(table);
+    uint64_t* slot = &entries[TableIndex(va, current)];
+    if (current == level) {
+      return slot;
+    }
+    Pte entry = LoadEntry(slot);
+    if (!entry.IsPresent() || entry.IsHuge()) {
+      return nullptr;
+    }
+    table = entry.frame();
+  }
+  return nullptr;
+}
+
+uint64_t* Walker::EnsureEntry(FrameId pgd, Vaddr va, PtLevel level) {
+  FrameId table = pgd;
+  for (int l = 0; l < kPtLevels; ++l) {
+    PtLevel current = static_cast<PtLevel>(l);
+    uint64_t* entries = allocator_->TableEntries(table);
+    uint64_t* slot = &entries[TableIndex(va, current)];
+    if (current == level) {
+      return slot;
+    }
+    Pte entry = LoadEntry(slot);
+    if (!entry.IsPresent()) {
+      FrameId child = AllocPageTable(*allocator_);
+      // Upper-level links are born writable; permission is enforced at the leaf (or revoked
+      // at the PMD by on-demand-fork's write-protection).
+      entry = Pte::Make(child, kPtePresent | kPteWritable | kPteUser);
+      StoreEntry(slot, entry);
+    }
+    ODF_CHECK(!entry.IsHuge()) << "EnsureEntry descending through a huge mapping";
+    table = entry.frame();
+  }
+  return nullptr;
+}
+
+FrameId Walker::FindTable(FrameId pgd, Vaddr va, PtLevel level, uint64_t** out_pmd_entry) {
+  ODF_DCHECK(level != PtLevel::kPgd);
+  PtLevel parent = static_cast<PtLevel>(static_cast<int>(level) - 1);
+  uint64_t* slot = FindEntry(pgd, va, parent);
+  if (slot == nullptr) {
+    return kInvalidFrame;
+  }
+  Pte entry = LoadEntry(slot);
+  if (!entry.IsPresent() || entry.IsHuge()) {
+    return kInvalidFrame;
+  }
+  if (out_pmd_entry != nullptr) {
+    *out_pmd_entry = slot;
+  }
+  return entry.frame();
+}
+
+}  // namespace odf

@@ -1,0 +1,20 @@
+#include "src/util/latency_recorder.h"
+
+namespace odf {
+
+StatsSummary LatencyRecorder::Summary() const {
+  std::vector<double> snapshot = Samples();
+  return Summarize(snapshot);
+}
+
+double LatencyRecorder::PercentileValue(double p) const {
+  std::vector<double> snapshot = Samples();
+  return Percentile(snapshot, p);
+}
+
+std::span<const double> LatencyRecorder::PaperPercentiles() {
+  static const double kLadder[] = {50.0, 90.0, 95.0, 99.0, 99.9, 99.99};
+  return kLadder;
+}
+
+}  // namespace odf

@@ -1,0 +1,58 @@
+// Records individual operation latencies and reports percentile summaries, mirroring how the
+// paper reports Redis request-response latency (Table 4) and Apache latency (Tables 6/7).
+#ifndef ODF_SRC_UTIL_LATENCY_RECORDER_H_
+#define ODF_SRC_UTIL_LATENCY_RECORDER_H_
+
+#include <cstddef>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/util/stats.h"
+
+namespace odf {
+
+class LatencyRecorder {
+ public:
+  LatencyRecorder() = default;
+  explicit LatencyRecorder(size_t reserve) { samples_.reserve(reserve); }
+
+  // Thread-safe append of one latency sample (any consistent unit; callers use microseconds).
+  void Record(double value) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    samples_.push_back(value);
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> guard(mutex_);
+    samples_.clear();
+  }
+
+  size_t count() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return samples_.size();
+  }
+
+  // Snapshot of all samples recorded so far.
+  std::vector<double> Samples() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return samples_;
+  }
+
+  StatsSummary Summary() const;
+
+  // Percentile over recorded samples; p in [0, 100].
+  double PercentileValue(double p) const;
+
+  // The percentile ladder the paper reports for Redis: 50, 90, 95, 99, 99.9, 99.99.
+  static std::span<const double> PaperPercentiles();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> samples_;
+};
+
+}  // namespace odf
+
+#endif  // ODF_SRC_UTIL_LATENCY_RECORDER_H_

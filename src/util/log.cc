@@ -1,0 +1,53 @@
+#include "src/util/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace odf {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_log_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+void LogMessage(LogLevel level, const char* file, int line, const std::string& message) {
+  if (level < g_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::lock_guard<std::mutex> guard(g_log_mutex);
+  std::fprintf(stderr, "[odf %s %s:%d] %s\n", LevelName(level), file, line, message.c_str());
+}
+
+void FatalCheckFailure(const char* file, int line, const char* condition,
+                       const std::string& message) {
+  {
+    std::lock_guard<std::mutex> guard(g_log_mutex);
+    std::fprintf(stderr, "[odf FATAL %s:%d] check failed: %s%s%s\n", file, line, condition,
+                 message.empty() ? "" : " — ", message.c_str());
+    std::fflush(stderr);
+  }
+  std::abort();
+}
+
+}  // namespace odf

@@ -1,0 +1,91 @@
+// Minimal logging and fatal-check facility for the odfork library.
+//
+// The library is a simulator: internal invariant violations are programming errors, not
+// recoverable conditions, so ODF_CHECK aborts with a message (mirroring kernel BUG_ON).
+#ifndef ODF_SRC_UTIL_LOG_H_
+#define ODF_SRC_UTIL_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace odf {
+
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+// Sets the minimum level that is actually emitted. Default: kWarn (quiet for benchmarks).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits a single log line to stderr. Thread-safe.
+void LogMessage(LogLevel level, const char* file, int line, const std::string& message);
+
+// Aborts the process after printing the failed condition. Never returns.
+[[noreturn]] void FatalCheckFailure(const char* file, int line, const char* condition,
+                                    const std::string& message);
+
+namespace internal {
+
+// Stream-collecting helper so call sites can write ODF_LOG(kInfo) << "x=" << x;
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line) : level_(level), file_(file), line_(line) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+class CheckFailer {
+ public:
+  CheckFailer(const char* file, int line, const char* condition)
+      : file_(file), line_(line), condition_(condition) {}
+  CheckFailer(const CheckFailer&) = delete;
+  CheckFailer& operator=(const CheckFailer&) = delete;
+  [[noreturn]] ~CheckFailer() { FatalCheckFailure(file_, line_, condition_, stream_.str()); }
+
+  template <typename T>
+  CheckFailer& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* condition_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define ODF_LOG(level) ::odf::internal::LogLine(::odf::LogLevel::level, __FILE__, __LINE__)
+
+#define ODF_CHECK(condition)                                            \
+  if (!(condition))                                                     \
+  ::odf::internal::CheckFailer(__FILE__, __LINE__, #condition)
+
+#ifdef NDEBUG
+#define ODF_DCHECK(condition) ODF_CHECK(true || (condition))
+#else
+#define ODF_DCHECK(condition) ODF_CHECK(condition)
+#endif
+
+}  // namespace odf
+
+#endif  // ODF_SRC_UTIL_LOG_H_

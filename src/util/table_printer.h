@@ -1,0 +1,40 @@
+// Aligned plain-text table output. Benchmark binaries use this to print rows shaped like the
+// paper's tables and figure series (one row per x-axis point / percentile / phase).
+#ifndef ODF_SRC_UTIL_TABLE_PRINTER_H_
+#define ODF_SRC_UTIL_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace odf {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Appends one row; the number of cells must match the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders the collected table with column alignment.
+  std::string Render() const;
+
+  // Renders the same data as RFC-4180-style CSV (quoting cells that need it), for piping
+  // benchmark series into plotting tools.
+  std::string RenderCsv() const;
+
+  // Renders to stdout.
+  void Print(FILE* out = stdout) const;
+
+  // Formatting helpers for cells.
+  static std::string FormatDouble(double value, int precision = 3);
+  static std::string FormatPercent(double fraction, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace odf
+
+#endif  // ODF_SRC_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,153 @@
+// Thread-safety (paper §4 "Thread Safety"): concurrent fork/fault/exit activity from
+// multiple threads, both across independent lineages (the Fig. 2 concurrent setup) and
+// within one sharing lineage where threads race on the same shared PTE tables through the
+// split locks and atomic share counts.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "tests/test_util.h"
+
+namespace odf {
+namespace {
+
+TEST(ConcurrencyTest, IndependentLineagesForkInParallel) {
+  Kernel kernel;
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 25;
+  std::atomic<int> failures{0};
+
+  std::vector<Process*> parents;
+  for (int t = 0; t < kThreads; ++t) {
+    Process& parent = kernel.CreateProcess();
+    Vaddr va = parent.Mmap(8 << 20, kProtRead | kProtWrite);
+    FillPattern(parent, va, 8 << 20, static_cast<uint64_t>(t));
+    parents.push_back(&parent);
+  }
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Process& parent = *parents[static_cast<size_t>(t)];
+      Vaddr va = parent.address_space().vmas().begin()->second.start;
+      for (int round = 0; round < kRounds; ++round) {
+        ForkMode mode = round % 2 == 0 ? ForkMode::kClassic : ForkMode::kOnDemand;
+        Process& child = kernel.Fork(parent, mode);
+        std::byte value{static_cast<uint8_t>(round)};
+        if (!child.WriteMemory(va + static_cast<uint64_t>(round) * kPageSize,
+                               std::span(&value, 1))) {
+          ++failures;
+        }
+        std::byte read_back{0};
+        if (!child.ReadMemory(va + static_cast<uint64_t>(round) * kPageSize,
+                              std::span(&read_back, 1)) ||
+            read_back != value) {
+          ++failures;
+        }
+        kernel.Exit(child, 0);
+        kernel.Wait(parent);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+
+  // Every parent's memory must be untouched by all that COW traffic.
+  for (int t = 0; t < kThreads; ++t) {
+    Vaddr va = parents[static_cast<size_t>(t)]->address_space().vmas().begin()->second.start;
+    ExpectPattern(*parents[static_cast<size_t>(t)], va, 8 << 20, static_cast<uint64_t>(t));
+  }
+  for (Process* parent : parents) {
+    kernel.Exit(*parent, 0);
+  }
+  EXPECT_TRUE(kernel.allocator().AllFree());
+}
+
+TEST(ConcurrencyTest, SharingLineageFaultsInParallel) {
+  // One parent, N on-demand children sharing its PTE tables; each child's driver thread
+  // writes/reads its own clone concurrently. Dedications race on the same shared tables
+  // through PtSplitLock and the atomic share counts.
+  Kernel kernel;
+  Process& parent = kernel.CreateProcess();
+  Vaddr va = parent.Mmap(16 << 20, kProtRead | kProtWrite);
+  FillPattern(parent, va, 16 << 20, 99);
+
+  constexpr int kChildren = 6;
+  std::vector<Process*> children;
+  for (int c = 0; c < kChildren; ++c) {
+    children.push_back(&kernel.Fork(parent, ForkMode::kOnDemand));
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kChildren; ++c) {
+    threads.emplace_back([&, c] {
+      Process& child = *children[static_cast<size_t>(c)];
+      Rng rng(static_cast<uint64_t>(c) + 1000);
+      for (int i = 0; i < 200; ++i) {
+        Vaddr address = va + rng.NextBelow(16 << 20);
+        std::byte value{static_cast<uint8_t>(c * 16 + (i & 0xf))};
+        if (rng.NextBool(0.7)) {
+          if (!child.WriteMemory(address, std::span(&value, 1))) {
+            ++failures;
+          }
+          std::byte back{0};
+          if (!child.ReadMemory(address, std::span(&back, 1)) || back != value) {
+            ++failures;
+          }
+        } else {
+          std::byte back{0};
+          if (!child.ReadMemory(address, std::span(&back, 1))) {
+            ++failures;
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  ExpectPattern(parent, va, 16 << 20, 99);  // The template never changes.
+
+  for (Process* child : children) {
+    kernel.Exit(*child, 0);
+  }
+  kernel.Exit(parent, 0);
+  EXPECT_TRUE(kernel.allocator().AllFree());
+}
+
+TEST(ConcurrencyTest, ConcurrentForkCountersStayConsistent) {
+  Kernel kernel;
+  constexpr int kThreads = 4;
+  constexpr int kForksPerThread = 50;
+  std::vector<Process*> parents;
+  for (int t = 0; t < kThreads; ++t) {
+    Process& parent = kernel.CreateProcess();
+    Vaddr va = parent.Mmap(2 << 20, kProtRead | kProtWrite);
+    parent.address_space().PopulateRange(va, 2 << 20);
+    parents.push_back(&parent);
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kForksPerThread; ++i) {
+        Process& child = kernel.Fork(*parents[static_cast<size_t>(t)], ForkMode::kOnDemand);
+        kernel.Exit(child, 0);
+        kernel.Wait(*parents[static_cast<size_t>(t)]);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(kernel.fork_counters().on_demand_forks,
+            static_cast<uint64_t>(kThreads) * kForksPerThread);
+  EXPECT_EQ(kernel.ProcessCount(), static_cast<size_t>(kThreads));
+}
+
+}  // namespace
+}  // namespace odf

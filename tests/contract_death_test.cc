@@ -1,0 +1,98 @@
+// Contract checks: invalid API usage must fail fast and loudly (ODF_CHECK aborts), exactly
+// like the kernel's BUG_ON. Each death test documents a usage rule.
+#include <gtest/gtest.h>
+
+#include "src/apps/simalloc.h"
+#include "tests/test_util.h"
+
+namespace odf {
+namespace {
+
+using ContractDeathTest = ::testing::Test;
+
+TEST(ContractDeathTest, MemoryAccessOnZombieAborts) {
+  Kernel kernel;
+  Process& p = kernel.CreateProcess();
+  Vaddr va = p.Mmap(kPageSize, kProtRead | kProtWrite);
+  kernel.Exit(p, 0);
+  std::byte b{0};
+  EXPECT_DEATH((void)p.ReadMemory(va, std::span(&b, 1)), "exited process");
+}
+
+TEST(ContractDeathTest, DoubleExitAborts) {
+  Kernel kernel;
+  Process& p = kernel.CreateProcess();
+  kernel.Exit(p, 0);
+  EXPECT_DEATH(kernel.Exit(p, 0), "double exit");
+}
+
+TEST(ContractDeathTest, MremapAcrossTwoVmasAborts) {
+  Kernel kernel;
+  Process& p = kernel.CreateProcess();
+  Vaddr a = p.Mmap(4 * kPageSize, kProtRead | kProtWrite);
+  p.Mmap(4 * kPageSize, kProtRead | kProtWrite);
+  EXPECT_DEATH(p.Mremap(a, 16 * kPageSize, 32 * kPageSize), "exactly one mapping");
+}
+
+TEST(ContractDeathTest, HugeVmaPartialUnmapAborts) {
+  Kernel kernel;
+  Process& p = kernel.CreateProcess();
+  Vaddr va = p.Mmap(2 * kHugePageSize, kProtRead | kProtWrite, /*huge=*/true);
+  EXPECT_DEATH(p.Munmap(va, kPageSize), "2 MiB");
+}
+
+TEST(ContractDeathTest, MadviseOverUnmappedHoleAborts) {
+  Kernel kernel;
+  Process& p = kernel.CreateProcess();
+  Vaddr va = p.Mmap(2 * kPageSize, kProtRead | kProtWrite);
+  EXPECT_DEATH(p.MadviseDontNeed(va, 64 * kPageSize), "madvise over unmapped");
+}
+
+TEST(ContractDeathTest, SimHeapDoubleFreeAborts) {
+  Kernel kernel;
+  Process& p = kernel.CreateProcess();
+  SimHeap heap = SimHeap::Create(p, 1 << 20);
+  Vaddr block = heap.Alloc(64);
+  heap.Free(block);
+  EXPECT_DEATH(heap.Free(block), "double free");
+}
+
+TEST(ContractDeathTest, SimHeapExhaustionAborts) {
+  Kernel kernel;
+  Process& p = kernel.CreateProcess();
+  SimHeap heap = SimHeap::Create(p, 64 * kPageSize);
+  EXPECT_DEATH(
+      {
+        for (int i = 0; i < 1000; ++i) {
+          heap.Alloc(4096);
+        }
+      },
+      "exhausted");
+}
+
+TEST(ContractDeathTest, OutOfSimulatedMemoryWithoutVictimsAborts) {
+  Kernel kernel;
+  kernel.SetMemoryLimitFrames(1024);
+  Process& p = kernel.CreateProcess();
+  // Huge pages are unswappable and the allocating process is OOM-immune; with no other
+  // process to sacrifice, exceeding the quota is a hard OOM.
+  Vaddr va = p.Mmap(8 * kHugePageSize, kProtRead | kProtWrite, /*huge=*/true);
+  EXPECT_DEATH(
+      {
+        for (uint64_t offset = 0; offset < 8 * kHugePageSize; offset += kHugePageSize) {
+          std::byte one{1};
+          (void)p.WriteMemory(va + offset, std::span(&one, 1));
+        }
+      },
+      "out of simulated memory");
+}
+
+TEST(ContractDeathTest, AttachToGarbageHeapAborts) {
+  Kernel kernel;
+  Process& p = kernel.CreateProcess();
+  Vaddr va = p.Mmap(1 << 20, kProtRead | kProtWrite);
+  EXPECT_DEATH(SimHeap::Attach(p, va), "no heap");
+}
+
+}  // namespace
+}  // namespace odf

@@ -1,0 +1,267 @@
+// Second property suite: random op sequences over the FULL feature set — file mappings
+// (shared + private), mprotect, mremap, huge mappings, all three fork modes, and a frame
+// quota that keeps the reclaimer/swap constantly active — checked against the flat shadow
+// model. If any interaction between these features corrupts memory, this finds it.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "tests/test_util.h"
+
+namespace odf {
+namespace {
+
+struct Region {
+  uint64_t length = 0;
+  bool writable = true;
+  bool huge = false;
+};
+
+struct Shadow {
+  std::map<Vaddr, Region> regions;
+  std::unordered_map<Vaddr, std::byte> bytes;
+
+  Region* Find(Vaddr va, Vaddr* base_out) {
+    auto it = regions.upper_bound(va);
+    if (it == regions.begin()) {
+      return nullptr;
+    }
+    --it;
+    if (va >= it->first + it->second.length) {
+      return nullptr;
+    }
+    *base_out = it->first;
+    return &it->second;
+  }
+
+  std::byte At(Vaddr va) const {
+    auto it = bytes.find(va);
+    return it == bytes.end() ? std::byte{0} : it->second;
+  }
+};
+
+class MixedPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MixedPropertyTest, FullFeatureRandomOps) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed ^ 0xfeedface);
+  Kernel kernel;
+  // Keep the machine small enough that reclaim/swap runs during the test (but large enough
+  // that page tables + the unswappable file/huge pages always fit).
+  kernel.SetMemoryLimitFrames(6000);
+
+  auto file = kernel.fs().Open("/shared-data");
+  {
+    std::vector<std::byte> content(8 * kPageSize);
+    for (size_t i = 0; i < content.size(); ++i) {
+      content[i] = static_cast<std::byte>(i * 13);
+    }
+    file->Write(0, content);
+  }
+
+  struct Actor {
+    Process* process;
+    std::unique_ptr<Shadow> shadow;
+  };
+  std::vector<Actor> actors;
+  Process& root = kernel.CreateProcess();
+  actors.push_back({&root, std::make_unique<Shadow>()});
+
+  auto map_anon = [&](Actor& actor, bool huge) {
+    uint64_t length = huge ? rng.NextInRange(1, 2) * kHugePageSize
+                           : rng.NextInRange(4, 600) * kPageSize;
+    Vaddr va = actor.process->Mmap(length, kProtRead | kProtWrite, huge);
+    actor.shadow->regions[va] = Region{length, true, huge};
+    return va;
+  };
+  map_anon(actors[0], false);
+  map_anon(actors[0], false);
+
+  const int kOps = 300;
+  for (int op = 0; op < kOps; ++op) {
+    Actor& actor = actors[rng.NextBelow(actors.size())];
+    Process& p = *actor.process;
+    Shadow& shadow = *actor.shadow;
+
+    auto random_region = [&]() -> std::pair<Vaddr, Region*> {
+      if (shadow.regions.empty()) {
+        return {0, nullptr};
+      }
+      auto it = shadow.regions.begin();
+      std::advance(it, static_cast<long>(rng.NextBelow(shadow.regions.size())));
+      return {it->first, &it->second};
+    };
+
+    switch (rng.NextBelow(12)) {
+      case 0:
+      case 1:
+      case 2: {  // Write a run.
+        auto [base, region] = random_region();
+        if (region == nullptr || !region->writable) {
+          break;
+        }
+        uint64_t offset = rng.NextBelow(region->length);
+        uint64_t run = std::min<uint64_t>(rng.NextInRange(1, 128), region->length - offset);
+        std::vector<std::byte> data(run);
+        for (auto& b : data) {
+          b = static_cast<std::byte>(rng.Next());
+        }
+        ASSERT_TRUE(p.WriteMemory(base + offset, data)) << "seed " << seed << " op " << op;
+        for (uint64_t i = 0; i < run; ++i) {
+          shadow.bytes[base + offset + i] = data[i];
+        }
+        break;
+      }
+      case 3:
+      case 4: {  // Read-verify a run.
+        auto [base, region] = random_region();
+        if (region == nullptr) {
+          break;
+        }
+        uint64_t offset = rng.NextBelow(region->length);
+        uint64_t run = std::min<uint64_t>(rng.NextInRange(1, 128), region->length - offset);
+        std::vector<std::byte> data(run);
+        ASSERT_TRUE(p.ReadMemory(base + offset, data));
+        for (uint64_t i = 0; i < run; ++i) {
+          ASSERT_EQ(data[i], shadow.At(base + offset + i))
+              << "seed " << seed << " op " << op << " va " << base + offset + i;
+        }
+        break;
+      }
+      case 5: {  // Fork (any mode).
+        if (actors.size() >= 5) {
+          break;
+        }
+        static constexpr ForkMode kModes[] = {ForkMode::kClassic, ForkMode::kOnDemand,
+                                              ForkMode::kOnDemandHuge};
+        Process& child = kernel.Fork(p, kModes[rng.NextBelow(3)]);
+        actors.push_back({&child, std::make_unique<Shadow>(shadow)});
+        break;
+      }
+      case 6: {  // Map something new (occasionally huge).
+        if (shadow.regions.size() < 7) {
+          map_anon(actor, rng.NextBool(0.2));
+        }
+        break;
+      }
+      case 7: {  // Unmap a whole region.
+        auto [base, region] = random_region();
+        if (region == nullptr || shadow.regions.size() <= 1) {
+          break;
+        }
+        p.Munmap(base, region->length);
+        for (Vaddr va = base; va < base + region->length; ++va) {
+          shadow.bytes.erase(va);
+        }
+        shadow.regions.erase(base);
+        break;
+      }
+      case 8: {  // mprotect toggle (4 KiB regions only, whole region).
+        auto [base, region] = random_region();
+        if (region == nullptr || region->huge) {
+          break;
+        }
+        region->writable = !region->writable;
+        p.address_space().Protect(base, region->length,
+                                  region->writable ? (kProtRead | kProtWrite) : kProtRead);
+        // A write to the read-only region must SEGV and change nothing.
+        if (!region->writable) {
+          std::byte probe{0x55};
+          EXPECT_FALSE(p.WriteMemory(base + rng.NextBelow(region->length),
+                                     std::span(&probe, 1)));
+        }
+        break;
+      }
+      case 9: {  // mremap grow or shrink (4 KiB regions, writable only for simplicity).
+        auto [base, region] = random_region();
+        if (region == nullptr || region->huge || !region->writable) {
+          break;
+        }
+        uint64_t old_length = region->length;
+        uint64_t new_length =
+            rng.NextBool() ? old_length + rng.NextInRange(1, 64) * kPageSize
+                           : std::max<uint64_t>(kPageSize,
+                                                old_length / 2 & ~(kPageSize - 1));
+        Region moved = *region;
+        moved.length = new_length;
+        shadow.regions.erase(base);
+        Vaddr new_base = p.Mremap(base, old_length, new_length);
+        // Relocate shadow bytes.
+        uint64_t keep = std::min(old_length, new_length);
+        if (new_base != base) {
+          std::vector<std::pair<Vaddr, std::byte>> moved_bytes;
+          for (Vaddr va = base; va < base + keep; ++va) {
+            auto it = shadow.bytes.find(va);
+            if (it != shadow.bytes.end()) {
+              moved_bytes.emplace_back(new_base + (va - base), it->second);
+              shadow.bytes.erase(it);
+            }
+          }
+          for (auto& [va, b] : moved_bytes) {
+            shadow.bytes[va] = b;
+          }
+        }
+        for (Vaddr va = base + keep; va < base + old_length; ++va) {
+          shadow.bytes.erase(va);
+        }
+        shadow.regions[new_base] = moved;
+        break;
+      }
+      case 10: {  // Map the shared file somewhere (read-only view; content never changes).
+        if (shadow.regions.size() >= 7) {
+          break;
+        }
+        Vaddr va = p.address_space().MapFile(file, 0, 4 * kPageSize, kProtRead, true);
+        // Verify through the mapping immediately (the file is immutable in this test).
+        std::vector<std::byte> data(4 * kPageSize);
+        ASSERT_TRUE(p.ReadMemory(va, data));
+        for (size_t i = 0; i < data.size(); ++i) {
+          ASSERT_EQ(data[i], static_cast<std::byte>(i * 13));
+        }
+        p.Munmap(va, 4 * kPageSize);
+        break;
+      }
+      case 11: {  // Exit a non-root actor.
+        if (actors.size() <= 1 || actor.process == &root) {
+          break;
+        }
+        kernel.Exit(p, 0);
+        for (size_t i = 0; i < actors.size(); ++i) {
+          if (actors[i].process == &p) {
+            actors.erase(actors.begin() + static_cast<long>(i));
+            break;
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  // Full final verification (this also swap-ins everything that was reclaimed).
+  for (Actor& actor : actors) {
+    for (const auto& [base, region] : actor.shadow->regions) {
+      std::vector<std::byte> data(region.length);
+      ASSERT_TRUE(actor.process->ReadMemory(base, data));
+      for (uint64_t i = 0; i < region.length; ++i) {
+        ASSERT_EQ(data[i], actor.shadow->At(base + i))
+            << "final divergence seed " << seed << " pid " << actor.process->pid();
+      }
+    }
+  }
+  for (Actor& actor : actors) {
+    kernel.Exit(*actor.process, 0);
+  }
+  kernel.fs().Remove("/shared-data");
+  file.reset();  // The page cache legitimately held the file's frames until now.
+  EXPECT_TRUE(kernel.allocator().AllFree()) << "frame leak, seed " << seed;
+  EXPECT_TRUE(kernel.swap_space().AllFree()) << "swap-slot leak, seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MixedPropertyTest, ::testing::Values(21, 22, 23, 24, 25, 26, 27, 28));
+
+}  // namespace
+}  // namespace odf

@@ -1,0 +1,223 @@
+// Property-based testing: random interleavings of writes, reads, forks (both modes), unmaps,
+// remaps and exits are executed against the simulator AND against a trivially-correct shadow
+// model (a flat per-process byte map). Any divergence — a COW leak between parent and child,
+// a stale TLB translation, a mis-refcounted page — shows up as a content mismatch.
+//
+// This checks the paper's core claim directly: on-demand-fork has EXACTLY fork semantics.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "tests/test_util.h"
+
+namespace odf {
+namespace {
+
+// Shadow of one process: sparse byte contents plus the mapped regions.
+struct ShadowProcess {
+  Pid pid;
+  std::map<Vaddr, uint64_t> regions;  // start -> length
+  std::unordered_map<Vaddr, std::byte> bytes;
+
+  bool Mapped(Vaddr va) const {
+    auto it = regions.upper_bound(va);
+    if (it == regions.begin()) {
+      return false;
+    }
+    --it;
+    return va >= it->first && va < it->first + it->second;
+  }
+
+  std::byte At(Vaddr va) const {
+    auto it = bytes.find(va);
+    return it == bytes.end() ? std::byte{0} : it->second;
+  }
+};
+
+class ForkPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ForkPropertyTest, RandomOpSequenceMatchesShadowModel) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  Kernel kernel;
+
+  struct Pair {
+    Process* process;
+    std::unique_ptr<ShadowProcess> shadow;
+  };
+  std::vector<Pair> live;
+
+  Process& root = kernel.CreateProcess();
+  auto root_shadow = std::make_unique<ShadowProcess>();
+  root_shadow->pid = root.pid();
+  live.push_back({&root, std::move(root_shadow)});
+
+  // Root maps a handful of regions spanning several PTE-table chunks.
+  for (int r = 0; r < 3; ++r) {
+    uint64_t length = (rng.NextInRange(1, 3)) * kHugePageSize + rng.NextInRange(0, 16) * kPageSize;
+    Vaddr va = root.Mmap(length, kProtRead | kProtWrite);
+    live[0].shadow->regions[va] = length;
+  }
+
+  auto random_mapped_va = [&](ShadowProcess& shadow) -> std::optional<Vaddr> {
+    if (shadow.regions.empty()) {
+      return std::nullopt;
+    }
+    auto it = shadow.regions.begin();
+    std::advance(it, static_cast<long>(rng.NextBelow(shadow.regions.size())));
+    return it->first + rng.NextBelow(it->second);
+  };
+
+  const int kOps = 400;
+  for (int op = 0; op < kOps; ++op) {
+    size_t idx = rng.NextBelow(live.size());
+    Pair& pair = live[idx];
+    Process& p = *pair.process;
+    ShadowProcess& shadow = *pair.shadow;
+
+    switch (rng.NextBelow(10)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3: {  // Write a short run of bytes.
+        auto va = random_mapped_va(shadow);
+        if (!va) {
+          break;
+        }
+        uint64_t run = rng.NextInRange(1, 64);
+        for (uint64_t i = 0; i < run; ++i) {
+          if (!shadow.Mapped(*va + i)) {
+            run = i;
+            break;
+          }
+        }
+        if (run == 0) {
+          break;
+        }
+        std::vector<std::byte> data(run);
+        for (auto& b : data) {
+          b = static_cast<std::byte>(rng.Next());
+        }
+        ASSERT_TRUE(p.WriteMemory(*va, data));
+        for (uint64_t i = 0; i < run; ++i) {
+          shadow.bytes[*va + i] = data[i];
+        }
+        break;
+      }
+      case 4:
+      case 5: {  // Read-verify a short run.
+        auto va = random_mapped_va(shadow);
+        if (!va) {
+          break;
+        }
+        uint64_t run = rng.NextInRange(1, 64);
+        for (uint64_t i = 0; i < run; ++i) {
+          if (!shadow.Mapped(*va + i)) {
+            run = i;
+            break;
+          }
+        }
+        if (run == 0) {
+          break;
+        }
+        std::vector<std::byte> data(run);
+        ASSERT_TRUE(p.ReadMemory(*va, data));
+        for (uint64_t i = 0; i < run; ++i) {
+          ASSERT_EQ(data[i], shadow.At(*va + i))
+              << "divergence at pid " << p.pid() << " va " << *va + i << " seed " << seed
+              << " op " << op;
+        }
+        break;
+      }
+      case 6: {  // Fork (random mode).
+        if (live.size() >= 6) {
+          break;
+        }
+        static constexpr ForkMode kModes[] = {ForkMode::kClassic, ForkMode::kOnDemand,
+                                              ForkMode::kOnDemandHuge};
+        ForkMode mode = kModes[rng.NextBelow(3)];
+        Process& child = kernel.Fork(p, mode);
+        auto child_shadow = std::make_unique<ShadowProcess>(shadow);  // Deep copy.
+        child_shadow->pid = child.pid();
+        live.push_back({&child, std::move(child_shadow)});
+        break;
+      }
+      case 7: {  // Unmap a random whole region or a prefix/suffix of it.
+        if (shadow.regions.size() <= 1) {
+          break;
+        }
+        auto it = shadow.regions.begin();
+        std::advance(it, static_cast<long>(rng.NextBelow(shadow.regions.size())));
+        Vaddr start = it->first;
+        uint64_t length = it->second;
+        uint64_t cut = rng.NextInRange(1, length / kPageSize) * kPageSize;
+        if (rng.NextBool()) {  // Unmap prefix.
+          p.Munmap(start, cut);
+          shadow.regions.erase(it);
+          if (cut < length) {
+            shadow.regions[start + cut] = length - cut;
+          }
+          for (Vaddr va = start; va < start + cut; ++va) {
+            shadow.bytes.erase(va);
+          }
+        } else {  // Unmap suffix.
+          p.Munmap(start + length - cut, cut);
+          it->second = length - cut;
+          if (it->second == 0) {
+            shadow.regions.erase(it);
+          }
+          for (Vaddr va = start + length - cut; va < start + length; ++va) {
+            shadow.bytes.erase(va);
+          }
+        }
+        break;
+      }
+      case 8: {  // Map a fresh region.
+        if (shadow.regions.size() >= 8) {
+          break;
+        }
+        uint64_t length = rng.NextInRange(1, 2) * kHugePageSize;
+        Vaddr va = p.Mmap(length, kProtRead | kProtWrite);
+        shadow.regions[va] = length;
+        break;
+      }
+      case 9: {  // Exit a non-root process.
+        if (idx == 0 || live.size() <= 1) {
+          break;
+        }
+        kernel.Exit(p, 0);
+        live.erase(live.begin() + static_cast<long>(idx));
+        break;
+      }
+    }
+  }
+
+  // Final full verification of every live process against its shadow.
+  for (Pair& pair : live) {
+    for (const auto& [start, length] : pair.shadow->regions) {
+      std::vector<std::byte> data(length);
+      ASSERT_TRUE(pair.process->ReadMemory(start, data));
+      for (uint64_t i = 0; i < length; ++i) {
+        ASSERT_EQ(data[i], pair.shadow->At(start + i))
+            << "final divergence pid " << pair.process->pid() << " va " << start + i
+            << " seed " << seed;
+      }
+    }
+  }
+
+  // Tear everything down and verify nothing leaked.
+  for (Pair& pair : live) {
+    kernel.Exit(*pair.process, 0);
+  }
+  EXPECT_TRUE(kernel.allocator().AllFree()) << "leak with seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ForkPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12));
+
+}  // namespace
+}  // namespace odf

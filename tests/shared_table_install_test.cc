@@ -1,0 +1,114 @@
+// Regression tests for a subtle shared-table hazard found by the property suite: after an
+// on-demand fork, sharers' VMA layouts can diverge (one process unmaps a region and another
+// maps something new into the same 2 MiB span). Installing a demand-faulted entry into the
+// still-shared table would make the new mapping's pages visible to every sharer. The fault
+// handler must dedicate tables before ANY install, not just before COW writes.
+#include <gtest/gtest.h>
+
+#include "src/mm/range_ops.h"
+#include "tests/test_util.h"
+
+namespace odf {
+namespace {
+
+class SharedTableInstallTest : public ::testing::Test {
+ protected:
+  SharedTableInstallTest() : parent_(kernel_.CreateProcess()) {}
+
+  Kernel kernel_;
+  Process& parent_;
+};
+
+TEST_F(SharedTableInstallTest, ChildMappingInSharedSpanStaysInvisibleToParent) {
+  // Parent: region A (small) and region B in the same 2 MiB chunk.
+  AddressSpace& pas = parent_.address_space();
+  Vaddr base = 0x40000000;
+  Vaddr a = pas.MapAnonymous(8 * kPageSize, kProtRead | kProtWrite, false, base);
+  Vaddr b = pas.MapAnonymous(64 * kPageSize, kProtRead | kProtWrite, false,
+                             base + 16 * kPageSize);
+  ASSERT_EQ(a, base);
+  FillPattern(parent_, a, 8 * kPageSize, 1);
+  FillPattern(parent_, b, 64 * kPageSize, 2);
+
+  Process& child = kernel_.Fork(parent_, ForkMode::kOnDemand);
+
+  // The child unmaps B and maps a file view at the same address (same shared chunk).
+  auto file = kernel_.fs().Open("/f");
+  std::vector<std::byte> content(4 * kPageSize, std::byte{0xee});
+  file->Write(0, content);
+  child.Munmap(b, 64 * kPageSize);
+  Vaddr view = child.address_space().MapFile(file, 0, 4 * kPageSize, kProtRead, false, b);
+  ASSERT_EQ(view, b);
+  EXPECT_EQ(ReadByte(child, view), std::byte{0xee});
+
+  // The parent still has its OWN region B with its own contents; the child's file pages
+  // must not have leaked into the parent's view through the shared table.
+  ExpectPattern(parent_, b, 64 * kPageSize, 2);
+  ExpectPattern(parent_, a, 8 * kPageSize, 1);
+}
+
+TEST_F(SharedTableInstallTest, ParentGrowthOverChildRemnantSeesZeroes) {
+  // The exact shape the property suite caught: the parent unmaps B, a child (sharing the
+  // chunk) maps and faults pages at B's old address, the parent later grows A over it.
+  AddressSpace& pas = parent_.address_space();
+  Vaddr base = 0x40000000;
+  Vaddr a = pas.MapAnonymous(8 * kPageSize, kProtRead | kProtWrite, false, base);
+  ASSERT_EQ(a, base);
+  FillPattern(parent_, a, 8 * kPageSize, 3);
+  Process& child = kernel_.Fork(parent_, ForkMode::kOnDemand);
+
+  // The child maps fresh memory into the shared chunk and faults it in (reads+writes).
+  Vaddr child_extra = child.address_space().MapAnonymous(16 * kPageSize,
+                                                         kProtRead | kProtWrite, false,
+                                                         base + 32 * kPageSize);
+  ASSERT_EQ(child_extra, base + 32 * kPageSize);
+  ASSERT_TRUE(child.MemsetMemory(child_extra, std::byte{0xbd}, 16 * kPageSize));
+
+  // The parent grows A over the same addresses; fresh anonymous memory must read as zero.
+  Vaddr grown = parent_.Mremap(a, 8 * kPageSize, 64 * kPageSize);
+  ASSERT_EQ(grown, a);
+  for (Vaddr va = a + 32 * kPageSize; va < a + 48 * kPageSize; va += kPageSize) {
+    ASSERT_EQ(ReadByte(parent_, va), std::byte{0})
+        << "child-faulted page leaked into the parent at " << va;
+  }
+  // And the child still sees its own data.
+  EXPECT_EQ(ReadByte(child, child_extra), std::byte{0xbd});
+}
+
+TEST_F(SharedTableInstallTest, ReadFaultInSharedSpanDedicatesInsteadOfPolluting) {
+  // Partially populated parent: only half the chunk has present pages at fork time.
+  Vaddr a = parent_.Mmap(256 * kPageSize, kProtRead | kProtWrite);
+  FillPattern(parent_, a, 64 * kPageSize, 4);  // First 64 pages present, rest not.
+  Process& child = kernel_.Fork(parent_, ForkMode::kOnDemand);
+
+  AddressSpace& cas = child.address_space();
+  uint64_t* pmd = cas.walker().FindEntry(cas.pgd(), a, PtLevel::kPmd);
+  FrameId shared_table = LoadEntry(pmd).frame();
+  ASSERT_EQ(kernel_.allocator().GetMeta(shared_table).pt_share_count.load(), 2u);
+
+  // Child reads a not-yet-faulted page: the install must go into a dedicated copy.
+  EXPECT_EQ(ReadByte(child, a + 128 * kPageSize), std::byte{0});
+  uint64_t* pmd_after = cas.walker().FindEntry(cas.pgd(), a, PtLevel::kPmd);
+  EXPECT_NE(LoadEntry(pmd_after).frame(), shared_table)
+      << "a demand install must dedicate the shared table first";
+  // The parent's shared table must NOT have gained an entry for that page.
+  AddressSpace& pas = parent_.address_space();
+  Translation t = pas.walker().Translate(pas.pgd(), a + 128 * kPageSize, AccessType::kRead);
+  EXPECT_EQ(t.status, TranslateStatus::kNotPresent)
+      << "the child's demand-zero page leaked into the parent's table";
+}
+
+TEST_F(SharedTableInstallTest, PopulateIntoSharedSpanDedicates) {
+  Vaddr a = parent_.Mmap(128 * kPageSize, kProtRead | kProtWrite);
+  FillPattern(parent_, a, 32 * kPageSize, 5);
+  Process& child = kernel_.Fork(parent_, ForkMode::kOnDemand);
+
+  child.address_space().PopulateRange(a, 128 * kPageSize);
+  // Parent must still translate only its original 32 pages.
+  EXPECT_EQ(parent_.address_space().CountPresentPtes(), 32u);
+  EXPECT_EQ(child.address_space().CountPresentPtes(), 128u);
+  ExpectPattern(parent_, a, 32 * kPageSize, 5);
+}
+
+}  // namespace
+}  // namespace odf

@@ -1,0 +1,115 @@
+#include "src/apps/simalloc.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "tests/test_util.h"
+
+namespace odf {
+namespace {
+
+class SimHeapTest : public ::testing::Test {
+ protected:
+  SimHeapTest() : p_(kernel_.CreateProcess()), heap_(SimHeap::Create(p_, 64 << 20)) {}
+
+  Kernel kernel_;
+  Process& p_;
+  SimHeap heap_;
+};
+
+TEST_F(SimHeapTest, AllocReturnsUsableDisjointBlocks) {
+  Vaddr a = heap_.Alloc(100);
+  Vaddr b = heap_.Alloc(100);
+  EXPECT_NE(a, b);
+  p_.StoreU64(a, 0x1111);
+  p_.StoreU64(b, 0x2222);
+  EXPECT_EQ(p_.LoadU64(a), 0x1111u);
+  EXPECT_EQ(p_.LoadU64(b), 0x2222u);
+  EXPECT_TRUE(heap_.CheckConsistency());
+}
+
+TEST_F(SimHeapTest, FreeRecyclesMemory) {
+  Vaddr a = heap_.Alloc(256);
+  heap_.Free(a);
+  Vaddr b = heap_.Alloc(256);
+  EXPECT_EQ(a, b) << "exact-size free block should be reused";
+  EXPECT_TRUE(heap_.CheckConsistency());
+}
+
+TEST_F(SimHeapTest, SplitLargeBlock) {
+  Vaddr big = heap_.Alloc(8192);
+  heap_.Free(big);
+  Vaddr small = heap_.Alloc(128);
+  EXPECT_EQ(small, big) << "small alloc should carve the freed big block";
+  Vaddr rest = heap_.Alloc(4096);
+  // The tail of the split must be available without growing brk.
+  EXPECT_GT(rest, small);
+  EXPECT_LT(rest, big + 8192 + 64);
+  EXPECT_TRUE(heap_.CheckConsistency());
+}
+
+TEST_F(SimHeapTest, StatsTrackAllocations) {
+  Vaddr a = heap_.Alloc(1000);
+  heap_.Alloc(2000);
+  SimHeapStats stats = heap_.Stats();
+  EXPECT_EQ(stats.allocations, 2u);
+  EXPECT_GE(stats.allocated_bytes, 3000u);
+  heap_.Free(a);
+  stats = heap_.Stats();
+  EXPECT_EQ(stats.frees, 1u);
+  EXPECT_LT(stats.allocated_bytes, 3000u);
+}
+
+TEST_F(SimHeapTest, ManyAllocFreeCyclesStayConsistent) {
+  Rng rng(11);
+  std::map<Vaddr, uint64_t> live;  // addr -> tag
+  for (int i = 0; i < 3000; ++i) {
+    if (live.size() < 100 && (live.empty() || rng.NextBool(0.6))) {
+      uint64_t size = 16 + rng.NextBelow(5000);
+      Vaddr block = heap_.Alloc(size);
+      uint64_t tag = rng.Next();
+      p_.StoreU64(block, tag);
+      ASSERT_TRUE(live.emplace(block, tag).second) << "allocator returned a live block";
+    } else {
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.NextBelow(live.size())));
+      ASSERT_EQ(p_.LoadU64(it->first), it->second) << "heap corruption detected";
+      heap_.Free(it->first);
+      live.erase(it);
+    }
+  }
+  EXPECT_TRUE(heap_.CheckConsistency());
+}
+
+TEST_F(SimHeapTest, AttachSeesSameHeap) {
+  Vaddr a = heap_.Alloc(64);
+  p_.StoreU64(a, 42);
+  SimHeap view = SimHeap::Attach(p_, heap_.base());
+  EXPECT_EQ(view.Stats().allocations, heap_.Stats().allocations);
+  // Allocations through the second view continue the same heap.
+  Vaddr b = view.Alloc(64);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(p_.LoadU64(a), 42u);
+}
+
+TEST_F(SimHeapTest, ForkedChildInheritsHeapCow) {
+  Vaddr a = heap_.Alloc(64);
+  p_.StoreU64(a, 0xabc);
+  Process& child = kernel_.Fork(p_, ForkMode::kOnDemand);
+  SimHeap child_heap = SimHeap::Attach(child, heap_.base());
+  EXPECT_EQ(child.LoadU64(a), 0xabcu);
+  // Child allocations/writes must not disturb the parent heap.
+  Vaddr b = child_heap.Alloc(128);
+  child.StoreU64(b, 0xdef);
+  child.StoreU64(a, 0x999);
+  EXPECT_EQ(p_.LoadU64(a), 0xabcu);
+  EXPECT_EQ(heap_.Stats().allocations, 1u);
+  EXPECT_EQ(child_heap.Stats().allocations, 2u);
+  EXPECT_TRUE(heap_.CheckConsistency());
+  EXPECT_TRUE(child_heap.CheckConsistency());
+}
+
+}  // namespace
+}  // namespace odf
