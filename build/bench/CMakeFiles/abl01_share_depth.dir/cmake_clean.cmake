@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl01_share_depth.dir/abl01_share_depth.cc.o"
+  "CMakeFiles/abl01_share_depth.dir/abl01_share_depth.cc.o.d"
+  "abl01_share_depth"
+  "abl01_share_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl01_share_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl02_refcount_strategy.dir/abl02_refcount_strategy.cc.o"
+  "CMakeFiles/abl02_refcount_strategy.dir/abl02_refcount_strategy.cc.o.d"
+  "abl02_refcount_strategy"
+  "abl02_refcount_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl02_refcount_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl03_huge_odf.dir/abl03_huge_odf.cc.o"
+  "CMakeFiles/abl03_huge_odf.dir/abl03_huge_odf.cc.o.d"
+  "abl03_huge_odf"
+  "abl03_huge_odf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl03_huge_odf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

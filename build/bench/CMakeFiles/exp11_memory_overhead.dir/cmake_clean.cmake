@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp11_memory_overhead.dir/exp11_memory_overhead.cc.o"
+  "CMakeFiles/exp11_memory_overhead.dir/exp11_memory_overhead.cc.o.d"
+  "exp11_memory_overhead"
+  "exp11_memory_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp11_memory_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

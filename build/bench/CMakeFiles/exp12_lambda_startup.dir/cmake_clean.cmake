@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp12_lambda_startup.dir/exp12_lambda_startup.cc.o"
+  "CMakeFiles/exp12_lambda_startup.dir/exp12_lambda_startup.cc.o.d"
+  "exp12_lambda_startup"
+  "exp12_lambda_startup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp12_lambda_startup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_fork_scaling.dir/fig02_fork_scaling.cc.o"
+  "CMakeFiles/fig02_fork_scaling.dir/fig02_fork_scaling.cc.o.d"
+  "fig02_fork_scaling"
+  "fig02_fork_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_fork_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_fork_profile.dir/fig03_fork_profile.cc.o"
+  "CMakeFiles/fig03_fork_profile.dir/fig03_fork_profile.cc.o.d"
+  "fig03_fork_profile"
+  "fig03_fork_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_fork_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

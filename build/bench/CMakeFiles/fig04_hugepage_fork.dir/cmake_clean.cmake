@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_hugepage_fork.dir/fig04_hugepage_fork.cc.o"
+  "CMakeFiles/fig04_hugepage_fork.dir/fig04_hugepage_fork.cc.o.d"
+  "fig04_hugepage_fork"
+  "fig04_hugepage_fork.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_hugepage_fork.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

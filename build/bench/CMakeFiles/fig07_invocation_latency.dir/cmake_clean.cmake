@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_invocation_latency.dir/fig07_invocation_latency.cc.o"
+  "CMakeFiles/fig07_invocation_latency.dir/fig07_invocation_latency.cc.o.d"
+  "fig07_invocation_latency"
+  "fig07_invocation_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_invocation_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

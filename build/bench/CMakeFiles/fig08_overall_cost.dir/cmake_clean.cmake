@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_overall_cost.dir/fig08_overall_cost.cc.o"
+  "CMakeFiles/fig08_overall_cost.dir/fig08_overall_cost.cc.o.d"
+  "fig08_overall_cost"
+  "fig08_overall_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_overall_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_fuzz_throughput.dir/fig09_fuzz_throughput.cc.o"
+  "CMakeFiles/fig09_fuzz_throughput.dir/fig09_fuzz_throughput.cc.o.d"
+  "fig09_fuzz_throughput"
+  "fig09_fuzz_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_fuzz_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_vmclone.dir/fig10_vmclone.cc.o"
+  "CMakeFiles/fig10_vmclone.dir/fig10_vmclone.cc.o.d"
+  "fig10_vmclone"
+  "fig10_vmclone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_vmclone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_fault_cost.dir/tab01_fault_cost.cc.o"
+  "CMakeFiles/tab01_fault_cost.dir/tab01_fault_cost.cc.o.d"
+  "tab01_fault_cost"
+  "tab01_fault_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_fault_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

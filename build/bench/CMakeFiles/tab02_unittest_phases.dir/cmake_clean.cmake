@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_unittest_phases.dir/tab02_unittest_phases.cc.o"
+  "CMakeFiles/tab02_unittest_phases.dir/tab02_unittest_phases.cc.o.d"
+  "tab02_unittest_phases"
+  "tab02_unittest_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_unittest_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/tab03_unittest_fork.cc" "bench/CMakeFiles/tab03_unittest_fork.dir/tab03_unittest_fork.cc.o" "gcc" "bench/CMakeFiles/tab03_unittest_fork.dir/tab03_unittest_fork.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/odf_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/odf_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/odf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/odf_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/odf_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/pt/CMakeFiles/odf_pt.dir/DependInfo.cmake"
+  "/root/repo/build/src/phys/CMakeFiles/odf_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/odf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_unittest_fork.dir/tab03_unittest_fork.cc.o"
+  "CMakeFiles/tab03_unittest_fork.dir/tab03_unittest_fork.cc.o.d"
+  "tab03_unittest_fork"
+  "tab03_unittest_fork.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_unittest_fork.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_05_redis.dir/tab04_05_redis.cc.o"
+  "CMakeFiles/tab04_05_redis.dir/tab04_05_redis.cc.o.d"
+  "tab04_05_redis"
+  "tab04_05_redis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_05_redis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab06_07_apache.dir/tab06_07_apache.cc.o"
+  "CMakeFiles/tab06_07_apache.dir/tab06_07_apache.cc.o.d"
+  "tab06_07_apache"
+  "tab06_07_apache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab06_07_apache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

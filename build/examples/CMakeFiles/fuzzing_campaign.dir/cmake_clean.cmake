@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzzing_campaign.dir/fuzzing_campaign.cpp.o"
+  "CMakeFiles/fuzzing_campaign.dir/fuzzing_campaign.cpp.o.d"
+  "fuzzing_campaign"
+  "fuzzing_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzzing_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

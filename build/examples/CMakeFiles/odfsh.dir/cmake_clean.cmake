@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odfsh.dir/odfsh.cpp.o"
+  "CMakeFiles/odfsh.dir/odfsh.cpp.o.d"
+  "odfsh"
+  "odfsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odfsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_server.dir/snapshot_server.cpp.o"
+  "CMakeFiles/snapshot_server.dir/snapshot_server.cpp.o.d"
+  "snapshot_server"
+  "snapshot_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unit_test_harness.dir/unit_test_harness.cpp.o"
+  "CMakeFiles/unit_test_harness.dir/unit_test_harness.cpp.o.d"
+  "unit_test_harness"
+  "unit_test_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unit_test_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/fuzzer.cc" "src/apps/CMakeFiles/odf_apps.dir/fuzzer.cc.o" "gcc" "src/apps/CMakeFiles/odf_apps.dir/fuzzer.cc.o.d"
+  "/root/repo/src/apps/httpd.cc" "src/apps/CMakeFiles/odf_apps.dir/httpd.cc.o" "gcc" "src/apps/CMakeFiles/odf_apps.dir/httpd.cc.o.d"
+  "/root/repo/src/apps/kvstore.cc" "src/apps/CMakeFiles/odf_apps.dir/kvstore.cc.o" "gcc" "src/apps/CMakeFiles/odf_apps.dir/kvstore.cc.o.d"
+  "/root/repo/src/apps/lambda.cc" "src/apps/CMakeFiles/odf_apps.dir/lambda.cc.o" "gcc" "src/apps/CMakeFiles/odf_apps.dir/lambda.cc.o.d"
+  "/root/repo/src/apps/minidb.cc" "src/apps/CMakeFiles/odf_apps.dir/minidb.cc.o" "gcc" "src/apps/CMakeFiles/odf_apps.dir/minidb.cc.o.d"
+  "/root/repo/src/apps/minidb_shell.cc" "src/apps/CMakeFiles/odf_apps.dir/minidb_shell.cc.o" "gcc" "src/apps/CMakeFiles/odf_apps.dir/minidb_shell.cc.o.d"
+  "/root/repo/src/apps/simalloc.cc" "src/apps/CMakeFiles/odf_apps.dir/simalloc.cc.o" "gcc" "src/apps/CMakeFiles/odf_apps.dir/simalloc.cc.o.d"
+  "/root/repo/src/apps/vmclone.cc" "src/apps/CMakeFiles/odf_apps.dir/vmclone.cc.o" "gcc" "src/apps/CMakeFiles/odf_apps.dir/vmclone.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proc/CMakeFiles/odf_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/odf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/odf_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/odf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/odf_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/pt/CMakeFiles/odf_pt.dir/DependInfo.cmake"
+  "/root/repo/build/src/phys/CMakeFiles/odf_phys.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odf_apps.dir/fuzzer.cc.o"
+  "CMakeFiles/odf_apps.dir/fuzzer.cc.o.d"
+  "CMakeFiles/odf_apps.dir/httpd.cc.o"
+  "CMakeFiles/odf_apps.dir/httpd.cc.o.d"
+  "CMakeFiles/odf_apps.dir/kvstore.cc.o"
+  "CMakeFiles/odf_apps.dir/kvstore.cc.o.d"
+  "CMakeFiles/odf_apps.dir/lambda.cc.o"
+  "CMakeFiles/odf_apps.dir/lambda.cc.o.d"
+  "CMakeFiles/odf_apps.dir/minidb.cc.o"
+  "CMakeFiles/odf_apps.dir/minidb.cc.o.d"
+  "CMakeFiles/odf_apps.dir/minidb_shell.cc.o"
+  "CMakeFiles/odf_apps.dir/minidb_shell.cc.o.d"
+  "CMakeFiles/odf_apps.dir/simalloc.cc.o"
+  "CMakeFiles/odf_apps.dir/simalloc.cc.o.d"
+  "CMakeFiles/odf_apps.dir/vmclone.cc.o"
+  "CMakeFiles/odf_apps.dir/vmclone.cc.o.d"
+  "libodf_apps.a"
+  "libodf_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odf_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

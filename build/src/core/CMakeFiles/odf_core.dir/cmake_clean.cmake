@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odf_core.dir/fork.cc.o"
+  "CMakeFiles/odf_core.dir/fork.cc.o.d"
+  "CMakeFiles/odf_core.dir/fork_classic.cc.o"
+  "CMakeFiles/odf_core.dir/fork_classic.cc.o.d"
+  "CMakeFiles/odf_core.dir/fork_odf.cc.o"
+  "CMakeFiles/odf_core.dir/fork_odf.cc.o.d"
+  "libodf_core.a"
+  "libodf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

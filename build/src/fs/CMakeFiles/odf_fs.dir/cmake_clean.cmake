@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odf_fs.dir/mem_fs.cc.o"
+  "CMakeFiles/odf_fs.dir/mem_fs.cc.o.d"
+  "libodf_fs.a"
+  "libodf_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odf_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mm/address_space.cc" "src/mm/CMakeFiles/odf_mm.dir/address_space.cc.o" "gcc" "src/mm/CMakeFiles/odf_mm.dir/address_space.cc.o.d"
+  "/root/repo/src/mm/fault.cc" "src/mm/CMakeFiles/odf_mm.dir/fault.cc.o" "gcc" "src/mm/CMakeFiles/odf_mm.dir/fault.cc.o.d"
+  "/root/repo/src/mm/range_ops.cc" "src/mm/CMakeFiles/odf_mm.dir/range_ops.cc.o" "gcc" "src/mm/CMakeFiles/odf_mm.dir/range_ops.cc.o.d"
+  "/root/repo/src/mm/reclaim.cc" "src/mm/CMakeFiles/odf_mm.dir/reclaim.cc.o" "gcc" "src/mm/CMakeFiles/odf_mm.dir/reclaim.cc.o.d"
+  "/root/repo/src/mm/swap.cc" "src/mm/CMakeFiles/odf_mm.dir/swap.cc.o" "gcc" "src/mm/CMakeFiles/odf_mm.dir/swap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pt/CMakeFiles/odf_pt.dir/DependInfo.cmake"
+  "/root/repo/build/src/phys/CMakeFiles/odf_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/odf_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/odf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

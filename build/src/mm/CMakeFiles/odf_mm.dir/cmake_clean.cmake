@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odf_mm.dir/address_space.cc.o"
+  "CMakeFiles/odf_mm.dir/address_space.cc.o.d"
+  "CMakeFiles/odf_mm.dir/fault.cc.o"
+  "CMakeFiles/odf_mm.dir/fault.cc.o.d"
+  "CMakeFiles/odf_mm.dir/range_ops.cc.o"
+  "CMakeFiles/odf_mm.dir/range_ops.cc.o.d"
+  "CMakeFiles/odf_mm.dir/reclaim.cc.o"
+  "CMakeFiles/odf_mm.dir/reclaim.cc.o.d"
+  "CMakeFiles/odf_mm.dir/swap.cc.o"
+  "CMakeFiles/odf_mm.dir/swap.cc.o.d"
+  "libodf_mm.a"
+  "libodf_mm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odf_mm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

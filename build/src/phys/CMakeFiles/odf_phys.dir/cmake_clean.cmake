@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odf_phys.dir/frame_allocator.cc.o"
+  "CMakeFiles/odf_phys.dir/frame_allocator.cc.o.d"
+  "libodf_phys.a"
+  "libodf_phys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odf_phys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libodf_phys.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odf_proc.dir/auditor.cc.o"
+  "CMakeFiles/odf_proc.dir/auditor.cc.o.d"
+  "CMakeFiles/odf_proc.dir/kernel.cc.o"
+  "CMakeFiles/odf_proc.dir/kernel.cc.o.d"
+  "CMakeFiles/odf_proc.dir/process.cc.o"
+  "CMakeFiles/odf_proc.dir/process.cc.o.d"
+  "CMakeFiles/odf_proc.dir/procfs.cc.o"
+  "CMakeFiles/odf_proc.dir/procfs.cc.o.d"
+  "libodf_proc.a"
+  "libodf_proc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odf_proc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

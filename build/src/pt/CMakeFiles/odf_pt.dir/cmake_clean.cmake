@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odf_pt.dir/walker.cc.o"
+  "CMakeFiles/odf_pt.dir/walker.cc.o.d"
+  "libodf_pt.a"
+  "libodf_pt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odf_pt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odf_util.dir/histogram.cc.o"
+  "CMakeFiles/odf_util.dir/histogram.cc.o.d"
+  "CMakeFiles/odf_util.dir/latency_recorder.cc.o"
+  "CMakeFiles/odf_util.dir/latency_recorder.cc.o.d"
+  "CMakeFiles/odf_util.dir/log.cc.o"
+  "CMakeFiles/odf_util.dir/log.cc.o.d"
+  "CMakeFiles/odf_util.dir/stats.cc.o"
+  "CMakeFiles/odf_util.dir/stats.cc.o.d"
+  "CMakeFiles/odf_util.dir/table_printer.cc.o"
+  "CMakeFiles/odf_util.dir/table_printer.cc.o.d"
+  "libodf_util.a"
+  "libodf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

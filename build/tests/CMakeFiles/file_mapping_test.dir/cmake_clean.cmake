@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_mapping_test.dir/file_mapping_test.cc.o"
+  "CMakeFiles/file_mapping_test.dir/file_mapping_test.cc.o.d"
+  "file_mapping_test"
+  "file_mapping_test.pdb"
+  "file_mapping_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_mapping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

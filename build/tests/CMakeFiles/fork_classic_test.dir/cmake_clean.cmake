@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fork_classic_test.dir/fork_classic_test.cc.o"
+  "CMakeFiles/fork_classic_test.dir/fork_classic_test.cc.o.d"
+  "fork_classic_test"
+  "fork_classic_test.pdb"
+  "fork_classic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fork_classic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

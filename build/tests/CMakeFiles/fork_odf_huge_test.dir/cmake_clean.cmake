@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fork_odf_huge_test.dir/fork_odf_huge_test.cc.o"
+  "CMakeFiles/fork_odf_huge_test.dir/fork_odf_huge_test.cc.o.d"
+  "fork_odf_huge_test"
+  "fork_odf_huge_test.pdb"
+  "fork_odf_huge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fork_odf_huge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

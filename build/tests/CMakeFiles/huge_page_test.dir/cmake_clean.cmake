@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/huge_page_test.dir/huge_page_test.cc.o"
+  "CMakeFiles/huge_page_test.dir/huge_page_test.cc.o.d"
+  "huge_page_test"
+  "huge_page_test.pdb"
+  "huge_page_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/huge_page_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

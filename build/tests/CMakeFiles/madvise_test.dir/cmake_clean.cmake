@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/madvise_test.dir/madvise_test.cc.o"
+  "CMakeFiles/madvise_test.dir/madvise_test.cc.o.d"
+  "madvise_test"
+  "madvise_test.pdb"
+  "madvise_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/madvise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pt_test.dir/pt_test.cc.o"
+  "CMakeFiles/pt_test.dir/pt_test.cc.o.d"
+  "pt_test"
+  "pt_test.pdb"
+  "pt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_table_install_test.dir/shared_table_install_test.cc.o"
+  "CMakeFiles/shared_table_install_test.dir/shared_table_install_test.cc.o.d"
+  "shared_table_install_test"
+  "shared_table_install_test.pdb"
+  "shared_table_install_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_table_install_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

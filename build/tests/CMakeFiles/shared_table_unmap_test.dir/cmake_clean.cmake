@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_table_unmap_test.dir/shared_table_unmap_test.cc.o"
+  "CMakeFiles/shared_table_unmap_test.dir/shared_table_unmap_test.cc.o.d"
+  "shared_table_unmap_test"
+  "shared_table_unmap_test.pdb"
+  "shared_table_unmap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_table_unmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

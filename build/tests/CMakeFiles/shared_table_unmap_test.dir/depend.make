@@ -1,0 +1,2 @@
+# Empty dependencies file for shared_table_unmap_test.
+# This may be replaced when dependencies are built.

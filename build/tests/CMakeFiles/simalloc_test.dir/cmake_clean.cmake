@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simalloc_test.dir/simalloc_test.cc.o"
+  "CMakeFiles/simalloc_test.dir/simalloc_test.cc.o.d"
+  "simalloc_test"
+  "simalloc_test.pdb"
+  "simalloc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simalloc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/frame_allocator_test[1]_include.cmake")
+include("/root/repo/build/tests/pt_test[1]_include.cmake")
+include("/root/repo/build/tests/address_space_test[1]_include.cmake")
+include("/root/repo/build/tests/fork_classic_test[1]_include.cmake")
+include("/root/repo/build/tests/fork_odf_test[1]_include.cmake")
+include("/root/repo/build/tests/fork_odf_huge_test[1]_include.cmake")
+include("/root/repo/build/tests/shared_table_unmap_test[1]_include.cmake")
+include("/root/repo/build/tests/file_mapping_test[1]_include.cmake")
+include("/root/repo/build/tests/huge_page_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/simalloc_test[1]_include.cmake")
+include("/root/repo/build/tests/kvstore_test[1]_include.cmake")
+include("/root/repo/build/tests/minidb_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/swap_reclaim_test[1]_include.cmake")
+include("/root/repo/build/tests/procfs_test[1]_include.cmake")
+include("/root/repo/build/tests/proc_test[1]_include.cmake")
+include("/root/repo/build/tests/property_mixed_test[1]_include.cmake")
+include("/root/repo/build/tests/concurrency_test[1]_include.cmake")
+include("/root/repo/build/tests/shared_table_install_test[1]_include.cmake")
+include("/root/repo/build/tests/auditor_test[1]_include.cmake")
+include("/root/repo/build/tests/madvise_test[1]_include.cmake")
+include("/root/repo/build/tests/contract_death_test[1]_include.cmake")
