@@ -42,6 +42,7 @@ void Run() {
                   std::to_string(upper_tables)});
   }
   table.Print();
+  WriteBenchJson("abl01_share_depth", config, {{"share_depth", &table}});
   std::printf(
       "\nReading: the entire ODF invocation IS the upper-level work (leaf sharing is one\n"
       "refcount+PMD write per 2 MiB, inside the same walk). Sharing PMD tables too could\n"

@@ -48,6 +48,7 @@ void Run() {
                         TablePrinter::FormatDouble(odf / odf_huge, 1) + "x"});
   }
   small_table.Print();
+  WriteBenchJson("abl03_huge_odf", config, {{"huge_mappings", &huge_table}, {"small_mappings", &small_table}});
   std::printf(
       "\nReading (b): the absolute saving above the last level is tiny — both variants are\n"
       "already microseconds — which is the paper's argument for the simpler design. The\n"

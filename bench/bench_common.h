@@ -1,19 +1,24 @@
 // Shared configuration and helpers for the paper-reproduction benchmark binaries.
 //
 // Environment knobs (all optional):
-//   ODF_BENCH_MAX_GB   largest simulated mapping in the Fig. 2/4/7 sweeps (default 8; the
-//                      paper goes to 50 — set 50 to match, given ~4 GB of RAM headroom)
-//   ODF_BENCH_REPS     repetitions per data point (default 5, like the paper)
-//   ODF_BENCH_SECONDS  duration of throughput benchmarks (default 10)
-//   ODF_BENCH_FAST     set to 1 for a quick smoke run (small sizes, 1 rep)
+//   ODF_BENCH_MAX_GB    largest simulated mapping in the Fig. 2/4/7 sweeps (default 8; the
+//                       paper goes to 50 — set 50 to match, given ~4 GB of RAM headroom)
+//   ODF_BENCH_REPS      repetitions per data point (default 5, like the paper)
+//   ODF_BENCH_SECONDS   duration of throughput benchmarks (default 10)
+//   ODF_BENCH_FAST      set to 1 for a quick smoke run (small sizes, 1 rep)
+//   ODF_BENCH_JSON      set to 0 to suppress the BENCH_<name>.json sidecar
+//   ODF_BENCH_JSON_DIR  directory for BENCH_<name>.json (default: current directory)
 #ifndef ODF_BENCH_BENCH_COMMON_H_
 #define ODF_BENCH_BENCH_COMMON_H_
 
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "src/proc/kernel.h"
+#include "src/trace/json.h"
+#include "src/trace/metrics.h"
 #include "src/util/log.h"
 #include "src/util/stats.h"
 #include "src/util/stopwatch.h"
@@ -105,6 +110,93 @@ inline std::vector<double> TimeForks(Kernel& kernel, Process& parent, ForkMode m
 inline void PrintHeader(const std::string& title, const std::string& paper_ref) {
   std::printf("\n=== %s ===\n", title.c_str());
   std::printf("Reproduces: %s\n\n", paper_ref.c_str());
+}
+
+// One table of a benchmark's output, as (section name, printed table) for the JSON sidecar.
+struct BenchSection {
+  std::string name;
+  const TablePrinter* table;
+};
+
+namespace bench_internal {
+
+// Emits a table cell as a JSON number when the whole cell parses as one ("3.14", "42"),
+// otherwise as a string ("on-demand-fork", "1.2 GB"). Keeps the sidecar directly loadable
+// into analysis tools without per-bench schemas.
+inline void WriteCell(JsonWriter& json, const std::string& cell) {
+  if (!cell.empty()) {
+    char* end = nullptr;
+    double value = std::strtod(cell.c_str(), &end);
+    if (end == cell.c_str() + cell.size()) {
+      json.Value(value);
+      return;
+    }
+  }
+  json.Value(cell);
+}
+
+}  // namespace bench_internal
+
+// Writes BENCH_<name>.json next to the benchmark (schema: docs/observability.md). Every
+// fig*/tab*/abl* binary calls this after printing its tables so the bench harness can
+// consume results without scraping stdout. Honors ODF_BENCH_JSON / ODF_BENCH_JSON_DIR.
+inline void WriteBenchJson(const std::string& name, const BenchConfig& config,
+                           const std::vector<BenchSection>& sections) {
+  if (const char* v = std::getenv("ODF_BENCH_JSON")) {
+    if (std::atoi(v) == 0) {
+      return;
+    }
+  }
+  std::string path = "BENCH_" + name + ".json";
+  if (const char* dir = std::getenv("ODF_BENCH_JSON_DIR")) {
+    path = std::string(dir) + "/" + path;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    ODF_LOG(kWarn) << "cannot write " << path;
+    return;
+  }
+  JsonWriter json(out);
+  json.BeginObject();
+  json.Key("schema_version").Value(1);
+  json.Key("bench").Value(name);
+  json.Key("config").BeginObject();
+  json.Key("max_gb").Value(config.max_gb);
+  json.Key("reps").Value(config.reps);
+  json.Key("seconds").Value(config.seconds);
+  json.Key("fast").Value(config.fast);
+  json.EndObject();
+  json.Key("sections").BeginArray();
+  for (const BenchSection& section : sections) {
+    json.BeginObject();
+    json.Key("name").Value(section.name);
+    json.Key("columns").BeginArray();
+    for (const std::string& header : section.table->headers()) {
+      json.Value(header);
+    }
+    json.EndArray();
+    json.Key("rows").BeginArray();
+    for (const auto& row : section.table->rows()) {
+      json.BeginArray();
+      for (const std::string& cell : row) {
+        bench_internal::WriteCell(json, cell);
+      }
+      json.EndArray();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+  // Counter snapshot at exit: lets the harness correlate bench results with kernel-wide
+  // activity (e.g. COW fault volume behind a latency series) without a second run.
+  json.Key("vmstat").BeginObject();
+  for (const auto& [counter, value] : MetricsRegistry::Global().SnapshotCounters()) {
+    json.Key(counter).Value(value);
+  }
+  json.EndObject();
+  json.EndObject();
+  out << "\n";
+  std::printf("[bench] wrote %s\n", path.c_str());
 }
 
 }  // namespace odf

@@ -52,6 +52,7 @@ void Run() {
                   TablePrinter::FormatDouble(cost.fork_total_ms, 2)});
   }
   table.Print();
+  WriteBenchJson("exp11_memory_overhead", config, {{"memory_overhead", &table}});
   std::printf(
       "\nReading: classic fork duplicates every PTE table per child (512 frames per GB per\n"
       "child); on-demand-fork adds only the upper-level skeleton, and the §4 extension\n"

@@ -69,6 +69,7 @@ void Run() {
                 TablePrinter::FormatDouble(odf_startup.PercentileValue(99), 1),
                 TablePrinter::FormatDouble(odf_total.PercentileValue(50), 1)});
   table.Print();
+  WriteBenchJson("exp12_lambda_startup", config, {{"lambda_startup", &table}});
   std::printf(
       "\nTemplate deploy (amortised once): %.2f s. Startup reduction vs fork: %.1fx.\n"
       "Shape check: cold >> warm-fork >> warm-ODF, with ODF startup in single-digit us.\n",

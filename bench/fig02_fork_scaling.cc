@@ -55,6 +55,7 @@ void Run() {
                   TablePrinter::FormatDouble(concurrent.min(), 3)});
   }
   table.Print();
+  WriteBenchJson("fig02_fork_scaling", config, {{"fork_scaling", &table}});
 }
 
 }  // namespace

@@ -44,6 +44,7 @@ void Run() {
                 TablePrinter::FormatDouble(static_cast<double>(profile.table_alloc_ns) / 1e6, 2),
                 pct(profile.table_alloc_ns)});
   table.Print();
+  WriteBenchJson("fig03_fork_profile", config, {{"fork_profile", &table}});
   std::printf(
       "\nShape check: metadata + refcount passes should dominate (paper: ~92%% combined).\n");
 }

@@ -22,6 +22,7 @@ void Run() {
                   TablePrinter::FormatDouble(stats.min, 4)});
   }
   table.Print();
+  WriteBenchJson("fig04_hugepage_fork", config, {{"hugepage_fork", &table}});
 }
 
 }  // namespace

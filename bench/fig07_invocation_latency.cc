@@ -39,6 +39,7 @@ void Run() {
                   TablePrinter::FormatDouble(classic_ms / odf_ms, 1) + "x"});
   }
   table.Print();
+  WriteBenchJson("fig07_invocation_latency", config, {{"invocation_latency", &table}});
 }
 
 }  // namespace

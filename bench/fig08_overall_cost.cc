@@ -73,6 +73,7 @@ void Run() {
     table.AddRow(std::move(row));
   }
   table.Print();
+  WriteBenchJson("fig08_overall_cost", config, {{"overall_cost", &table}});
 }
 
 }  // namespace

@@ -70,6 +70,7 @@ void Run() {
   table.AddRow({"AVERAGE", TablePrinter::FormatDouble(classic_avg, 1),
                 TablePrinter::FormatDouble(odf_avg, 1)});
   table.Print();
+  WriteBenchJson("fig09_fuzz_throughput", config, {{"fuzz_throughput", &table}});
   std::printf("\nThroughput ratio (ODF/fork): %.2fx (paper: 2.26x)\n", odf_avg / classic_avg);
   std::printf("Coverage found: fork=%llu edges, odf=%llu edges\n",
               static_cast<unsigned long long>(classic.stats.covered_edges),

@@ -66,6 +66,7 @@ void Run() {
   table.AddRow({"AVERAGE", TablePrinter::FormatDouble(classic.avg, 1),
                 TablePrinter::FormatDouble(odf.avg, 1)});
   table.Print();
+  WriteBenchJson("fig10_vmclone", config, {{"vmclone_throughput", &table}});
   std::printf("\nThroughput improvement: +%.1f%% (paper: +59.3%%)\n",
               (odf.avg - classic.avg) / classic.avg * 100.0);
 }

@@ -49,6 +49,7 @@ void Run() {
   table.AddRow({"On-demand-fork", TablePrinter::FormatDouble(odf, 4),
                 TablePrinter::FormatDouble(odf / classic, 1) + "x"});
   table.Print();
+  WriteBenchJson("tab01_fault_cost", config, {{"fault_cost", &table}});
   std::printf("\nShape check: fork < on-demand-fork << fork w/ huge pages; ODF should be\n"
               "several times fork (table copy) and ~an order of magnitude under huge pages.\n");
 }

@@ -78,6 +78,7 @@ void Run() {
                 TablePrinter::FormatPercent(test_ms.mean() / total, 2)});
   table.AddRow({"Total", TablePrinter::FormatDouble(total, 2), "100%"});
   table.Print();
+  WriteBenchJson("tab02_unittest_phases", config, {{"unittest_phases", &table}});
   std::printf("\nShape check: initialization must dominate by orders of magnitude.\n");
 }
 

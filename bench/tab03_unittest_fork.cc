@@ -77,6 +77,7 @@ void Run() {
   table.AddRow({"Total", TablePrinter::FormatDouble(classic_total, 3),
                 TablePrinter::FormatDouble(odf_total, 3)});
   table.Print();
+  WriteBenchJson("tab03_unittest_fork", config, {{"unittest_fork", &table}});
   std::printf("\nFork-time reduction: %.1f%% (paper: 99.1%%)\n",
               (classic.fork_ms - odf.fork_ms) / classic.fork_ms * 100.0);
 }

@@ -119,6 +119,7 @@ void Run() {
   fork_table.AddRow({"Std. Dev.", TablePrinter::FormatDouble(classic.fork_ms.stddev(), 3),
                      TablePrinter::FormatDouble(odf.fork_ms.stddev(), 3), "-"});
   fork_table.Print();
+  WriteBenchJson("tab04_05_redis", config, {{"request_latency", &table}, {"fork_blocking", &fork_table}});
 }
 
 }  // namespace

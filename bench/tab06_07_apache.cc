@@ -64,6 +64,7 @@ void Run() {
                       TablePrinter::FormatPercent((pb - pa) / pa, 2)});
   }
   pct_table.Print();
+  WriteBenchJson("tab06_07_apache", config, {{"request_latency", &table}, {"percentiles", &pct_table}});
   std::printf(
       "\nStartup worker forking: fork %.1f us vs ODF %.1f us (off the request path).\n"
       "Shape check: request-latency differences should be small and of mixed sign.\n",

@@ -1,10 +1,25 @@
 #include "src/core/fork.h"
 
 #include "src/core/fork_internal.h"
+#include "src/trace/metrics.h"
+#include "src/trace/trace.h"
 #include "src/util/log.h"
 #include "src/util/stopwatch.h"
 
 namespace odf {
+
+namespace {
+
+// Fork latency, one histogram per engine ("fork" / "on-demand-fork" / ...-huge).
+LatencyHistogram& ForkHistogram(ForkMode mode) {
+  static LatencyHistogram& classic =
+      MetricsRegistry::Global().RegisterHistogram("fork_classic_ns");
+  static LatencyHistogram& odf =
+      MetricsRegistry::Global().RegisterHistogram("fork_on_demand_ns");
+  return mode == ForkMode::kClassic ? classic : odf;
+}
+
+}  // namespace
 
 const char* ForkModeName(ForkMode mode) {
   switch (mode) {
@@ -27,6 +42,9 @@ void CopyVmaList(const AddressSpace& parent, AddressSpace& child) {
 void CopyAddressSpace(AddressSpace& parent, AddressSpace& child, ForkMode mode,
                       ForkProfile* profile, ForkCounters* counters) {
   ODF_CHECK(child.vmas().empty()) << "fork target must be a fresh address space";
+  const bool tracing = trace::Enabled();
+  ODF_TRACE(fork_begin, parent.owner_pid(), static_cast<uint64_t>(mode),
+            parent.MappedBytes());
   Stopwatch total;
   CopyVmaList(parent, child);
   switch (mode) {
@@ -35,25 +53,33 @@ void CopyAddressSpace(AddressSpace& parent, AddressSpace& child, ForkMode mode,
       if (counters != nullptr) {
         ++counters->classic_forks;
       }
+      CountVm(VmCounter::k_fork_classic);
       break;
     case ForkMode::kOnDemand:
       OnDemandSharePageTables(parent, child, profile, counters, /*share_pmd_tables=*/false);
       if (counters != nullptr) {
         ++counters->on_demand_forks;
       }
+      CountVm(VmCounter::k_fork_on_demand);
       break;
     case ForkMode::kOnDemandHuge:
       OnDemandSharePageTables(parent, child, profile, counters, /*share_pmd_tables=*/true);
       if (counters != nullptr) {
         ++counters->on_demand_forks;
       }
+      CountVm(VmCounter::k_fork_on_demand);
       break;
   }
   // The parent's cached translations may have lost write permission (PTE-level for classic,
   // PMD-level for on-demand); flush, as the kernel flushes the hardware TLB on fork.
   parent.tlb().FlushAll();
+  uint64_t elapsed = total.ElapsedNanos();
   if (profile != nullptr) {
-    profile->total_ns += total.ElapsedNanos();
+    profile->total_ns += elapsed;
+  }
+  if (tracing) {
+    ODF_TRACE(fork_end, parent.owner_pid(), static_cast<uint64_t>(mode), elapsed);
+    ForkHistogram(mode).RecordNanos(elapsed);
   }
 }
 

@@ -6,6 +6,7 @@
 
 #include "src/core/fork_internal.h"
 #include "src/mm/range_ops.h"
+#include "src/trace/metrics.h"
 #include "src/util/log.h"
 #include "src/util/stopwatch.h"
 
@@ -48,6 +49,7 @@ void CopyPteSliceFused(FrameAllocator& allocator, SwapSpace* swap, uint64_t* src
   if (counters != nullptr) {
     counters->pte_entries_copied += copied;
   }
+  CountVm(VmCounter::k_fork_pte_entries_copied, copied);  // Batched: one add per table.
 }
 
 // Instrumented variant: performs the same work in three batched passes so the time spent in
@@ -104,6 +106,7 @@ void CopyPteSliceProfiled(FrameAllocator& allocator, SwapSpace* swap, uint64_t* 
   if (counters != nullptr) {
     counters->pte_entries_copied += present;
   }
+  CountVm(VmCounter::k_fork_pte_entries_copied, present);
 }
 
 }  // namespace
@@ -123,6 +126,7 @@ void CopyHugeEntry(FrameAllocator& allocator, uint64_t* parent_slot, uint64_t* c
   if (counters != nullptr) {
     ++counters->huge_entries_copied;
   }
+  CountVm(VmCounter::k_fork_huge_entries_copied);
 }
 
 void ClassicCopyPageTables(AddressSpace& parent, AddressSpace& child, ForkProfile* profile,

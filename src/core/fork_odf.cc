@@ -13,6 +13,8 @@
 //                   then the PTE table (or the 2 MiB page) on the first write below it.
 #include "src/core/fork_internal.h"
 #include "src/mm/range_ops.h"
+#include "src/trace/metrics.h"
+#include "src/trace/trace.h"
 #include "src/util/log.h"
 #include "src/util/stopwatch.h"
 
@@ -23,6 +25,7 @@ namespace {
 struct ShareState {
   FrameAllocator* allocator;
   ForkCounters* counters;
+  int32_t pid = 0;
   bool share_pmd_tables = false;
   uint64_t pte_tables_shared = 0;
   uint64_t pmd_tables_shared = 0;
@@ -48,6 +51,7 @@ void ShareLevel(ShareState& state, FrameId parent_table, FrameId child_table, Pt
       StoreEntry(&src[i], shared_entry);
       StoreEntry(&dst[i], shared_entry);
       ++state.pmd_tables_shared;
+      ODF_TRACE(pmd_table_shared, state.pid, table);
       continue;
     }
 
@@ -65,6 +69,7 @@ void ShareLevel(ShareState& state, FrameId parent_table, FrameId child_table, Pt
       StoreEntry(&src[i], shared_entry);
       StoreEntry(&dst[i], shared_entry);
       ++state.pte_tables_shared;
+      ODF_TRACE(pte_table_shared, state.pid, table);
       continue;
     }
 
@@ -82,12 +87,15 @@ void OnDemandSharePageTables(AddressSpace& parent, AddressSpace& child, ForkProf
                              ForkCounters* counters, bool share_pmd_tables) {
   Stopwatch sw;
   ShareState state{&parent.allocator(), counters};
+  state.pid = parent.owner_pid();
   state.share_pmd_tables = share_pmd_tables;
   ShareLevel(state, parent.pgd(), child.pgd(), PtLevel::kPgd);
   if (counters != nullptr) {
     counters->pte_tables_shared += state.pte_tables_shared;
     counters->pmd_tables_shared += state.pmd_tables_shared;
   }
+  CountVm(VmCounter::k_pte_tables_shared, state.pte_tables_shared);
+  CountVm(VmCounter::k_pmd_tables_shared, state.pmd_tables_shared);
   if (profile != nullptr) {
     profile->upper_level_ns += sw.ElapsedNanos();
     profile->pte_tables_visited += state.pte_tables_shared;

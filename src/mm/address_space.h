@@ -97,6 +97,11 @@ class AddressSpace {
   const MmStats& stats() const { return stats_; }
   std::mutex& lock() { return lock_; }
 
+  // Pid of the owning process (0 before attachment); lets mm-layer tracepoints attribute
+  // fault events without a dependency on the proc layer.
+  int32_t owner_pid() const { return owner_pid_; }
+  void set_owner_pid(int32_t pid) { owner_pid_ = pid; }
+
   // Total mapped bytes across VMAs.
   uint64_t MappedBytes() const;
 
@@ -124,6 +129,7 @@ class AddressSpace {
   Vaddr mmap_cursor_;
   MmStats stats_;
   std::mutex lock_;
+  int32_t owner_pid_ = 0;
   bool torn_down_ = false;
 };
 

@@ -3,17 +3,32 @@
 #include <cstring>
 
 #include "src/mm/range_ops.h"
+#include "src/trace/metrics.h"
+#include "src/trace/trace.h"
 #include "src/util/log.h"
 
 namespace odf {
 
 namespace {
 
+// Fault-latency histograms (registered once; references stay valid across resets).
+LatencyHistogram& DemandZeroHistogram() {
+  static LatencyHistogram& h =
+      MetricsRegistry::Global().RegisterHistogram("fault_demand_zero_ns");
+  return h;
+}
+LatencyHistogram& CowPageHistogram() {
+  static LatencyHistogram& h = MetricsRegistry::Global().RegisterHistogram("fault_cow_page_ns");
+  return h;
+}
+
 // Installs the demand-paged mapping for a not-present PTE (anonymous zero page or page-cache
 // page). The caller guarantees `slot` lives in a table exclusive to this address space
 // (shared tables are dedicated before any install — see HandleFault).
 void DemandInstall(AddressSpace& as, VmArea& vma, Vaddr va, uint64_t* slot) {
   FrameAllocator& allocator = as.allocator();
+  const bool tracing = trace::Enabled();
+  const uint64_t t0 = tracing ? trace::NowNanos() : 0;
   uint64_t flags = kPtePresent | kPteUser | kPteAccessed;
   FrameId frame;
   if (vma.kind == VmaKind::kAnonPrivate) {
@@ -22,6 +37,12 @@ void DemandInstall(AddressSpace& as, VmArea& vma, Vaddr va, uint64_t* slot) {
       flags |= kPteWritable;
     }
     ++as.stats().demand_zero_faults;
+    CountVm(VmCounter::k_pgfault_demand_zero);
+    if (tracing) {
+      uint64_t ns = trace::NowNanos() - t0;
+      ODF_TRACE(fault_demand_zero, as.owner_pid(), va, ns);
+      DemandZeroHistogram().RecordNanos(ns);
+    }
   } else {
     FrameId cache_frame = vma.file->GetPage(vma.FilePageIndex(va));
     allocator.IncRef(cache_frame);
@@ -31,6 +52,8 @@ void DemandInstall(AddressSpace& as, VmArea& vma, Vaddr va, uint64_t* slot) {
     }
     // Private file pages stay read-only: the first write COWs them off the page cache.
     ++as.stats().file_faults;
+    CountVm(VmCounter::k_pgfault_file);
+    ODF_TRACE(fault_file, as.owner_pid(), va);
   }
   StoreEntry(slot, Pte::Make(frame, flags));
 }
@@ -39,6 +62,8 @@ void DemandInstall(AddressSpace& as, VmArea& vma, Vaddr va, uint64_t* slot) {
 // or shared file mapping) or copy the page (COW).
 void DataCowFault(AddressSpace& as, VmArea& vma, Vaddr va, uint64_t* slot) {
   FrameAllocator& allocator = as.allocator();
+  const bool tracing = trace::Enabled();
+  const uint64_t t0 = tracing ? trace::NowNanos() : 0;
   Pte entry = LoadEntry(slot);
   ODF_DCHECK(entry.IsPresent() && !entry.IsWritable());
   FrameId frame = entry.frame();
@@ -50,6 +75,8 @@ void DataCowFault(AddressSpace& as, VmArea& vma, Vaddr va, uint64_t* slot) {
     StoreEntry(slot, entry.WithFlag(kPteWritable | kPteDirty));
     as.tlb().InvalidatePage(va);
     ++as.stats().cow_reuse_faults;
+    CountVm(VmCounter::k_pgfault_cow_reuse);
+    ODF_TRACE(fault_cow_reuse, as.owner_pid(), va);
     return;
   }
 
@@ -60,6 +87,8 @@ void DataCowFault(AddressSpace& as, VmArea& vma, Vaddr va, uint64_t* slot) {
     StoreEntry(slot, entry.WithFlag(kPteWritable | kPteDirty));
     as.tlb().InvalidatePage(va);
     ++as.stats().cow_reuse_faults;
+    CountVm(VmCounter::k_pgfault_cow_reuse);
+    ODF_TRACE(fault_cow_reuse, as.owner_pid(), va);
     return;
   }
 
@@ -75,10 +104,16 @@ void DataCowFault(AddressSpace& as, VmArea& vma, Vaddr va, uint64_t* slot) {
   PutMappedPage(allocator, entry, /*huge=*/false);
   as.tlb().InvalidatePage(va);
   ++as.stats().cow_page_faults;
+  CountVm(VmCounter::k_pgfault_cow_page);
+  if (tracing) {
+    uint64_t ns = trace::NowNanos() - t0;
+    ODF_TRACE(fault_cow_page, as.owner_pid(), va, ns);
+    CowPageHistogram().RecordNanos(ns);
+  }
 }
 
 // Demand-populate a huge (2 MiB) mapping at the PMD level.
-void HugeDemandInstall(AddressSpace& as, VmArea& vma, uint64_t* pmd_slot) {
+void HugeDemandInstall(AddressSpace& as, VmArea& vma, Vaddr chunk_base, uint64_t* pmd_slot) {
   FrameAllocator& allocator = as.allocator();
   ODF_DCHECK(vma.kind == VmaKind::kAnonPrivate) << "huge mappings are anonymous-only";
   FrameId head = allocator.AllocateCompound(kPageFlagAnon | kPageFlagZeroFill);
@@ -88,12 +123,16 @@ void HugeDemandInstall(AddressSpace& as, VmArea& vma, uint64_t* pmd_slot) {
   }
   StoreEntry(pmd_slot, Pte::Make(head, flags));
   ++as.stats().demand_zero_faults;
+  CountVm(VmCounter::k_pgfault_demand_zero);
+  ODF_TRACE(fault_demand_zero, as.owner_pid(), chunk_base, /*ns=*/0, /*huge=*/1);
 }
 
 // Write to a present but non-writable huge PMD entry: COW the whole 2 MiB page. This is the
 // 512x fault-amplification cost the paper attributes to huge pages (§2.3, Table 1).
 void HugeCowFault(AddressSpace& as, Vaddr chunk_base, uint64_t* pmd_slot) {
   FrameAllocator& allocator = as.allocator();
+  const bool tracing = trace::Enabled();
+  const uint64_t t0 = tracing ? trace::NowNanos() : 0;
   Pte entry = LoadEntry(pmd_slot);
   FrameId head = entry.frame();
   PageMeta& meta = allocator.GetMeta(head);
@@ -102,6 +141,8 @@ void HugeCowFault(AddressSpace& as, Vaddr chunk_base, uint64_t* pmd_slot) {
     StoreEntry(pmd_slot, entry.WithFlag(kPteWritable | kPteDirty));
     as.tlb().InvalidateRange(chunk_base, chunk_base + kHugePageSize);
     ++as.stats().cow_reuse_faults;
+    CountVm(VmCounter::k_pgfault_cow_reuse);
+    ODF_TRACE(fault_cow_reuse, as.owner_pid(), chunk_base, /*ns=*/0, /*huge=*/1);
     return;
   }
 
@@ -116,6 +157,10 @@ void HugeCowFault(AddressSpace& as, Vaddr chunk_base, uint64_t* pmd_slot) {
   PutMappedPage(allocator, entry, /*huge=*/true);
   as.tlb().InvalidateRange(chunk_base, chunk_base + kHugePageSize);
   ++as.stats().cow_huge_faults;
+  CountVm(VmCounter::k_pgfault_cow_huge);
+  if (tracing) {
+    ODF_TRACE(fault_cow_huge, as.owner_pid(), chunk_base, trace::NowNanos() - t0);
+  }
 }
 
 }  // namespace
@@ -138,11 +183,15 @@ FaultResult HandleFault(AddressSpace& as, Vaddr va, AccessType access, FrameId* 
     VmArea* vma = as.FindVma(va);
     if (vma == nullptr) {
       ++as.stats().segv_faults;
+      CountVm(VmCounter::k_pgfault_segv);
+      ODF_TRACE(fault_segv, as.owner_pid(), va, /*prot=*/0);
       return FaultResult::kSegvUnmapped;
     }
     uint32_t needed = access == AccessType::kWrite ? kProtWrite : kProtRead;
     if ((vma->prot & needed) == 0) {
       ++as.stats().segv_faults;
+      CountVm(VmCounter::k_pgfault_segv);
+      ODF_TRACE(fault_segv, as.owner_pid(), va, /*prot=*/1);
       return FaultResult::kSegvProt;
     }
 
@@ -185,7 +234,7 @@ FaultResult HandleFault(AddressSpace& as, Vaddr va, AccessType access, FrameId* 
       uint64_t* pmd_slot = walker.EnsureEntry(as.pgd(), va, PtLevel::kPmd);
       Pte pmd = LoadEntry(pmd_slot);
       if (!pmd.IsPresent()) {
-        HugeDemandInstall(as, *vma, pmd_slot);
+        HugeDemandInstall(as, *vma, EntryBase(va, PtLevel::kPmd), pmd_slot);
       }
       continue;
     }
@@ -214,6 +263,8 @@ FaultResult HandleFault(AddressSpace& as, Vaddr va, AccessType access, FrameId* 
       }
       StoreEntry(slot, Pte::Make(frame, flags));
       ++as.stats().swap_in_faults;
+      CountVm(VmCounter::k_pgfault_swap_in);
+      ODF_TRACE(fault_swap_in, as.owner_pid(), va, entry.swap_slot());
       continue;
     }
     if (!entry.IsPresent()) {

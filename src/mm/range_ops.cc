@@ -4,11 +4,25 @@
 #include <array>
 #include <cstring>
 
+#include "src/trace/metrics.h"
+#include "src/trace/trace.h"
 #include "src/util/log.h"
 
 namespace odf {
 
 namespace {
+
+// Deferred-cost histograms for the on-demand table COW path (paper Table 1).
+LatencyHistogram& PteTableCowHistogram() {
+  static LatencyHistogram& h =
+      MetricsRegistry::Global().RegisterHistogram("fault_cow_pte_table_ns");
+  return h;
+}
+LatencyHistogram& PmdTableCowHistogram() {
+  static LatencyHistogram& h =
+      MetricsRegistry::Global().RegisterHistogram("fault_cow_pmd_table_ns");
+  return h;
+}
 
 // Number of split locks; hashing table frames across a small array mirrors the kernel's
 // per-table page locks without per-frame storage.
@@ -93,6 +107,8 @@ void DropPmdTableReference(FrameAllocator& allocator, SwapSpace* swap, FrameId t
 
 FrameId DedicatePmdTable(AddressSpace& as, Vaddr pud_span_base, uint64_t* pud_slot) {
   FrameAllocator& allocator = as.allocator();
+  const bool tracing = trace::Enabled();
+  const uint64_t t0 = tracing ? trace::NowNanos() : 0;
   Pte pud = LoadEntry(pud_slot);
   ODF_DCHECK(pud.IsPresent() && !pud.IsHuge());
   FrameId shared = pud.frame();
@@ -106,6 +122,8 @@ FrameId DedicatePmdTable(AddressSpace& as, Vaddr pud_span_base, uint64_t* pud_sl
     StoreEntry(pud_slot, pud.WithFlag(kPteWritable));
     as.tlb().InvalidateRange(pud_span_base, span_end);
     ++as.stats().pmd_table_fixups;
+    CountVm(VmCounter::k_pmd_table_fixup);
+    ODF_TRACE(fault_pmd_table_fixup, as.owner_pid(), pud_span_base, shared);
     return shared;
   }
 
@@ -139,6 +157,12 @@ FrameId DedicatePmdTable(AddressSpace& as, Vaddr pud_span_base, uint64_t* pud_sl
   ODF_DCHECK(previous >= 2);
   as.tlb().InvalidateRange(pud_span_base, span_end);
   ++as.stats().pmd_table_cow_faults;
+  CountVm(VmCounter::k_pmd_table_cow);
+  if (tracing) {
+    uint64_t ns = trace::NowNanos() - t0;
+    ODF_TRACE(fault_cow_pmd_table, as.owner_pid(), pud_span_base, ns);
+    PmdTableCowHistogram().RecordNanos(ns);
+  }
   return dedicated;
 }
 
@@ -159,6 +183,8 @@ void EnsureExclusivePmdPath(AddressSpace& as, Vaddr va) {
 
 FrameId DedicatePteTable(AddressSpace& as, Vaddr chunk_base, uint64_t* pmd_slot) {
   FrameAllocator& allocator = as.allocator();
+  const bool tracing = trace::Enabled();
+  const uint64_t t0 = tracing ? trace::NowNanos() : 0;
   Pte pmd = LoadEntry(pmd_slot);
   ODF_DCHECK(pmd.IsPresent() && !pmd.IsHuge());
   FrameId shared = pmd.frame();
@@ -174,6 +200,8 @@ FrameId DedicatePteTable(AddressSpace& as, Vaddr chunk_base, uint64_t* pmd_slot)
     StoreEntry(pmd_slot, pmd.WithFlag(kPteWritable));
     as.tlb().InvalidateRange(chunk_base, chunk_base + kPteTableSpan);
     ++as.stats().pte_table_fixups;
+    CountVm(VmCounter::k_pte_table_fixup);
+    ODF_TRACE(fault_pte_table_fixup, as.owner_pid(), chunk_base, shared);
     return shared;
   }
 
@@ -216,6 +244,12 @@ FrameId DedicatePteTable(AddressSpace& as, Vaddr chunk_base, uint64_t* pmd_slot)
   ODF_DCHECK(previous >= 2);
   as.tlb().InvalidateRange(chunk_base, chunk_base + kPteTableSpan);
   ++as.stats().pte_table_cow_faults;
+  CountVm(VmCounter::k_pte_table_cow);
+  if (tracing) {
+    uint64_t ns = trace::NowNanos() - t0;
+    ODF_TRACE(fault_cow_pte_table, as.owner_pid(), chunk_base, ns);
+    PteTableCowHistogram().RecordNanos(ns);
+  }
   return dedicated;
 }
 

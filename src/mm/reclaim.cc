@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "src/mm/range_ops.h"
+#include "src/trace/metrics.h"
+#include "src/trace/trace.h"
 #include "src/util/log.h"
 
 namespace odf {
@@ -71,6 +73,8 @@ uint64_t ClockReclaimAddressSpace(AddressSpace& as, SwapSpace& swap, uint64_t wa
         allocator.DecRef(frame);
         as.tlb().InvalidatePage(va);
         ++as.stats().pages_swapped_out;
+        CountVm(VmCounter::k_pgswapout);
+        ODF_TRACE(page_swap_out, as.owner_pid(), va);
         ++freed;
       }
     }

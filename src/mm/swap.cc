@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "src/trace/metrics.h"
 #include "src/util/log.h"
 
 namespace odf {
@@ -30,6 +31,7 @@ SwapSlot SwapSpace::WriteOut(const std::byte* src) {
   entry.refs = 1;
   ++stats_.slots_in_use;
   ++stats_.writes;
+  CountVm(VmCounter::k_swap_writes);
   return slot;
 }
 
@@ -43,6 +45,7 @@ void SwapSpace::ReadIn(SwapSlot slot, std::byte* dst) {
     std::memcpy(dst, entry.data.get(), kPageSize);
   }
   ++stats_.reads;
+  CountVm(VmCounter::k_swap_reads);
 }
 
 void SwapSpace::IncRef(SwapSlot slot) {

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "src/trace/metrics.h"
 #include "src/util/log.h"
 
 namespace odf {
@@ -109,6 +110,7 @@ FrameId FrameAllocator::Allocate(uint8_t flags) {
     }
     std::memset(meta.data, 0, kPageSize);
   }
+  CountVm(VmCounter::k_frames_allocated);
   return frame;
 }
 
@@ -148,6 +150,7 @@ FrameId FrameAllocator::AllocateCompound(uint8_t flags) {
     tail.refcount.store(0, std::memory_order_relaxed);
   }
   stats_.allocated_frames += kCompoundFrames;
+  CountVm(VmCounter::k_frames_allocated, kCompoundFrames);
   return head;
 }
 
@@ -189,12 +192,14 @@ void FrameAllocator::FreeOneLocked(FrameId frame) {
     meta.order = 0;
     stats_.allocated_frames -= kCompoundFrames;
     compound_free_list_.push_back(frame);
+    CountVm(VmCounter::k_frames_freed, kCompoundFrames);
     return;
   }
   meta.flags = 0;
   meta.compound_head = kInvalidFrame;
   --stats_.allocated_frames;
   free_list_.push_back(frame);
+  CountVm(VmCounter::k_frames_freed);
 }
 
 std::byte* FrameAllocator::MaterializeData(FrameId frame, bool zero) {

@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "src/mm/reclaim.h"
+#include "src/trace/metrics.h"
+#include "src/trace/trace.h"
 #include "src/util/log.h"
 
 namespace odf {
@@ -17,6 +19,8 @@ Kernel::Kernel() : fs_(&allocator_) {
 void Kernel::SetMemoryLimitFrames(uint64_t frames) { allocator_.SetFrameLimit(frames); }
 
 uint64_t Kernel::ReclaimMemory(uint64_t want) {
+  CountVm(VmCounter::k_reclaim_runs);
+  ODF_TRACE(reclaim_begin, /*pid=*/0, want);
   // Snapshot the running processes (reclaim may be invoked from an allocation deep inside
   // one of them; the table lock is not held there).
   std::vector<Process*> candidates;
@@ -40,6 +44,7 @@ uint64_t Kernel::ReclaimMemory(uint64_t want) {
     }
   }
   if (freed > 0) {
+    ODF_TRACE(reclaim_end, /*pid=*/0, want, freed);
     return freed;
   }
   // Nothing reclaimable: OOM-kill the largest running process (by mapped bytes), like the
@@ -57,15 +62,20 @@ uint64_t Kernel::ReclaimMemory(uint64_t want) {
     }
   }
   if (victim == nullptr) {
+    ODF_TRACE(reclaim_end, /*pid=*/0, want, /*freed=*/0);
     return 0;
   }
   ODF_LOG(kWarn) << "OOM killer: killing pid " << victim->pid() << " (" << victim_bytes
                  << " mapped bytes)";
   uint64_t before = allocator_.Stats().allocated_frames;
+  ODF_TRACE(oom_kill, victim->pid(), victim_bytes);
   Exit(*victim, -9);
   ++oom_kills_;
+  CountVm(VmCounter::k_oom_kills);
   uint64_t after = allocator_.Stats().allocated_frames;
-  return before > after ? before - after : 0;
+  uint64_t reclaimed = before > after ? before - after : 0;
+  ODF_TRACE(reclaim_end, /*pid=*/0, want, reclaimed);
+  return reclaimed;
 }
 
 Kernel::~Kernel() {
@@ -82,6 +92,8 @@ Process& Kernel::CreateProcess() {
   process->set_fork_mode(default_fork_mode_);
   Process& ref = *process;
   processes_.emplace(pid, std::move(process));
+  CountVm(VmCounter::k_proc_created);
+  ODF_TRACE(proc_create, pid, /*parent=*/0);
   return ref;
 }
 
@@ -98,6 +110,8 @@ Process& Kernel::Fork(Process& parent, ForkMode mode, ForkProfile* profile) {
   parent.children_.push_back(pid);
   Process& ref = *child;
   processes_.emplace(pid, std::move(child));
+  CountVm(VmCounter::k_proc_created);
+  ODF_TRACE(proc_create, pid, static_cast<uint64_t>(parent.pid()));
   return ref;
 }
 
@@ -106,6 +120,8 @@ void Kernel::Exit(Process& process, int code) {
   process.exit_code_ = code;
   process.as_->TearDown();
   process.state_ = ProcessState::kZombie;
+  CountVm(VmCounter::k_proc_exited);
+  ODF_TRACE(proc_exit, process.pid(), static_cast<uint64_t>(code));
   // Reparent any children to init (pid 0 == no reaper; they self-reap on Wait misses).
 }
 
@@ -117,6 +133,7 @@ Pid Kernel::Wait(Process& parent) {
       Pid pid = *it;
       processes_.erase(found);
       parent.children_.erase(it);
+      ODF_TRACE(proc_reap, pid, static_cast<uint64_t>(parent.pid()));
       return pid;
     }
   }

@@ -10,7 +10,9 @@
 namespace odf {
 
 Process::Process(Kernel* kernel, Pid pid, Pid parent, std::unique_ptr<AddressSpace> as)
-    : kernel_(kernel), pid_(pid), parent_pid_(parent), as_(std::move(as)) {}
+    : kernel_(kernel), pid_(pid), parent_pid_(parent), as_(std::move(as)) {
+  as_->set_owner_pid(pid);
+}
 
 bool Process::AccessMemory(Vaddr va, std::byte* buffer, uint64_t length, AccessType access,
                            bool set_memory, std::byte memset_value) {

@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "src/mm/range_ops.h"
+#include "src/proc/kernel.h"
+#include "src/trace/metrics.h"
 #include "src/util/log.h"
 
 namespace odf {
@@ -194,6 +196,25 @@ std::string FormatStatusLine(const ProcessMemoryReport& report) {
       << report.swap_bytes / 1024 << " kB, PT " << report.page_table_bytes / 1024
       << " kB (ded " << report.dedicated_pte_tables << " / shr " << report.shared_pte_tables
       << " PTE tables, " << report.shared_pmd_tables << " shr PMD)";
+  return out.str();
+}
+
+std::string FormatVmstat(Kernel& kernel) {
+  std::ostringstream out;
+  // Event counters first (monotonic, vmstat proper), ...
+  out << MetricsRegistry::Global().FormatVmstat();
+  // ... then the live gauges a real vmstat derives from zone/swap state.
+  FrameAllocatorStats frames = kernel.allocator().Stats();
+  out << "nr_total_frames " << frames.total_frames << "\n";
+  out << "nr_allocated_frames " << frames.allocated_frames << "\n";
+  out << "nr_page_table_frames " << frames.page_table_frames << "\n";
+  out << "nr_materialized_bytes " << frames.materialized_bytes << "\n";
+  SwapStats swap = kernel.swap_space().Stats();
+  out << "nr_swap_slots_total " << swap.total_slots << "\n";
+  out << "nr_swap_slots_in_use " << swap.slots_in_use << "\n";
+  out << "nr_processes " << kernel.ProcessCount() << "\n";
+  out << "nr_processes_running " << kernel.RunningProcessCount() << "\n";
+  out << "nr_oom_kills " << kernel.oom_kills() << "\n";
   return out.str();
 }
 

@@ -14,6 +14,8 @@
 
 namespace odf {
 
+class Kernel;
+
 struct VmaReport {
   Vaddr start = 0;
   Vaddr end = 0;
@@ -50,6 +52,12 @@ std::string FormatSmaps(const ProcessMemoryReport& report);
 
 // One-line /proc/<pid>/status-like summary (VmSize/VmRSS/Pss/VmSwap/page tables).
 std::string FormatStatusLine(const ProcessMemoryReport& report);
+
+// /proc/vmstat analog: "name value" per line. Combines the global odf::trace vmstat event
+// counters (fault kinds, table COWs, fork work, swap traffic, TLB flushes, ...) with the
+// kernel's live gauges (frame pool, swap device, process table). See docs/observability.md
+// for the counter catalog.
+std::string FormatVmstat(Kernel& kernel);
 
 }  // namespace odf
 

@@ -12,6 +12,8 @@
 #include <cstdint>
 
 #include "src/pt/geometry.h"
+#include "src/trace/metrics.h"
+#include "src/trace/trace.h"
 
 namespace odf {
 
@@ -64,6 +66,7 @@ class Tlb {
       entry.valid = false;
     }
     ++stats_.single_invalidations;
+    CountVm(VmCounter::k_tlb_shootdowns);
   }
 
   // Invalidates a virtual range, page by page (bounded: falls back to a full flush when the
@@ -82,6 +85,8 @@ class Tlb {
   void FlushAll() {
     ++generation_;
     ++stats_.flushes;
+    CountVm(VmCounter::k_tlb_flushes);
+    ODF_TRACE(tlb_flush, /*pid=*/0, generation_);
   }
 
   const TlbStats& stats() const { return stats_; }

@@ -1,0 +1,149 @@
+#include "src/trace/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace odf {
+
+void JsonWriter::Indent() {
+  if (indent_width_ == 0) {
+    return;  // Compact mode: no newlines at all.
+  }
+  out_ << "\n";
+  for (size_t i = 0; i < stack_.size() * static_cast<size_t>(indent_width_); ++i) {
+    out_ << ' ';
+  }
+}
+
+void JsonWriter::BeforeValue() {
+  if (key_pending_) {
+    key_pending_ = false;  // Value follows its key on the same line.
+    return;
+  }
+  if (stack_.empty()) {
+    return;  // Top-level value.
+  }
+  Frame& frame = stack_.back();
+  if (frame.entries > 0) {
+    out_ << ",";
+  }
+  ++frame.entries;
+  Indent();
+}
+
+void JsonWriter::WriteEscaped(std::string_view text) {
+  out_ << '"';
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out_ << "\\\"";
+        break;
+      case '\\':
+        out_ << "\\\\";
+        break;
+      case '\n':
+        out_ << "\\n";
+        break;
+      case '\t':
+        out_ << "\\t";
+        break;
+      case '\r':
+        out_ << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out_ << buffer;
+        } else {
+          out_ << c;
+        }
+    }
+  }
+  out_ << '"';
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  stack_.push_back(Frame{/*is_object=*/true, 0});
+  out_ << "{";
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  bool empty = stack_.back().entries == 0;
+  stack_.pop_back();
+  if (!empty) {
+    Indent();
+  }
+  out_ << "}";
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  stack_.push_back(Frame{/*is_object=*/false, 0});
+  out_ << "[";
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  bool empty = stack_.back().entries == 0;
+  stack_.pop_back();
+  if (!empty) {
+    Indent();
+  }
+  out_ << "]";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  BeforeValue();
+  WriteEscaped(key);
+  out_ << (indent_width_ == 0 ? ":" : ": ");
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::string_view value) {
+  BeforeValue();
+  WriteEscaped(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double value) {
+  if (!std::isfinite(value)) {
+    return Null();
+  }
+  BeforeValue();
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+  out_ << buffer;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(uint64_t value) {
+  BeforeValue();
+  out_ << value;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(int64_t value) {
+  BeforeValue();
+  out_ << value;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool value) {
+  BeforeValue();
+  out_ << (value ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ << "null";
+  return *this;
+}
+
+}  // namespace odf

@@ -1,0 +1,67 @@
+// Minimal streaming JSON writer — the machine-readable exporter backing BENCH_*.json files
+// and metrics snapshots. Emits pretty-printed, strictly valid JSON (escaped strings, no
+// trailing commas, NaN/Inf mapped to null); comma and indent bookkeeping is handled by a
+// small nesting stack so callers just mirror the document structure.
+//
+//   JsonWriter w(out);
+//   w.BeginObject();
+//   w.Key("bench").Value("fig02");
+//   w.Key("rows").BeginArray();
+//   w.BeginArray().Value(0.5).Value(4.27).EndArray();
+//   w.EndArray();
+//   w.EndObject();
+#ifndef ODF_SRC_TRACE_JSON_H_
+#define ODF_SRC_TRACE_JSON_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace odf {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out, int indent_width = 2)
+      : out_(out), indent_width_(indent_width) {}
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Must precede every value inside an object.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& Value(std::string_view value);
+  JsonWriter& Value(const char* value) { return Value(std::string_view(value)); }
+  JsonWriter& Value(double value);
+  JsonWriter& Value(uint64_t value);
+  JsonWriter& Value(int64_t value);
+  JsonWriter& Value(int value) { return Value(static_cast<int64_t>(value)); }
+  JsonWriter& Value(unsigned value) { return Value(static_cast<uint64_t>(value)); }
+  JsonWriter& Value(bool value);
+  JsonWriter& Null();
+
+ private:
+  struct Frame {
+    bool is_object = false;
+    size_t entries = 0;
+  };
+
+  // Writes separators/indentation before a value or key, and flags the slot as consumed.
+  void BeforeValue();
+  void Indent();
+  void WriteEscaped(std::string_view text);
+
+  std::ostream& out_;
+  int indent_width_;
+  std::vector<Frame> stack_;
+  bool key_pending_ = false;  // Inside an object, a Key() was just written.
+};
+
+}  // namespace odf
+
+#endif  // ODF_SRC_TRACE_JSON_H_

@@ -1,0 +1,104 @@
+#include "src/trace/metrics.h"
+
+#include <sstream>
+
+namespace odf {
+
+const char* VmCounterName(VmCounter counter) {
+  static constexpr const char* kNames[] = {
+#define ODF_VM_NAME_MEMBER(name) #name,
+      ODF_VM_COUNTER_LIST(ODF_VM_NAME_MEMBER)
+#undef ODF_VM_NAME_MEMBER
+  };
+  size_t index = static_cast<size_t>(counter);
+  return index < kVmCounterCount ? kNames[index] : "?";
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // Leaked; see Tracer::Global.
+  return *registry;
+}
+
+Counter& MetricsRegistry::RegisterCounter(const std::string& name) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+LatencyHistogram& MetricsRegistry::RegisterHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<LatencyHistogram>();
+  }
+  return *slot;
+}
+
+std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::SnapshotCounters() const {
+  std::vector<std::pair<std::string, uint64_t>> snapshot;
+  for (size_t i = 0; i < kVmCounterCount; ++i) {
+    VmCounter counter = static_cast<VmCounter>(i);
+    snapshot.emplace_back(VmCounterName(counter), ReadVm(counter));
+  }
+  std::lock_guard<std::mutex> guard(mutex_);
+  for (const auto& [name, counter] : counters_) {
+    snapshot.emplace_back(name, counter->Value());
+  }
+  return snapshot;
+}
+
+uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
+  for (size_t i = 0; i < kVmCounterCount; ++i) {
+    VmCounter counter = static_cast<VmCounter>(i);
+    if (name == VmCounterName(counter)) {
+      return ReadVm(counter);
+    }
+  }
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = counters_.find(std::string(name));
+  return it == counters_.end() ? 0 : it->second->Value();
+}
+
+std::vector<std::pair<std::string, const LatencyHistogram*>> MetricsRegistry::Histograms()
+    const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  std::vector<std::pair<std::string, const LatencyHistogram*>> result;
+  result.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    result.emplace_back(name, histogram.get());
+  }
+  return result;
+}
+
+std::string MetricsRegistry::FormatVmstat() const {
+  std::ostringstream out;
+  for (const auto& [name, value] : SnapshotCounters()) {
+    out << name << " " << value << "\n";
+  }
+  for (const auto& [name, histogram] : Histograms()) {
+    out << name << "_count " << histogram->TotalCount() << "\n";
+    if (histogram->TotalCount() > 0) {
+      out << name << "_p50_us " << histogram->PercentileMicros(50.0) << "\n";
+      out << name << "_p99_us " << histogram->PercentileMicros(99.0) << "\n";
+    }
+  }
+  return out.str();
+}
+
+void MetricsRegistry::ResetForTest() {
+  for (auto& counter : g_vm_counters) {
+    counter.store(0, std::memory_order_relaxed);
+  }
+  std::lock_guard<std::mutex> guard(mutex_);
+  for (auto& [name, counter] : counters_) {
+    counter->Reset();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram->Reset();
+  }
+}
+
+}  // namespace odf

@@ -1,0 +1,135 @@
+// odf::trace metrics — the /proc/vmstat analog: a fixed catalog of kernel-wide monotonic
+// counters bumped from the hot paths (one relaxed atomic add, always on), plus a
+// MetricsRegistry where subsystems register named counters and latency histograms
+// dynamically. Exporters render the combined view as vmstat text or JSON.
+//
+// Built-in counters use a fixed enum + inline atomic array (the kernel's vm_event_state
+// pattern) so bumping one compiles to a single locked add with no lookup; dynamic
+// registration is for colder, subsystem-specific series (fork latency histograms, app
+// metrics) where a map lookup at registration time is fine.
+#ifndef ODF_SRC_TRACE_METRICS_H_
+#define ODF_SRC_TRACE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/util/histogram.h"
+
+namespace odf {
+
+// The vmstat counter catalog (names mirror /proc/vmstat where an analog exists).
+#define ODF_VM_COUNTER_LIST(X)   \
+  X(pgfault_demand_zero)         \
+  X(pgfault_file)                \
+  X(pgfault_cow_page)            \
+  X(pgfault_cow_huge)            \
+  X(pgfault_cow_reuse)           \
+  X(pgfault_segv)                \
+  X(pgfault_swap_in)             \
+  X(pte_table_cow)               \
+  X(pte_table_fixup)             \
+  X(pmd_table_cow)               \
+  X(pmd_table_fixup)             \
+  X(pte_tables_shared)           \
+  X(pmd_tables_shared)           \
+  X(fork_classic)                \
+  X(fork_on_demand)              \
+  X(fork_pte_entries_copied)     \
+  X(fork_huge_entries_copied)    \
+  X(frames_allocated)            \
+  X(frames_freed)                \
+  X(pgswapout)                   \
+  X(swap_writes)                 \
+  X(swap_reads)                  \
+  X(reclaim_runs)                \
+  X(tlb_flushes)                 \
+  X(tlb_shootdowns)              \
+  X(proc_created)                \
+  X(proc_exited)                 \
+  X(oom_kills)
+
+enum class VmCounter : uint32_t {
+#define ODF_VM_ENUM_MEMBER(name) k_##name,
+  ODF_VM_COUNTER_LIST(ODF_VM_ENUM_MEMBER)
+#undef ODF_VM_ENUM_MEMBER
+      kCount,
+};
+
+constexpr size_t kVmCounterCount = static_cast<size_t>(VmCounter::kCount);
+
+// Stable lowercase name, e.g. "pgfault_cow_page".
+const char* VmCounterName(VmCounter counter);
+
+// Process-global built-in counter storage (zero-initialized, constant-initialized).
+inline std::array<std::atomic<uint64_t>, kVmCounterCount> g_vm_counters{};
+
+inline void CountVm(VmCounter counter, uint64_t n = 1) {
+  g_vm_counters[static_cast<size_t>(counter)].fetch_add(n, std::memory_order_relaxed);
+}
+
+inline uint64_t ReadVm(VmCounter counter) {
+  return g_vm_counters[static_cast<size_t>(counter)].load(std::memory_order_relaxed);
+}
+
+// A dynamically registered monotonic counter.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Registry of named counters and histograms. Registration returns a stable reference (the
+// object lives for the registry's lifetime; ResetForTest zeroes values but never removes
+// registrations, so cached references at instrumentation sites stay valid).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // The process-wide registry every kernel subsystem reports into (vmstat is machine-global).
+  static MetricsRegistry& Global();
+
+  // Returns the existing counter/histogram under `name`, registering it first if needed.
+  Counter& RegisterCounter(const std::string& name);
+  LatencyHistogram& RegisterHistogram(const std::string& name);
+
+  // All counters — built-in vmstat counters first (catalog order), then registered ones in
+  // name order — as (name, value) pairs.
+  std::vector<std::pair<std::string, uint64_t>> SnapshotCounters() const;
+
+  // Value of one counter by name (built-in or registered); 0 when unknown.
+  uint64_t CounterValue(std::string_view name) const;
+
+  // Registered histograms as (name, histogram*) pairs in name order.
+  std::vector<std::pair<std::string, const LatencyHistogram*>> Histograms() const;
+
+  // `/proc/vmstat`-style text: one "name value" line per counter, histograms appended as
+  // "name_p50_us" / "name_p99_us" / "name_count" summary lines.
+  std::string FormatVmstat() const;
+
+  // Zeroes built-in and registered counters and resets histograms (registrations survive).
+  // Like Tracer::Clear, only meaningful while the hot paths are quiescent.
+  void ResetForTest();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace odf
+
+#endif  // ODF_SRC_TRACE_METRICS_H_

@@ -51,6 +51,14 @@ class LogLine {
   std::ostringstream stream_;
 };
 
+class CheckFailer;
+
+// Swallows the CheckFailer stream so a passing ODF_CHECK is a void expression; `&` binds
+// looser than `<<`, so the message chain completes before the conversion applies.
+struct CheckVoidify {
+  void operator&(const CheckFailer&) const {}
+};
+
 class CheckFailer {
  public:
   CheckFailer(const char* file, int line, const char* condition)
@@ -76,9 +84,13 @@ class CheckFailer {
 
 #define ODF_LOG(level) ::odf::internal::LogLine(::odf::LogLevel::level, __FILE__, __LINE__)
 
-#define ODF_CHECK(condition)                                            \
-  if (!(condition))                                                     \
-  ::odf::internal::CheckFailer(__FILE__, __LINE__, #condition)
+// Statement-safe (glog-style ternary + voidify): the whole check is a single void
+// expression, so `if (x) ODF_CHECK(y); else ...` binds the else to the outer if — the bare
+// `if (!(condition)) CheckFailer(...)` form this replaces silently captured it instead.
+#define ODF_CHECK(condition)                 \
+  (condition) ? (void)0                      \
+              : ::odf::internal::CheckVoidify() & \
+                    ::odf::internal::CheckFailer(__FILE__, __LINE__, #condition)
 
 #ifdef NDEBUG
 #define ODF_DCHECK(condition) ODF_CHECK(true || (condition))

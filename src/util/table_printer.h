@@ -30,6 +30,10 @@ class TablePrinter {
   static std::string FormatDouble(double value, int precision = 3);
   static std::string FormatPercent(double fraction, int precision = 2);
 
+  // Raw access for structured exporters (the bench JSON writer re-emits the table).
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

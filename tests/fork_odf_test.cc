@@ -2,7 +2,11 @@
 // on-demand table COW, the share-count lifecycle (§3.1–§3.5) and accounting (§3.6).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "src/mm/range_ops.h"
+#include "src/trace/metrics.h"
+#include "src/trace/trace.h"
 #include "tests/test_util.h"
 
 namespace odf {
@@ -263,6 +267,68 @@ TEST_F(OdfForkTest, ForkCountersTrackSharing) {
   EXPECT_EQ(kernel_.fork_counters().on_demand_forks, 1u);
   EXPECT_EQ(kernel_.fork_counters().pte_tables_shared, 8u);
   EXPECT_EQ(kernel_.fork_counters().pte_entries_copied, 0u);
+}
+
+// The acceptance scenario from docs/observability.md: with tracing enabled, an on-demand
+// fork of a 1 GiB-mapped process emits fork_begin, one pte_table_shared per last-level
+// table, fork_end — and a subsequent child write emits the deferred COW events.
+TEST_F(OdfForkTest, TraceCapturesOnDemandForkSequence) {
+#if !ODF_TRACE_COMPILED
+  GTEST_SKIP() << "tracepoints compiled out (ODF_TRACE=OFF)";
+#endif
+  constexpr uint64_t kGiB = 1ull << 30;
+  constexpr uint64_t kTables = kGiB / kPteTableSpan;  // 512 PTE tables.
+  Vaddr va = parent_.Mmap(kGiB, kProtRead | kProtWrite);
+  parent_.address_space().PopulateRange(va, kGiB);  // Every page present, no data buffers.
+
+  trace::Tracer::Global().Clear();
+  MetricsRegistry::Global().ResetForTest();
+  trace::SetEnabled(true);
+  Process& child = kernel_.Fork(parent_, ForkMode::kOnDemand);
+  child.StoreU64(va, 1);  // First write: PTE-table COW, then data-page COW.
+  trace::SetEnabled(false);
+
+  std::vector<TraceEvent> events = trace::Tracer::Global().CollectAll();
+  auto count_of = [&events](TraceEventId id) {
+    return std::count_if(events.begin(), events.end(),
+                         [id](const TraceEvent& e) { return e.id == id; });
+  };
+  auto index_of = [&events](TraceEventId id) {
+    for (size_t i = 0; i < events.size(); ++i) {
+      if (events[i].id == id) {
+        return static_cast<ptrdiff_t>(i);
+      }
+    }
+    return static_cast<ptrdiff_t>(-1);
+  };
+
+  // Fork bracketing, with every table-share event in between.
+  EXPECT_EQ(count_of(TraceEventId::k_fork_begin), 1);
+  EXPECT_EQ(count_of(TraceEventId::k_fork_end), 1);
+  EXPECT_EQ(count_of(TraceEventId::k_pte_table_shared), static_cast<ptrdiff_t>(kTables));
+  ptrdiff_t begin_at = index_of(TraceEventId::k_fork_begin);
+  ptrdiff_t end_at = index_of(TraceEventId::k_fork_end);
+  ASSERT_NE(begin_at, -1);
+  ASSERT_NE(end_at, -1);
+  EXPECT_LT(begin_at, index_of(TraceEventId::k_pte_table_shared));
+  EXPECT_LT(index_of(TraceEventId::k_pte_table_shared), end_at);
+
+  // fork_begin carries (mode, mapped bytes); all fork events name the parent.
+  const TraceEvent& begin = events[static_cast<size_t>(begin_at)];
+  EXPECT_EQ(begin.pid, parent_.pid());
+  EXPECT_EQ(begin.a0, static_cast<uint64_t>(ForkMode::kOnDemand));
+  EXPECT_EQ(begin.a1, kGiB);
+
+  // The deferred costs surfaced after fork_end: the child's write COWed one PTE table, then
+  // one data page (the populated-no-data page COWs as a reuse or copy depending on backing).
+  EXPECT_EQ(count_of(TraceEventId::k_fault_cow_pte_table), 1);
+  EXPECT_GT(index_of(TraceEventId::k_fault_cow_pte_table), end_at);
+
+  // And the vmstat counters saw the same story.
+  EXPECT_EQ(ReadVm(VmCounter::k_fork_on_demand), 1u);
+  EXPECT_EQ(ReadVm(VmCounter::k_pte_tables_shared), kTables);
+  EXPECT_EQ(ReadVm(VmCounter::k_pte_table_cow), 1u);
+  EXPECT_EQ(ReadVm(VmCounter::k_fork_pte_entries_copied), 0u);
 }
 
 }  // namespace
