@@ -39,7 +39,7 @@ void CopyVmaList(const AddressSpace& parent, AddressSpace& child) {
   }
 }
 
-void CopyAddressSpace(AddressSpace& parent, AddressSpace& child, ForkMode mode,
+bool CopyAddressSpace(AddressSpace& parent, AddressSpace& child, ForkMode mode,
                       ForkProfile* profile, ForkCounters* counters) {
   ODF_CHECK(child.vmas().empty()) << "fork target must be a fresh address space";
   const bool tracing = trace::Enabled();
@@ -47,23 +47,26 @@ void CopyAddressSpace(AddressSpace& parent, AddressSpace& child, ForkMode mode,
             parent.MappedBytes());
   Stopwatch total;
   CopyVmaList(parent, child);
+  bool ok = false;
   switch (mode) {
     case ForkMode::kClassic:
-      ClassicCopyPageTables(parent, child, profile, counters);
+      ok = ClassicCopyPageTables(parent, child, profile, counters);
       if (counters != nullptr) {
         ++counters->classic_forks;
       }
       CountVm(VmCounter::k_fork_classic);
       break;
     case ForkMode::kOnDemand:
-      OnDemandSharePageTables(parent, child, profile, counters, /*share_pmd_tables=*/false);
+      ok = OnDemandSharePageTables(parent, child, profile, counters,
+                                   /*share_pmd_tables=*/false);
       if (counters != nullptr) {
         ++counters->on_demand_forks;
       }
       CountVm(VmCounter::k_fork_on_demand);
       break;
     case ForkMode::kOnDemandHuge:
-      OnDemandSharePageTables(parent, child, profile, counters, /*share_pmd_tables=*/true);
+      ok = OnDemandSharePageTables(parent, child, profile, counters,
+                                   /*share_pmd_tables=*/true);
       if (counters != nullptr) {
         ++counters->on_demand_forks;
       }
@@ -71,7 +74,8 @@ void CopyAddressSpace(AddressSpace& parent, AddressSpace& child, ForkMode mode,
       break;
   }
   // The parent's cached translations may have lost write permission (PTE-level for classic,
-  // PMD-level for on-demand); flush, as the kernel flushes the hardware TLB on fork.
+  // PMD-level for on-demand); flush, as the kernel flushes the hardware TLB on fork. On a
+  // failed copy the parent may already be partially write-protected, so flush then too.
   parent.tlb().FlushAll();
   uint64_t elapsed = total.ElapsedNanos();
   if (profile != nullptr) {
@@ -81,6 +85,7 @@ void CopyAddressSpace(AddressSpace& parent, AddressSpace& child, ForkMode mode,
     ODF_TRACE(fork_end, parent.owner_pid(), static_cast<uint64_t>(mode), elapsed);
     ForkHistogram(mode).RecordNanos(elapsed);
   }
+  return ok;
 }
 
 }  // namespace odf

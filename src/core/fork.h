@@ -63,7 +63,15 @@ struct ForkCounters {
 //              paper's 4 KiB-only implementation scope (§4).
 //
 // The parent's TLB is fully flushed (its translations may have lost write permission).
-void CopyAddressSpace(AddressSpace& parent, AddressSpace& child, ForkMode mode,
+//
+// Returns false when a required allocation fails mid-copy (ENOMEM after reclaim, or an
+// injected page_table_alloc failure). Table-allocation failures degrade gracefully where a
+// zero-allocation sharing fallback exists (see DegradeFlavor in src/mm/fault.h); when no
+// fallback applies the copy stops. Either way every page/table reference the child holds is
+// reachable through the child's page tables, so the caller rolls back with
+// child.TearDown() and the parent is left fully intact (its write-protected entries are
+// benign: the fault path re-enables or COWs them on the next write). See docs/robustness.md.
+bool CopyAddressSpace(AddressSpace& parent, AddressSpace& child, ForkMode mode,
                       ForkProfile* profile = nullptr, ForkCounters* counters = nullptr);
 
 const char* ForkModeName(ForkMode mode);

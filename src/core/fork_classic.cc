@@ -3,10 +3,13 @@
 // increments the page reference count (the page_ref_inc() hotspot), write-protects private
 // mappings in both parent and child, and writes the child entry.
 #include <array>
+#include <set>
 
 #include "src/core/fork_internal.h"
+#include "src/mm/fault.h"
 #include "src/mm/range_ops.h"
 #include "src/trace/metrics.h"
+#include "src/trace/trace.h"
 #include "src/util/log.h"
 #include "src/util/stopwatch.h"
 
@@ -129,19 +132,60 @@ void CopyHugeEntry(FrameAllocator& allocator, uint64_t* parent_slot, uint64_t* c
   CountVm(VmCounter::k_fork_huge_entries_copied);
 }
 
-void ClassicCopyPageTables(AddressSpace& parent, AddressSpace& child, ForkProfile* profile,
+namespace {
+
+// Fallback when the child's PTE table for `chunk` cannot be allocated: share the parent's
+// table on-demand-fork style (zero allocation below the PMD) instead of failing the fork.
+// The chunk then COWs lazily exactly like an ODF chunk would. Returns false when even the
+// child's upper-level path to the PMD entry cannot be built.
+bool ShareChunkFallback(AddressSpace& parent, AddressSpace& child, Vaddr chunk,
+                        uint64_t* parent_pmd, ForkCounters* counters) {
+  FrameAllocator& allocator = parent.allocator();
+  uint64_t* child_pmd = child.walker().TryEnsureEntry(child.pgd(), chunk, PtLevel::kPmd);
+  if (child_pmd == nullptr) {
+    return false;
+  }
+  ODF_DCHECK(!LoadEntry(child_pmd).IsPresent());
+  Pte pmd = LoadEntry(parent_pmd);
+  FrameId table = pmd.frame();
+  allocator.GetMeta(table).pt_share_count.fetch_add(1, std::memory_order_relaxed);
+  Pte shared_entry = pmd.WithoutFlag(kPteWritable);
+  StoreEntry(parent_pmd, shared_entry);
+  StoreEntry(child_pmd, shared_entry);
+  if (counters != nullptr) {
+    ++counters->pte_tables_shared;
+  }
+  CountVm(VmCounter::k_pte_tables_shared);
+  CountVm(VmCounter::k_fork_degrade_classic);
+  ODF_TRACE(pte_table_shared, parent.owner_pid(), table);
+  ODF_TRACE(fork_degrade_classic, parent.owner_pid(), chunk,
+            static_cast<uint64_t>(DegradeFlavor::kClassicShareTable));
+  return true;
+}
+
+}  // namespace
+
+bool ClassicCopyPageTables(AddressSpace& parent, AddressSpace& child, ForkProfile* profile,
                            ForkCounters* counters) {
   FrameAllocator& allocator = parent.allocator();
   Walker& parent_walker = parent.walker();
   Walker& child_walker = child.walker();
+  // Chunks that degraded to table sharing: later VMAs overlapping the same 2 MiB chunk are
+  // already fully covered by the shared table and must not copy into it.
+  std::set<Vaddr> shared_chunks;
 
   for (const auto& [start, vma] : parent.vmas()) {
     bool wrprotect = vma.kind != VmaKind::kFileShared;
     for (Vaddr chunk = EntryBase(vma.start, PtLevel::kPmd); chunk < vma.end;
          chunk += kPteTableSpan) {
+      if (shared_chunks.count(chunk) != 0) {
+        continue;
+      }
       // If an earlier kOnDemandHuge fork left this PUD span's PMD table shared, classic
       // fork must not mutate the shared copy: dedicate it for the parent first.
-      EnsureExclusivePmdPath(parent, chunk);
+      if (!EnsureExclusivePmdPath(parent, chunk, AllocPolicy::kTry)) {
+        return false;
+      }
       uint64_t* parent_pmd = parent_walker.FindEntry(parent.pgd(), chunk, PtLevel::kPmd);
       if (parent_pmd == nullptr) {
         continue;
@@ -152,7 +196,11 @@ void ClassicCopyPageTables(AddressSpace& parent, AddressSpace& child, ForkProfil
       }
 
       if (pmd.IsHuge()) {
-        uint64_t* child_pmd = child_walker.EnsureEntry(child.pgd(), chunk, PtLevel::kPmd);
+        uint64_t* child_pmd =
+            child_walker.TryEnsureEntry(child.pgd(), chunk, PtLevel::kPmd);
+        if (child_pmd == nullptr) {
+          return false;
+        }
         if (!LoadEntry(child_pmd).IsPresent()) {
           CopyHugeEntry(allocator, parent_pmd, child_pmd, counters);
         }
@@ -162,7 +210,10 @@ void ClassicCopyPageTables(AddressSpace& parent, AddressSpace& child, ForkProfil
       // If the parent is itself sharing this table from an earlier on-demand-fork, classic
       // fork must not mutate the shared copy on other processes' behalf: dedicate first.
       if (allocator.GetMeta(pmd.frame()).pt_share_count.load(std::memory_order_acquire) > 1) {
-        DedicatePteTable(parent, chunk, parent_pmd);
+        if (DedicatePteTable(parent, chunk, parent_pmd, AllocPolicy::kTry) ==
+            kInvalidFrame) {
+          return false;
+        }
         pmd = LoadEntry(parent_pmd);
       }
       uint64_t* src = allocator.TableEntries(pmd.frame());
@@ -171,7 +222,17 @@ void ClassicCopyPageTables(AddressSpace& parent, AddressSpace& child, ForkProfil
       Vaddr hi = std::min(chunk + kPteTableSpan, vma.end);
 
       Stopwatch alloc_sw;
-      uint64_t* first_child_slot = child_walker.EnsureEntry(child.pgd(), lo, PtLevel::kPte);
+      uint64_t* first_child_slot =
+          child_walker.TryEnsureEntry(child.pgd(), lo, PtLevel::kPte);
+      if (first_child_slot == nullptr) {
+        // Could not build the child's copy of this chunk — degrade to sharing the parent's
+        // table (the on-demand-fork mechanism as a zero-allocation fallback).
+        if (!ShareChunkFallback(parent, child, chunk, parent_pmd, counters)) {
+          return false;
+        }
+        shared_chunks.insert(chunk);
+        continue;
+      }
       uint64_t* dst = first_child_slot - TableIndex(lo, PtLevel::kPte);
       if (profile != nullptr) {
         profile->table_alloc_ns += alloc_sw.ElapsedNanos();
@@ -184,6 +245,7 @@ void ClassicCopyPageTables(AddressSpace& parent, AddressSpace& child, ForkProfil
       }
     }
   }
+  return true;
 }
 
 }  // namespace odf

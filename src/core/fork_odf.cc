@@ -12,6 +12,7 @@
 //                   at two levels: first the PMD table on the first write below a PUD entry,
 //                   then the PTE table (or the 2 MiB page) on the first write below it.
 #include "src/core/fork_internal.h"
+#include "src/mm/fault.h"
 #include "src/mm/range_ops.h"
 #include "src/trace/metrics.h"
 #include "src/trace/trace.h"
@@ -31,7 +32,21 @@ struct ShareState {
   uint64_t pmd_tables_shared = 0;
 };
 
-void ShareLevel(ShareState& state, FrameId parent_table, FrameId child_table, PtLevel level) {
+// Shares one PMD table between the parent's and child's PUD entries (write-protecting
+// both). This is the §4 huge-page extension's normal path, and doubles as the
+// zero-allocation degrade when a child PMD table cannot be allocated under kOnDemand.
+void SharePmdEntry(ShareState& state, uint64_t* src_slot, uint64_t* dst_slot, Pte entry) {
+  FrameAllocator& allocator = *state.allocator;
+  FrameId table = entry.frame();
+  allocator.GetMeta(table).pt_share_count.fetch_add(1, std::memory_order_relaxed);
+  Pte shared_entry = entry.WithoutFlag(kPteWritable);
+  StoreEntry(src_slot, shared_entry);
+  StoreEntry(dst_slot, shared_entry);
+  ++state.pmd_tables_shared;
+  ODF_TRACE(pmd_table_shared, state.pid, table);
+}
+
+bool ShareLevel(ShareState& state, FrameId parent_table, FrameId child_table, PtLevel level) {
   FrameAllocator& allocator = *state.allocator;
   uint64_t* src = allocator.TableEntries(parent_table);
   uint64_t* dst = allocator.TableEntries(child_table);
@@ -45,13 +60,7 @@ void ShareLevel(ShareState& state, FrameId parent_table, FrameId child_table, Pt
     if (level == PtLevel::kPud && state.share_pmd_tables) {
       // §4 extension: share the whole PMD table (1 GiB span). Both PUD entries lose write
       // permission; the hierarchical attribute blocks writes to everything below.
-      FrameId table = entry.frame();
-      allocator.GetMeta(table).pt_share_count.fetch_add(1, std::memory_order_relaxed);
-      Pte shared_entry = entry.WithoutFlag(kPteWritable);
-      StoreEntry(&src[i], shared_entry);
-      StoreEntry(&dst[i], shared_entry);
-      ++state.pmd_tables_shared;
-      ODF_TRACE(pmd_table_shared, state.pid, table);
+      SharePmdEntry(state, &src[i], &dst[i], entry);
       continue;
     }
 
@@ -74,22 +83,40 @@ void ShareLevel(ShareState& state, FrameId parent_table, FrameId child_table, Pt
     }
 
     // Upper levels: the child gets its own table, recursively filled.
-    FrameId child_sub = AllocPageTable(allocator);
+    FrameId child_sub = TryAllocPageTable(allocator);
+    if (child_sub == kInvalidFrame) {
+      if (level == PtLevel::kPud) {
+        // Degrade: share the parent's whole PMD table write-protected at the PUD instead
+        // of building a private child copy — the kOnDemandHuge mechanism reused as a
+        // zero-allocation fallback. The chunk still COWs lazily, just one level higher.
+        SharePmdEntry(state, &src[i], &dst[i], entry);
+        CountVm(VmCounter::k_fork_degrade_classic);
+        ODF_TRACE(fork_degrade_classic, state.pid, i * EntrySpan(PtLevel::kPud),
+                  static_cast<uint64_t>(DegradeFlavor::kOdfSharePmd));
+        continue;
+      }
+      // A PUD table cannot be shared (no refcounted drop path above the PMD level): the
+      // fork fails and the caller rolls back the partially built child.
+      return false;
+    }
     StoreEntry(&dst[i], Pte::Make(child_sub, kPtePresent | kPteWritable | kPteUser |
                                                  (entry.flags() & kPteAccessed)));
-    ShareLevel(state, entry.frame(), child_sub, NextLevel(level));
+    if (!ShareLevel(state, entry.frame(), child_sub, NextLevel(level))) {
+      return false;
+    }
   }
+  return true;
 }
 
 }  // namespace
 
-void OnDemandSharePageTables(AddressSpace& parent, AddressSpace& child, ForkProfile* profile,
+bool OnDemandSharePageTables(AddressSpace& parent, AddressSpace& child, ForkProfile* profile,
                              ForkCounters* counters, bool share_pmd_tables) {
   Stopwatch sw;
   ShareState state{&parent.allocator(), counters};
   state.pid = parent.owner_pid();
   state.share_pmd_tables = share_pmd_tables;
-  ShareLevel(state, parent.pgd(), child.pgd(), PtLevel::kPgd);
+  bool ok = ShareLevel(state, parent.pgd(), child.pgd(), PtLevel::kPgd);
   if (counters != nullptr) {
     counters->pte_tables_shared += state.pte_tables_shared;
     counters->pmd_tables_shared += state.pmd_tables_shared;
@@ -100,6 +127,7 @@ void OnDemandSharePageTables(AddressSpace& parent, AddressSpace& child, ForkProf
     profile->upper_level_ns += sw.ElapsedNanos();
     profile->pte_tables_visited += state.pte_tables_shared;
   }
+  return ok;
 }
 
 }  // namespace odf

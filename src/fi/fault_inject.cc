@@ -1,0 +1,305 @@
+#include "src/fi/fault_inject.h"
+
+#include <charconv>
+#include <sstream>
+
+#include "src/trace/metrics.h"
+#include "src/trace/trace.h"
+#include "src/util/log.h"
+
+namespace odf {
+
+const char* FiSiteName(FiSite site) {
+  switch (site) {
+#define ODF_FI_NAME_CASE(name) \
+  case FiSite::k_##name:       \
+    return #name;
+    ODF_FI_SITE_LIST(ODF_FI_NAME_CASE)
+#undef ODF_FI_NAME_CASE
+    case FiSite::kCount:
+      break;
+  }
+  return "?";
+}
+
+bool ParseFiSite(std::string_view name, FiSite* out) {
+  for (size_t i = 0; i < kFiSiteCount; ++i) {
+    FiSite site = static_cast<FiSite>(i);
+    if (name == FiSiteName(site)) {
+      *out = site;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace fi {
+
+namespace {
+
+// SplitMix64 finalizer: the per-call Bernoulli draw hashes (seed, site, call index) so a
+// site's schedule is independent of how other sites' calls interleave (replay stability).
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double HashToUnitDouble(uint64_t seed, FiSite site, uint64_t call) {
+  uint64_t h = Mix64(seed ^ Mix64((static_cast<uint64_t>(site) << 56) ^ call));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::RefreshArmedFlagLocked() {
+  bool any = false;
+  for (const Site& site : sites_) {
+    any = any || site.armed;
+  }
+  g_fi_armed.store(any, std::memory_order_relaxed);
+}
+
+void FaultInjector::Arm(FiSite site, const FiSiteConfig& config) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  Site& s = sites_[static_cast<size_t>(site)];
+  s.config = config;
+  s.armed = true;
+  s.calls = 0;
+  s.injected = 0;
+  RefreshArmedFlagLocked();
+}
+
+void FaultInjector::Disarm(FiSite site) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  sites_[static_cast<size_t>(site)].armed = false;
+  RefreshArmedFlagLocked();
+}
+
+void FaultInjector::Reset(uint64_t seed) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  for (Site& site : sites_) {
+    site = Site{};
+  }
+  seed_ = seed;
+  RefreshArmedFlagLocked();
+}
+
+void FaultInjector::SetSeed(uint64_t seed) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  seed_ = seed;
+}
+
+uint64_t FaultInjector::seed() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return seed_;
+}
+
+bool FaultInjector::ShouldFail(FiSite site) {
+  uint64_t call = 0;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    Site& s = sites_[static_cast<size_t>(site)];
+    if (!s.armed) {
+      return false;
+    }
+    call = ++s.calls;
+    const FiSiteConfig& c = s.config;
+    bool fail = false;
+    if (c.nth != 0 && call == c.nth) {
+      fail = true;
+    }
+    if (!fail && c.interval != 0 && call % c.interval == 0) {
+      fail = true;
+    }
+    if (!fail && c.probability > 0.0 &&
+        HashToUnitDouble(seed_, site, call) < c.probability) {
+      fail = true;
+    }
+    if (!fail) {
+      return false;
+    }
+    if (c.times >= 0 && s.injected >= static_cast<uint64_t>(c.times)) {
+      return false;
+    }
+    ++s.injected;
+  }
+  CountVm(VmCounter::k_fi_injected);
+  ODF_TRACE(fi_inject, /*pid=*/0, static_cast<uint64_t>(site), call);
+  return true;
+}
+
+bool FaultInjector::IsArmed(FiSite site) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return sites_[static_cast<size_t>(site)].armed;
+}
+
+FiSiteConfig FaultInjector::SiteConfig(FiSite site) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return sites_[static_cast<size_t>(site)].config;
+}
+
+FiSiteStats FaultInjector::SiteStats(FiSite site) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  const Site& s = sites_[static_cast<size_t>(site)];
+  return FiSiteStats{s.calls, s.injected};
+}
+
+uint64_t FaultInjector::TotalInjected() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  uint64_t total = 0;
+  for (const Site& site : sites_) {
+    total += site.injected;
+  }
+  return total;
+}
+
+std::string FaultInjector::FormatStatus() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  std::ostringstream out;
+  out << "fault_inject " << (ODF_FAULT_INJECT_COMPILED ? "compiled-in" : "compiled-out")
+      << " seed " << seed_ << "\n";
+  for (size_t i = 0; i < kFiSiteCount; ++i) {
+    const Site& s = sites_[i];
+    out << FiSiteName(static_cast<FiSite>(i)) << " ";
+    if (!s.armed) {
+      out << "off";
+    } else {
+      out << "probability " << s.config.probability << " nth " << s.config.nth << " interval "
+          << s.config.interval << " times " << s.config.times;
+    }
+    out << " calls " << s.calls << " injected " << s.injected << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+bool ParseUint(std::string_view text, uint64_t* out) {
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), *out);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+bool ParseDouble(std::string_view text, double* out) {
+  // std::from_chars<double> is not universally available; strtod on a bounded copy is.
+  std::string copy(text);
+  char* end = nullptr;
+  *out = std::strtod(copy.c_str(), &end);
+  return end == copy.c_str() + copy.size() && !copy.empty();
+}
+
+}  // namespace
+
+bool FaultInjector::Configure(std::string_view spec, std::string* error) {
+  auto fail = [error](const std::string& message) {
+    if (error != nullptr) {
+      *error = message;
+    }
+    return false;
+  };
+
+  FiSite current = FiSite::kCount;
+  bool have_site = false;
+  // Pending config for the named site, applied when the site changes or at end-of-spec, so
+  // one site's keys can arrive in any order.
+  FiSiteConfig pending;
+  bool pending_arm = false;
+
+  auto flush = [&]() {
+    if (have_site && pending_arm) {
+      Arm(current, pending);
+    }
+    pending = FiSiteConfig{};
+    pending_arm = false;
+  };
+
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    while (pos < spec.size() && (spec[pos] == ' ' || spec[pos] == '\t' || spec[pos] == '\n')) {
+      ++pos;
+    }
+    if (pos >= spec.size()) {
+      break;
+    }
+    size_t end = pos;
+    while (end < spec.size() && spec[end] != ' ' && spec[end] != '\t' && spec[end] != '\n') {
+      ++end;
+    }
+    std::string_view token = spec.substr(pos, end - pos);
+    pos = end;
+
+    if (token == "reset") {
+      flush();
+      Reset();
+      have_site = false;
+      continue;
+    }
+    if (token == "off") {
+      if (!have_site) {
+        return fail("'off' before any site= token");
+      }
+      pending = FiSiteConfig{};
+      pending_arm = false;
+      Disarm(current);
+      continue;
+    }
+    size_t eq = token.find('=');
+    if (eq == std::string_view::npos) {
+      return fail("malformed token (want key=value): '" + std::string(token) + "'");
+    }
+    std::string_view key = token.substr(0, eq);
+    std::string_view value = token.substr(eq + 1);
+    if (key == "seed") {
+      uint64_t seed = 0;
+      if (!ParseUint(value, &seed)) {
+        return fail("bad seed: '" + std::string(value) + "'");
+      }
+      SetSeed(seed);
+      continue;
+    }
+    if (key == "site") {
+      flush();
+      if (!ParseFiSite(value, &current)) {
+        return fail("unknown site: '" + std::string(value) + "'");
+      }
+      have_site = true;
+      continue;
+    }
+    if (!have_site) {
+      return fail("'" + std::string(key) + "=' before any site= token");
+    }
+    if (key == "probability" || key == "p") {
+      if (!ParseDouble(value, &pending.probability)) {
+        return fail("bad probability: '" + std::string(value) + "'");
+      }
+    } else if (key == "nth") {
+      if (!ParseUint(value, &pending.nth)) {
+        return fail("bad nth: '" + std::string(value) + "'");
+      }
+    } else if (key == "interval") {
+      if (!ParseUint(value, &pending.interval)) {
+        return fail("bad interval: '" + std::string(value) + "'");
+      }
+    } else if (key == "times") {
+      uint64_t times = 0;
+      if (!ParseUint(value, &times)) {
+        return fail("bad times: '" + std::string(value) + "'");
+      }
+      pending.times = static_cast<int64_t>(times);
+    } else {
+      return fail("unknown key: '" + std::string(key) + "'");
+    }
+    pending_arm = true;
+  }
+  flush();
+  return true;
+}
+
+}  // namespace fi
+}  // namespace odf

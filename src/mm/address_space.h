@@ -36,6 +36,8 @@ struct MmStats {
   uint64_t swap_in_faults = 0;        // Pages read back from the swap device.
   uint64_t pages_swapped_out = 0;     // By the clock reclaimer.
   uint64_t segv_faults = 0;
+  uint64_t oom_faults = 0;            // Faults failed with kOom (allocation denied).
+  uint64_t swap_io_faults = 0;        // Faults failed with kSwapIoError.
 };
 
 class AddressSpace {

@@ -22,17 +22,32 @@ LatencyHistogram& CowPageHistogram() {
   return h;
 }
 
+// Records the kOom verdict: the address space is consistent, the access simply could not be
+// served. Callers (Process::AccessMemory, the torture harness) may retry after freeing
+// memory or disarming injection.
+FaultResult FaultOom(AddressSpace& as, Vaddr va) {
+  ++as.stats().oom_faults;
+  CountVm(VmCounter::k_pgfault_oom);
+  ODF_TRACE(fault_oom, as.owner_pid(), va);
+  return FaultResult::kOom;
+}
+
 // Installs the demand-paged mapping for a not-present PTE (anonymous zero page or page-cache
 // page). The caller guarantees `slot` lives in a table exclusive to this address space
-// (shared tables are dedicated before any install — see HandleFault).
-void DemandInstall(AddressSpace& as, VmArea& vma, Vaddr va, uint64_t* slot) {
+// (shared tables are dedicated before any install — see HandleFault). Returns false when
+// the anonymous frame cannot be allocated (nothing installed). The page-cache path performs
+// no frame allocation of its own and cannot fail.
+bool DemandInstall(AddressSpace& as, VmArea& vma, Vaddr va, uint64_t* slot) {
   FrameAllocator& allocator = as.allocator();
   const bool tracing = trace::Enabled();
   const uint64_t t0 = tracing ? trace::NowNanos() : 0;
   uint64_t flags = kPtePresent | kPteUser | kPteAccessed;
   FrameId frame;
   if (vma.kind == VmaKind::kAnonPrivate) {
-    frame = allocator.Allocate(kPageFlagAnon | kPageFlagZeroFill);
+    frame = allocator.TryAllocate(kPageFlagAnon | kPageFlagZeroFill);
+    if (frame == kInvalidFrame) {
+      return false;
+    }
     if (vma.IsWritable()) {
       flags |= kPteWritable;
     }
@@ -56,11 +71,13 @@ void DemandInstall(AddressSpace& as, VmArea& vma, Vaddr va, uint64_t* slot) {
     ODF_TRACE(fault_file, as.owner_pid(), va);
   }
   StoreEntry(slot, Pte::Make(frame, flags));
+  return true;
 }
 
 // Write to a present but non-writable 4 KiB PTE: either re-enable the write bit (sole owner
-// or shared file mapping) or copy the page (COW).
-void DataCowFault(AddressSpace& as, VmArea& vma, Vaddr va, uint64_t* slot) {
+// or shared file mapping) or copy the page (COW). Returns false when the copy frame cannot
+// be allocated (the entry is left write-protected and intact).
+bool DataCowFault(AddressSpace& as, VmArea& vma, Vaddr va, uint64_t* slot) {
   FrameAllocator& allocator = as.allocator();
   const bool tracing = trace::Enabled();
   const uint64_t t0 = tracing ? trace::NowNanos() : 0;
@@ -77,7 +94,7 @@ void DataCowFault(AddressSpace& as, VmArea& vma, Vaddr va, uint64_t* slot) {
     ++as.stats().cow_reuse_faults;
     CountVm(VmCounter::k_pgfault_cow_reuse);
     ODF_TRACE(fault_cow_reuse, as.owner_pid(), va);
-    return;
+    return true;
   }
 
   uint32_t refs = meta.refcount.load(std::memory_order_acquire);
@@ -89,10 +106,13 @@ void DataCowFault(AddressSpace& as, VmArea& vma, Vaddr va, uint64_t* slot) {
     ++as.stats().cow_reuse_faults;
     CountVm(VmCounter::k_pgfault_cow_reuse);
     ODF_TRACE(fault_cow_reuse, as.owner_pid(), va);
-    return;
+    return true;
   }
 
-  FrameId copy = allocator.Allocate(kPageFlagAnon);
+  FrameId copy = allocator.TryAllocate(kPageFlagAnon);
+  if (copy == kInvalidFrame) {
+    return false;
+  }
   const std::byte* src = allocator.PeekData(frame);
   if (src != nullptr) {
     std::byte* dst = allocator.MaterializeData(copy, /*zero=*/false);
@@ -110,13 +130,18 @@ void DataCowFault(AddressSpace& as, VmArea& vma, Vaddr va, uint64_t* slot) {
     ODF_TRACE(fault_cow_page, as.owner_pid(), va, ns);
     CowPageHistogram().RecordNanos(ns);
   }
+  return true;
 }
 
-// Demand-populate a huge (2 MiB) mapping at the PMD level.
-void HugeDemandInstall(AddressSpace& as, VmArea& vma, Vaddr chunk_base, uint64_t* pmd_slot) {
+// Demand-populate a huge (2 MiB) mapping at the PMD level. Returns false when the compound
+// cannot be allocated; the caller degrades to 4 KiB demand paging for this chunk.
+bool HugeDemandInstall(AddressSpace& as, VmArea& vma, Vaddr chunk_base, uint64_t* pmd_slot) {
   FrameAllocator& allocator = as.allocator();
   ODF_DCHECK(vma.kind == VmaKind::kAnonPrivate) << "huge mappings are anonymous-only";
-  FrameId head = allocator.AllocateCompound(kPageFlagAnon | kPageFlagZeroFill);
+  FrameId head = allocator.TryAllocateCompound(kPageFlagAnon | kPageFlagZeroFill);
+  if (head == kInvalidFrame) {
+    return false;
+  }
   uint64_t flags = kPtePresent | kPteUser | kPteAccessed | kPteHuge;
   if (vma.IsWritable()) {
     flags |= kPteWritable;
@@ -125,11 +150,49 @@ void HugeDemandInstall(AddressSpace& as, VmArea& vma, Vaddr chunk_base, uint64_t
   ++as.stats().demand_zero_faults;
   CountVm(VmCounter::k_pgfault_demand_zero);
   ODF_TRACE(fault_demand_zero, as.owner_pid(), chunk_base, /*ns=*/0, /*huge=*/1);
+  return true;
+}
+
+// Fallback when a huge COW cannot allocate a 2 MiB compound: split the mapping into a PTE
+// table whose 512 entries point at the shared compound's tail frames, write-protected, so
+// each 4 KiB page COWs individually (one frame at a time instead of 512 at once). This is
+// the memory-pressure half of the paper's robustness story (§4): a fork-then-write workload
+// keeps making progress page by page even when no contiguous 2 MiB run can be carved.
+bool SplitHugeMapping(AddressSpace& as, Vaddr chunk_base, uint64_t* pmd_slot) {
+  FrameAllocator& allocator = as.allocator();
+  Pte entry = LoadEntry(pmd_slot);
+  ODF_DCHECK(entry.IsPresent() && entry.IsHuge());
+  FrameId head = entry.frame();
+
+  FrameId table = TryAllocPageTable(allocator);
+  if (table == kInvalidFrame) {
+    return false;
+  }
+  constexpr FrameId kCompoundFrames = 1u << kHugePageOrder;
+  // Each 4 KiB entry takes its own reference on the compound (tails resolve to the head):
+  // +512 for the new entries, -1 below for the huge PMD entry being replaced.
+  allocator.GetMeta(head).refcount.fetch_add(kCompoundFrames, std::memory_order_relaxed);
+  uint64_t* entries = allocator.TableEntries(table);
+  uint64_t flags = kPtePresent | kPteUser | (entry.flags() & kPteAccessed);
+  for (FrameId i = 0; i < kCompoundFrames; ++i) {
+    StoreEntry(&entries[i], Pte::Make(head + i, flags));
+  }
+  StoreEntry(pmd_slot, Pte::Make(table, kPtePresent | kPteWritable | kPteUser |
+                                            (entry.flags() & kPteAccessed)));
+  PutMappedPage(allocator, entry, /*huge=*/true);
+  as.tlb().InvalidateRange(chunk_base, chunk_base + kHugePageSize);
+  CountVm(VmCounter::k_fork_degrade_classic);
+  ODF_TRACE(fork_degrade_classic, as.owner_pid(), chunk_base,
+            static_cast<uint64_t>(DegradeFlavor::kHugeCowSplit));
+  return true;
 }
 
 // Write to a present but non-writable huge PMD entry: COW the whole 2 MiB page. This is the
 // 512x fault-amplification cost the paper attributes to huge pages (§2.3, Table 1).
-void HugeCowFault(AddressSpace& as, Vaddr chunk_base, uint64_t* pmd_slot) {
+// When the compound copy cannot be allocated, degrades by splitting the mapping into 4 KiB
+// COW entries (SplitHugeMapping); returns false only when even the split's one-table
+// allocation fails.
+bool HugeCowFault(AddressSpace& as, Vaddr chunk_base, uint64_t* pmd_slot) {
   FrameAllocator& allocator = as.allocator();
   const bool tracing = trace::Enabled();
   const uint64_t t0 = tracing ? trace::NowNanos() : 0;
@@ -143,10 +206,13 @@ void HugeCowFault(AddressSpace& as, Vaddr chunk_base, uint64_t* pmd_slot) {
     ++as.stats().cow_reuse_faults;
     CountVm(VmCounter::k_pgfault_cow_reuse);
     ODF_TRACE(fault_cow_reuse, as.owner_pid(), chunk_base, /*ns=*/0, /*huge=*/1);
-    return;
+    return true;
   }
 
-  FrameId copy = allocator.AllocateCompound(kPageFlagAnon);
+  FrameId copy = allocator.TryAllocateCompound(kPageFlagAnon);
+  if (copy == kInvalidFrame) {
+    return SplitHugeMapping(as, chunk_base, pmd_slot);
+  }
   const std::byte* src = allocator.PeekData(head);
   if (src != nullptr) {
     std::byte* dst = allocator.MaterializeData(copy, /*zero=*/false);
@@ -161,6 +227,7 @@ void HugeCowFault(AddressSpace& as, Vaddr chunk_base, uint64_t* pmd_slot) {
   if (tracing) {
     ODF_TRACE(fault_cow_huge, as.owner_pid(), chunk_base, trace::NowNanos() - t0);
   }
+  return true;
 }
 
 }  // namespace
@@ -168,8 +235,11 @@ void HugeCowFault(AddressSpace& as, Vaddr chunk_base, uint64_t* pmd_slot) {
 FaultResult HandleFault(AddressSpace& as, Vaddr va, AccessType access, FrameId* frame_out) {
   Walker& walker = as.walker();
   // Each iteration removes one fault cause; the chain is bounded (table creation -> shared
-  // table COW -> demand install -> data COW -> success).
-  for (int attempt = 0; attempt < 8; ++attempt) {
+  // table COW -> demand install -> data COW -> success), with slack for the degrade paths
+  // (a huge split adds one round). A chain that fails to converge is reported as
+  // kRetryExhausted rather than aborting the machine.
+  constexpr int kFaultRetryBudget = 16;
+  for (int attempt = 0; attempt < kFaultRetryBudget; ++attempt) {
     Translation t = walker.Translate(as.pgd(), va, access);
     if (t.status == TranslateStatus::kOk) {
       bool writable_cached = access == AccessType::kWrite;
@@ -200,7 +270,10 @@ FaultResult HandleFault(AddressSpace& as, Vaddr va, AccessType access, FrameId* 
         // §4 extension: the PUD write-protection marks a shared PMD table (kOnDemandHuge).
         uint64_t* pud_slot = walker.FindEntry(as.pgd(), va, PtLevel::kPud);
         ODF_CHECK(pud_slot != nullptr);
-        DedicatePmdTable(as, EntryBase(va, PtLevel::kPud), pud_slot);
+        if (DedicatePmdTable(as, EntryBase(va, PtLevel::kPud), pud_slot,
+                             AllocPolicy::kTry) == kInvalidFrame) {
+          return FaultOom(as, va);
+        }
         continue;
       }
       if (t.fault_level == PtLevel::kPmd) {
@@ -209,10 +282,15 @@ FaultResult HandleFault(AddressSpace& as, Vaddr va, AccessType access, FrameId* 
         Pte pmd = LoadEntry(pmd_slot);
         Vaddr chunk_base = EntryBase(va, PtLevel::kPmd);
         if (pmd.IsHuge()) {
-          HugeCowFault(as, chunk_base, pmd_slot);
+          if (!HugeCowFault(as, chunk_base, pmd_slot)) {
+            return FaultOom(as, va);
+          }
         } else {
           // The on-demand-fork path: the PMD write-protection marks a shared PTE table.
-          DedicatePteTable(as, chunk_base, pmd_slot);
+          if (DedicatePteTable(as, chunk_base, pmd_slot, AllocPolicy::kTry) ==
+              kInvalidFrame) {
+            return FaultOom(as, va);
+          }
         }
         continue;
       }
@@ -221,7 +299,9 @@ FaultResult HandleFault(AddressSpace& as, Vaddr va, AccessType access, FrameId* 
           << static_cast<int>(t.fault_level);
       uint64_t* slot = walker.FindEntry(as.pgd(), va, PtLevel::kPte);
       ODF_CHECK(slot != nullptr);
-      DataCowFault(as, *vma, va, slot);
+      if (!DataCowFault(as, *vma, va, slot)) {
+        return FaultOom(as, va);
+      }
       continue;
     }
 
@@ -229,14 +309,32 @@ FaultResult HandleFault(AddressSpace& as, Vaddr va, AccessType access, FrameId* 
     // in, so any shared table on the path must be dedicated first: sharers' VMA layouts can
     // diverge after fork, and an entry installed into a shared table would silently appear
     // in every sharer's address space. (ODF's "fast read" applies to PRESENT pages only.)
-    EnsureExclusivePmdPath(as, va);
+    if (!EnsureExclusivePmdPath(as, va, AllocPolicy::kTry)) {
+      return FaultOom(as, va);
+    }
     if (vma->huge) {
-      uint64_t* pmd_slot = walker.EnsureEntry(as.pgd(), va, PtLevel::kPmd);
-      Pte pmd = LoadEntry(pmd_slot);
-      if (!pmd.IsPresent()) {
-        HugeDemandInstall(as, *vma, EntryBase(va, PtLevel::kPmd), pmd_slot);
+      uint64_t* pmd_slot = walker.TryEnsureEntry(as.pgd(), va, PtLevel::kPmd);
+      if (pmd_slot == nullptr) {
+        return FaultOom(as, va);
       }
-      continue;
+      Pte pmd = LoadEntry(pmd_slot);
+      if (pmd.IsPresent() && pmd.IsHuge()) {
+        // Present huge entry but the walk still faulted: the write-protection branch above
+        // resolves it next round.
+        continue;
+      }
+      if (!pmd.IsPresent()) {
+        if (HugeDemandInstall(as, *vma, EntryBase(va, PtLevel::kPmd), pmd_slot)) {
+          continue;
+        }
+        // No 2 MiB compound available: degrade this chunk to 4 KiB demand paging (the
+        // split-mapping analog of the kernel falling back from THP to base pages).
+        CountVm(VmCounter::k_fork_degrade_classic);
+        ODF_TRACE(fork_degrade_classic, as.owner_pid(), va,
+                  static_cast<uint64_t>(DegradeFlavor::kHugeDemand4k));
+      }
+      // A present non-huge PMD under a huge VMA is a previously split/degraded chunk:
+      // fall through to the 4 KiB path.
     }
     uint64_t* pmd_probe = walker.FindEntry(as.pgd(), va, PtLevel::kPmd);
     if (pmd_probe != nullptr) {
@@ -244,18 +342,33 @@ FaultResult HandleFault(AddressSpace& as, Vaddr va, AccessType access, FrameId* 
       if (pmd_entry.IsPresent() && !pmd_entry.IsHuge() &&
           as.allocator().GetMeta(pmd_entry.frame())
                   .pt_share_count.load(std::memory_order_acquire) > 1) {
-        DedicatePteTable(as, EntryBase(va, PtLevel::kPmd), pmd_probe);
+        if (DedicatePteTable(as, EntryBase(va, PtLevel::kPmd), pmd_probe,
+                             AllocPolicy::kTry) == kInvalidFrame) {
+          return FaultOom(as, va);
+        }
       }
     }
-    uint64_t* slot = walker.EnsureEntry(as.pgd(), va, PtLevel::kPte);
+    uint64_t* slot = walker.TryEnsureEntry(as.pgd(), va, PtLevel::kPte);
+    if (slot == nullptr) {
+      return FaultOom(as, va);
+    }
     Pte entry = LoadEntry(slot);
     if (entry.IsSwap()) {
       // Swap-in: bring the page back from the swap device into a fresh private frame.
       SwapSpace* swap = as.swap_space();
       ODF_CHECK(swap != nullptr);
-      FrameId frame = as.allocator().Allocate(kPageFlagAnon);
+      FrameId frame = as.allocator().TryAllocate(kPageFlagAnon);
+      if (frame == kInvalidFrame) {
+        return FaultOom(as, va);
+      }
       std::byte* dst = as.allocator().MaterializeData(frame, /*zero=*/false);
-      swap->ReadIn(entry.swap_slot(), dst);
+      if (!swap->TryReadIn(entry.swap_slot(), dst)) {
+        // Device read failed: drop only the fresh frame. The swap entry and the slot's
+        // reference survive untouched, so a retry after the transient error succeeds.
+        as.allocator().DecRef(frame);
+        ++as.stats().swap_io_faults;
+        return FaultResult::kSwapIoError;
+      }
       swap->DecRef(entry.swap_slot());
       uint64_t flags = kPtePresent | kPteUser | kPteAccessed;
       if (vma->IsWritable()) {
@@ -268,12 +381,17 @@ FaultResult HandleFault(AddressSpace& as, Vaddr va, AccessType access, FrameId* 
       continue;
     }
     if (!entry.IsPresent()) {
-      DemandInstall(as, *vma, va, slot);
+      if (!DemandInstall(as, *vma, va, slot)) {
+        return FaultOom(as, va);
+      }
     }
     // Present but blocked: loop back; the NotWritable branch will resolve it.
   }
-  ODF_CHECK(false) << "fault handler failed to converge at va " << va;
-  return FaultResult::kSegvUnmapped;
+  // The chain did not converge within the budget. This is a bug indicator, but aborting
+  // would take the whole simulated machine down; report it as a typed, recoverable error.
+  CountVm(VmCounter::k_pgfault_retry_exhausted);
+  ODF_TRACE(fault_oom, as.owner_pid(), va, /*retry_exhausted=*/1);
+  return FaultResult::kRetryExhausted;
 }
 
 }  // namespace odf

@@ -8,14 +8,39 @@
 namespace odf {
 
 enum class FaultResult {
-  kHandled,      // Translation now succeeds; retry the access.
-  kSegvUnmapped, // No VMA covers the address.
-  kSegvProt,     // The VMA forbids this access.
+  kHandled,          // Translation now succeeds; retry the access.
+  kSegvUnmapped,     // No VMA covers the address.
+  kSegvProt,         // The VMA forbids this access.
+  kOom,              // A required allocation failed (ENOMEM after reclaim, or injected).
+  kSwapIoError,      // Swap-in read failed; the swap slot keeps its reference, retry later.
+  kRetryExhausted,   // The fault chain did not converge within the retry budget.
+};
+
+// True for the recoverable-error verdicts (kOom / kSwapIoError / kRetryExhausted): the
+// access did not complete, but the address space is consistent and a retry may succeed
+// once memory is freed or injection is disarmed. See docs/robustness.md.
+inline bool IsRecoverableFault(FaultResult result) {
+  return result == FaultResult::kOom || result == FaultResult::kSwapIoError ||
+         result == FaultResult::kRetryExhausted;
+}
+
+// Arg a1 of the fork_degrade_classic tracepoint: which graceful-degradation path fired
+// when a compound or page-table allocation failed (docs/robustness.md).
+enum class DegradeFlavor : uint64_t {
+  kHugeDemand4k = 0,       // Huge demand-install fell back to 4 KiB demand paging.
+  kHugeCowSplit = 1,       // Huge COW split the 2 MiB mapping into a PTE table of tails.
+  kOdfSharePmd = 2,        // ODF fork shared the whole PMD table instead of a fresh copy.
+  kClassicShareTable = 3,  // Classic fork shared a PTE table ODF-style instead of copying.
 };
 
 // Resolves all fault causes for an access to `va` until the translation succeeds or the
 // access is found to be illegal. On success the final translation is inserted into the TLB
 // and `frame_out` (if non-null) receives the 4 KiB frame.
+//
+// All allocations on this path are fallible (FrameAllocator::TryAllocate and friends): a
+// denied allocation yields kOom and a failed swap-device read yields kSwapIoError, with the
+// page tables left consistent — nothing is ever half-installed. The retry loop is bounded;
+// a chain that does not converge yields kRetryExhausted instead of aborting.
 FaultResult HandleFault(AddressSpace& as, Vaddr va, AccessType access,
                         FrameId* frame_out = nullptr);
 

@@ -105,7 +105,8 @@ void DropPmdTableReference(FrameAllocator& allocator, SwapSpace* swap, FrameId t
   allocator.DecRef(table);
 }
 
-FrameId DedicatePmdTable(AddressSpace& as, Vaddr pud_span_base, uint64_t* pud_slot) {
+FrameId DedicatePmdTable(AddressSpace& as, Vaddr pud_span_base, uint64_t* pud_slot,
+                         AllocPolicy policy) {
   FrameAllocator& allocator = as.allocator();
   const bool tracing = trace::Enabled();
   const uint64_t t0 = tracing ? trace::NowNanos() : 0;
@@ -127,7 +128,12 @@ FrameId DedicatePmdTable(AddressSpace& as, Vaddr pud_span_base, uint64_t* pud_sl
     return shared;
   }
 
-  FrameId dedicated = AllocPageTable(allocator);
+  FrameId dedicated = policy == AllocPolicy::kTry ? TryAllocPageTable(allocator)
+                                                  : AllocPageTable(allocator);
+  if (dedicated == kInvalidFrame) {
+    // kTry only: nothing has been mutated; the caller unwinds or degrades.
+    return kInvalidFrame;
+  }
   uint64_t* src = allocator.TableEntries(shared);
   uint64_t* dst = allocator.TableEntries(dedicated);
   for (uint64_t i = 0; i < kEntriesPerTable; ++i) {
@@ -166,22 +172,25 @@ FrameId DedicatePmdTable(AddressSpace& as, Vaddr pud_span_base, uint64_t* pud_sl
   return dedicated;
 }
 
-void EnsureExclusivePmdPath(AddressSpace& as, Vaddr va) {
+bool EnsureExclusivePmdPath(AddressSpace& as, Vaddr va, AllocPolicy policy) {
   uint64_t* pud_slot = as.walker().FindEntry(as.pgd(), va, PtLevel::kPud);
   if (pud_slot == nullptr) {
-    return;
+    return true;
   }
   Pte pud = LoadEntry(pud_slot);
   if (!pud.IsPresent() || pud.IsHuge()) {
-    return;
+    return true;
   }
   if (as.allocator().GetMeta(pud.frame()).pt_share_count.load(std::memory_order_acquire) >
       1) {
-    DedicatePmdTable(as, EntryBase(va, PtLevel::kPud), pud_slot);
+    return DedicatePmdTable(as, EntryBase(va, PtLevel::kPud), pud_slot, policy) !=
+           kInvalidFrame;
   }
+  return true;
 }
 
-FrameId DedicatePteTable(AddressSpace& as, Vaddr chunk_base, uint64_t* pmd_slot) {
+FrameId DedicatePteTable(AddressSpace& as, Vaddr chunk_base, uint64_t* pmd_slot,
+                         AllocPolicy policy) {
   FrameAllocator& allocator = as.allocator();
   const bool tracing = trace::Enabled();
   const uint64_t t0 = tracing ? trace::NowNanos() : 0;
@@ -205,7 +214,12 @@ FrameId DedicatePteTable(AddressSpace& as, Vaddr chunk_base, uint64_t* pmd_slot)
     return shared;
   }
 
-  FrameId dedicated = AllocPageTable(allocator);
+  FrameId dedicated = policy == AllocPolicy::kTry ? TryAllocPageTable(allocator)
+                                                  : AllocPageTable(allocator);
+  if (dedicated == kInvalidFrame) {
+    // kTry only: nothing has been mutated; the caller unwinds or degrades.
+    return kInvalidFrame;
+  }
   uint64_t* src = allocator.TableEntries(shared);
   uint64_t* dst = allocator.TableEntries(dedicated);
   for (uint64_t i = 0; i < kEntriesPerTable; ++i) {

@@ -15,6 +15,13 @@ namespace odf {
 // mutation of a PTE table that may be shared across address spaces.
 std::mutex& PtSplitLock(FrameId table);
 
+// How a range operation allocates the page-table frames it needs.
+//   kNoFail — abort on hard OOM, never consult fault injection (teardown/rollback paths
+//             MUST use this: rollback cannot itself fail).
+//   kTry    — use fallible allocation; the operation reports failure (kInvalidFrame /
+//             false) and leaves all page tables in a consistent, unmodified state.
+enum class AllocPolicy { kNoFail, kTry };
+
 // Drops one address-space reference to a PTE table (§3.5). The last dropper releases the
 // page references held on behalf of all sharers (§3.6) and frees the table frame.
 void DropPteTableReference(FrameAllocator& allocator, SwapSpace* swap, FrameId table);
@@ -28,11 +35,16 @@ void DropPmdTableReference(FrameAllocator& allocator, SwapSpace* swap, FrameId t
 // DedicatePteTable one level up. The private copy takes a reference on each huge compound
 // page and each PTE table; entries in BOTH copies are write-protected so the next level
 // still COWs lazily. `pud_span_base` is the 1 GiB-aligned base the PUD entry covers.
-FrameId DedicatePmdTable(AddressSpace& as, Vaddr pud_span_base, uint64_t* pud_slot);
+// Under AllocPolicy::kTry, returns kInvalidFrame when the private table cannot be
+// allocated; the shared table and the PUD entry are left untouched.
+FrameId DedicatePmdTable(AddressSpace& as, Vaddr pud_span_base, uint64_t* pud_slot,
+                         AllocPolicy policy = AllocPolicy::kNoFail);
 
 // Makes the PMD table covering `va` exclusive to `as` (dedicating it if shared). Required
 // before any structural mutation below the PUD entry (zap, remap, protect, classic fork).
-void EnsureExclusivePmdPath(AddressSpace& as, Vaddr va);
+// Returns false only under AllocPolicy::kTry when the dedication allocation failed.
+bool EnsureExclusivePmdPath(AddressSpace& as, Vaddr va,
+                            AllocPolicy policy = AllocPolicy::kNoFail);
 
 // Copy-on-write of a shared PTE table for `as` (§3.4): allocates a private table, copies all
 // 512 entries (preserving accessed bits, clearing writable in BOTH copies so data pages stay
@@ -41,8 +53,11 @@ void EnsureExclusivePmdPath(AddressSpace& as, Vaddr va);
 //
 // If the share count has already dropped to 1 (the other sharers dedicated or exited), no
 // copy is needed: the PMD entry is simply write-enabled again ("fixup"). Returns the table
-// the PMD entry points at afterwards.
-FrameId DedicatePteTable(AddressSpace& as, Vaddr chunk_base, uint64_t* pmd_slot);
+// the PMD entry points at afterwards. Under AllocPolicy::kTry, returns kInvalidFrame when
+// the private table cannot be allocated; the shared table and PMD entry are left untouched
+// (the fixup path needs no allocation and always succeeds).
+FrameId DedicatePteTable(AddressSpace& as, Vaddr chunk_base, uint64_t* pmd_slot,
+                         AllocPolicy policy = AllocPolicy::kNoFail);
 
 // Drops one reference to the data frame mapped by a leaf entry (4 KiB page or, for
 // `huge`, a 2 MiB compound head).

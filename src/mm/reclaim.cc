@@ -67,7 +67,12 @@ uint64_t ClockReclaimAddressSpace(AddressSpace& as, SwapSpace& swap, uint64_t wa
           // Never materialised: logically zero. Drop it; a refault demand-zeroes.
           StoreEntry(slot, Pte());
         } else {
-          SwapSlot swap_slot = swap.WriteOut(data);
+          SwapSlot swap_slot = swap.TryWriteOut(data);
+          if (swap_slot == kInvalidSwapSlot) {
+            // Device write failed (injected I/O error): keep the page resident and move on,
+            // like the kernel re-activating a page whose writeback failed.
+            continue;
+          }
           StoreEntry(slot, Pte::MakeSwap(swap_slot));
         }
         allocator.DecRef(frame);

@@ -2,7 +2,9 @@
 
 #include <cstring>
 
+#include "src/fi/fault_inject.h"
 #include "src/trace/metrics.h"
+#include "src/trace/trace.h"
 #include "src/util/log.h"
 
 namespace odf {
@@ -35,6 +37,17 @@ SwapSlot SwapSpace::WriteOut(const std::byte* src) {
   return slot;
 }
 
+SwapSlot SwapSpace::TryWriteOut(const std::byte* src) {
+  if (fi::ShouldInject(FiSite::k_swap_out)) {
+    ODF_TRACE(swap_io_error, 0, /*is_write=*/1);
+    CountVm(VmCounter::k_swap_io_errors);
+    std::lock_guard<std::mutex> guard(mutex_);
+    ++stats_.io_errors;
+    return kInvalidSwapSlot;
+  }
+  return WriteOut(src);
+}
+
 void SwapSpace::ReadIn(SwapSlot slot, std::byte* dst) {
   std::lock_guard<std::mutex> guard(mutex_);
   ODF_CHECK(slot < slots_.size() && slots_[slot].refs > 0) << "read of free swap slot " << slot;
@@ -46,6 +59,18 @@ void SwapSpace::ReadIn(SwapSlot slot, std::byte* dst) {
   }
   ++stats_.reads;
   CountVm(VmCounter::k_swap_reads);
+}
+
+bool SwapSpace::TryReadIn(SwapSlot slot, std::byte* dst) {
+  if (fi::ShouldInject(FiSite::k_swap_in)) {
+    ODF_TRACE(swap_io_error, 0, /*is_write=*/0, slot);
+    CountVm(VmCounter::k_swap_io_errors);
+    std::lock_guard<std::mutex> guard(mutex_);
+    ++stats_.io_errors;
+    return false;
+  }
+  ReadIn(slot, dst);
+  return true;
 }
 
 void SwapSpace::IncRef(SwapSlot slot) {

@@ -24,11 +24,15 @@ namespace odf {
 
 using SwapSlot = uint64_t;
 
+// Returned by TryWriteOut when the device I/O "fails" (injected swap_out error).
+inline constexpr SwapSlot kInvalidSwapSlot = ~SwapSlot{0};
+
 struct SwapStats {
   uint64_t slots_in_use = 0;
   uint64_t total_slots = 0;      // High-water mark of device size.
   uint64_t writes = 0;           // Pages swapped out.
   uint64_t reads = 0;            // Pages swapped in.
+  uint64_t io_errors = 0;        // Injected swap_out / swap_in failures.
 };
 
 class SwapSpace {
@@ -39,10 +43,19 @@ class SwapSpace {
 
   // Allocates a slot with refcount 1 and stores the page content. `src` may be null for a
   // logically-zero page (the slot then reads back as zeros without storing a buffer).
+  // NOFAIL: never consults fault injection.
   SwapSlot WriteOut(const std::byte* src);
 
-  // Copies the slot's content into `dst` (exactly kPageSize bytes).
+  // Fallible WriteOut: kInvalidSwapSlot when fault injection (site swap_out) fails the
+  // device write. Callers keep the page resident and retry later (the reclaimer skips it).
+  SwapSlot TryWriteOut(const std::byte* src);
+
+  // Copies the slot's content into `dst` (exactly kPageSize bytes). NOFAIL.
   void ReadIn(SwapSlot slot, std::byte* dst);
+
+  // Fallible ReadIn: false when fault injection (site swap_in) fails the device read; `dst`
+  // is untouched and the slot keeps its reference so a later retry can succeed.
+  bool TryReadIn(SwapSlot slot, std::byte* dst);
 
   // Slot reference management (fork copies a swap entry -> IncRef; unmap/swap-in -> DecRef).
   void IncRef(SwapSlot slot);

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "src/fi/fault_inject.h"
 #include "src/trace/metrics.h"
 #include "src/util/log.h"
 
@@ -65,33 +66,54 @@ void FrameAllocator::SetReclaimCallback(ReclaimCallback callback) {
   reclaim_callback_ = std::move(callback);
 }
 
-void FrameAllocator::WaitForQuota(uint64_t frames) {
+bool FrameAllocator::TryWaitForQuota(uint64_t frames) {
   // Like the kernel putting the faulting process to sleep while it frees memory (§4): run
-  // reclaim rounds until the allocation fits, or declare OOM when no progress is possible.
+  // reclaim rounds until the allocation fits, or report OOM when no progress is possible.
   for (int attempt = 0; attempt < 16; ++attempt) {
     ReclaimCallback callback;
     {
       std::lock_guard<std::mutex> guard(mutex_);
       if (frame_limit_ == 0 || stats_.allocated_frames + frames <= frame_limit_) {
-        return;
+        return true;
       }
       callback = reclaim_callback_;
     }
-    ODF_CHECK(callback) << "out of simulated memory (" << frames
-                        << " frames wanted) and no reclaimer installed";
+    if (!callback) {
+      return false;
+    }
     uint64_t freed = callback(frames + 64);  // Batch a little slack to avoid thrash.
     if (freed == 0) {
       break;
     }
   }
   std::lock_guard<std::mutex> guard(mutex_);
-  ODF_CHECK(frame_limit_ == 0 || stats_.allocated_frames + frames <= frame_limit_)
-      << "out of simulated memory: limit " << frame_limit_ << " frames, "
-      << stats_.allocated_frames << " allocated, " << frames << " wanted, reclaim exhausted";
+  return frame_limit_ == 0 || stats_.allocated_frames + frames <= frame_limit_;
+}
+
+void FrameAllocator::WaitForQuota(uint64_t frames) {
+  ODF_CHECK(TryWaitForQuota(frames))
+      << "out of simulated memory: limit " << frame_limit() << " frames, " << frames
+      << " wanted, reclaim exhausted (NOFAIL allocation)";
 }
 
 FrameId FrameAllocator::Allocate(uint8_t flags) {
   WaitForQuota(1);
+  return AllocateGranted(flags);
+}
+
+FrameId FrameAllocator::TryAllocate(uint8_t flags) {
+  FiSite site =
+      (flags & kPageFlagPageTable) != 0 ? FiSite::k_page_table_alloc : FiSite::k_frame_alloc;
+  if (fi::ShouldInject(site)) {
+    return kInvalidFrame;
+  }
+  if (!TryWaitForQuota(1)) {
+    return kInvalidFrame;
+  }
+  return AllocateGranted(flags);
+}
+
+FrameId FrameAllocator::AllocateGranted(uint8_t flags) {
   std::lock_guard<std::mutex> guard(mutex_);
   FrameId frame = PopFreeLocked();
   PageMeta& meta = MetaRef(frame);
@@ -115,8 +137,22 @@ FrameId FrameAllocator::Allocate(uint8_t flags) {
 }
 
 FrameId FrameAllocator::AllocateCompound(uint8_t flags) {
+  WaitForQuota(1u << kHugePageOrder);
+  return AllocateCompoundGranted(flags);
+}
+
+FrameId FrameAllocator::TryAllocateCompound(uint8_t flags) {
+  if (fi::ShouldInject(FiSite::k_compound_alloc)) {
+    return kInvalidFrame;
+  }
+  if (!TryWaitForQuota(1u << kHugePageOrder)) {
+    return kInvalidFrame;
+  }
+  return AllocateCompoundGranted(flags);
+}
+
+FrameId FrameAllocator::AllocateCompoundGranted(uint8_t flags) {
   constexpr FrameId kCompoundFrames = 1u << kHugePageOrder;
-  WaitForQuota(kCompoundFrames);
   std::lock_guard<std::mutex> guard(mutex_);
   FrameId head;
   if (!compound_free_list_.empty()) {

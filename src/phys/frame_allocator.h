@@ -36,11 +36,22 @@ class FrameAllocator {
   // Allocates one 4 KiB frame. `flags` should include the owner kind (anon/file/page-table).
   // Page-table frames get their data materialised and zeroed immediately (tables are always
   // real memory; they are what this library is about). The frame starts with refcount 1.
+  //
+  // This is the GFP_NOFAIL analog: it never consults fault injection and aborts when the
+  // frame limit cannot be satisfied after reclaim. Recoverable paths use TryAllocate.
   FrameId Allocate(uint8_t flags);
 
   // Allocates a 2 MiB compound page (512 contiguous frames, head + tails). Returns the head.
-  // The head starts with refcount 1; tails are marked and redirect to the head.
+  // The head starts with refcount 1; tails are marked and redirect to the head. NOFAIL, like
+  // Allocate.
   FrameId AllocateCompound(uint8_t flags);
+
+  // Fallible variants (paper §4 "Robustness"): return kInvalidFrame instead of aborting when
+  // the frame limit cannot be satisfied after reclaim, or when fault injection (src/fi,
+  // sites frame_alloc / page_table_alloc / compound_alloc) fails the call. Callers must
+  // unwind cleanly on kInvalidFrame — see docs/robustness.md for the error contract.
+  FrameId TryAllocate(uint8_t flags);
+  FrameId TryAllocateCompound(uint8_t flags);
 
   // Drops one reference; frees the frame when the count hits zero. For compound heads the
   // entire compound is freed. Must not be called on tails (callers resolve the head first).
@@ -95,8 +106,17 @@ class FrameAllocator {
 
   PageMeta& MetaRef(FrameId frame) const;
 
-  // Blocks (outside the lock) until `frames` more can be allocated under the limit.
+  // Blocks (outside the lock) until `frames` more can be allocated under the limit; aborts
+  // when reclaim cannot make room (the NOFAIL contract).
   void WaitForQuota(uint64_t frames);
+
+  // Like WaitForQuota but returns false instead of aborting when reclaim is exhausted (or no
+  // reclaimer is installed while over the limit).
+  bool TryWaitForQuota(uint64_t frames);
+
+  // Allocation bodies shared by the NOFAIL and Try entry points (quota already granted).
+  FrameId AllocateGranted(uint8_t flags);
+  FrameId AllocateCompoundGranted(uint8_t flags);
 
   mutable std::mutex mutex_;
   uint64_t frame_limit_ = 0;

@@ -70,7 +70,7 @@ uint64_t Kernel::ReclaimMemory(uint64_t want) {
   uint64_t before = allocator_.Stats().allocated_frames;
   ODF_TRACE(oom_kill, victim->pid(), victim_bytes);
   Exit(*victim, -9);
-  ++oom_kills_;
+  oom_kills_.fetch_add(1, std::memory_order_relaxed);
   CountVm(VmCounter::k_oom_kills);
   uint64_t after = allocator_.Stats().allocated_frames;
   uint64_t reclaimed = before > after ? before - after : 0;
@@ -98,10 +98,27 @@ Process& Kernel::CreateProcess() {
 }
 
 Process& Kernel::Fork(Process& parent, ForkMode mode, ForkProfile* profile) {
+  Process* child = TryFork(parent, mode, profile);
+  ODF_CHECK(child != nullptr) << "fork of pid " << parent.pid()
+                              << " failed: out of simulated memory (NOFAIL Fork; use "
+                                 "TryFork for recoverable ENOMEM)";
+  return *child;
+}
+
+Process* Kernel::TryFork(Process& parent, ForkMode mode, ForkProfile* profile) {
   ODF_CHECK(parent.state() == ProcessState::kRunning);
   ActiveProcessScope immune(&parent);  // The parent must survive its own fork's allocations.
   auto child_as = std::make_unique<AddressSpace>(&allocator_, &swap_);
-  CopyAddressSpace(parent.address_space(), *child_as, mode, profile, &fork_counters_);
+  if (!CopyAddressSpace(parent.address_space(), *child_as, mode, profile, &fork_counters_)) {
+    // Transactional rollback: the half-built child holds real references (page refcounts,
+    // table share counts, swap-slot refs), all reachable through its own page tables.
+    // TearDown clears the VMA list first, so shared tables are dropped whole — never
+    // dedicated — making the unwind allocation-free (rollback cannot itself fail).
+    child_as->TearDown();
+    CountVm(VmCounter::k_fork_rollback);
+    ODF_TRACE(fork_rollback, parent.pid(), static_cast<uint64_t>(mode));
+    return nullptr;
+  }
 
   std::lock_guard<std::mutex> guard(table_mutex_);
   Pid pid = next_pid_++;
@@ -112,7 +129,7 @@ Process& Kernel::Fork(Process& parent, ForkMode mode, ForkProfile* profile) {
   processes_.emplace(pid, std::move(child));
   CountVm(VmCounter::k_proc_created);
   ODF_TRACE(proc_create, pid, static_cast<uint64_t>(parent.pid()));
-  return ref;
+  return &ref;
 }
 
 void Kernel::Exit(Process& process, int code) {

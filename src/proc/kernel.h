@@ -12,6 +12,7 @@
 #ifndef ODF_SRC_PROC_KERNEL_H_
 #define ODF_SRC_PROC_KERNEL_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -38,10 +39,19 @@ class Kernel {
 
   // Forks `parent` with an explicit mechanism. Thread-safe with respect to other processes;
   // the caller must not mutate `parent` concurrently (one driver thread per process).
+  // Aborts on mid-fork ENOMEM (the NOFAIL contract); use TryFork for recoverable failure.
   Process& Fork(Process& parent, ForkMode mode, ForkProfile* profile = nullptr);
 
   // Forks using the parent's configured fork mode (the procfs knob, §4 "Flexibility").
   Process& Fork(Process& parent) { return Fork(parent, parent.fork_mode()); }
+
+  // Transactional fork: like Fork, but a mid-copy allocation failure (ENOMEM after reclaim,
+  // or injected via src/fi) rolls the child back completely — every page reference,
+  // shared-table install, and table frame the half-built child held is released — and
+  // returns nullptr. The parent is untouched (its write-protected entries are benign; the
+  // fault path restores them lazily) and no process-table entry is created. ENOMEM-safe in
+  // the sense of docs/robustness.md: fork either fully succeeds or has no effect.
+  Process* TryFork(Process& parent, ForkMode mode, ForkProfile* profile = nullptr);
 
   // Terminates the process: tears down its address space immediately (dropping page and
   // shared-table references) and leaves a zombie for the parent to reap.
@@ -73,7 +83,7 @@ class Kernel {
   // the largest process when nothing is reclaimable. Returns frames freed (0 => hard OOM).
   uint64_t ReclaimMemory(uint64_t want);
 
-  uint64_t oom_kills() const { return oom_kills_; }
+  uint64_t oom_kills() const { return oom_kills_.load(std::memory_order_relaxed); }
 
   // RAII marker: the process currently executing a memory operation on this thread. The
   // OOM killer never selects it (a real kernel SIGKILLs the victim; this simulator's
@@ -103,7 +113,9 @@ class Kernel {
   FrameAllocator allocator_;
   SwapSpace swap_;
   MemFilesystem fs_;
-  uint64_t oom_kills_ = 0;
+  // Atomic: the OOM killer can run from any thread's allocation (reclaim callback) while
+  // another thread reads the count.
+  std::atomic<uint64_t> oom_kills_{0};
   mutable std::mutex table_mutex_;
   std::map<Pid, std::unique_ptr<Process>> processes_;
   Pid next_pid_ = 1;

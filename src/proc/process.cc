@@ -33,8 +33,12 @@ bool Process::AccessMemory(Vaddr va, std::byte* buffer, uint64_t length, AccessT
       if (t.status == TranslateStatus::kOk) {
         frame = t.frame;
         as.tlb().Insert(current, frame, want_write);
-      } else if (HandleFault(as, current, access, &frame) != FaultResult::kHandled) {
-        return false;
+      } else {
+        FaultResult result = HandleFault(as, current, access, &frame);
+        if (result != FaultResult::kHandled) {
+          last_fault_result_ = result;
+          return false;
+        }
       }
     }
 
@@ -55,6 +59,7 @@ bool Process::AccessMemory(Vaddr va, std::byte* buffer, uint64_t length, AccessT
     }
     done += chunk;
   }
+  last_fault_result_ = FaultResult::kHandled;
   return true;
 }
 

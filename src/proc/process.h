@@ -44,7 +44,10 @@ class Process {
   ForkMode fork_mode() const { return fork_mode_; }
   void set_fork_mode(ForkMode mode) { fork_mode_ = mode; }
 
-  // --- Memory access through the software MMU. Returns false on SEGV. ---
+  // --- Memory access through the software MMU. Returns false when the access cannot be
+  // completed; last_fault_result() distinguishes SEGV (illegal access) from the recoverable
+  // verdicts (kOom / kSwapIoError / kRetryExhausted — retry after freeing memory or
+  // disarming injection; see docs/robustness.md). ---
   bool WriteMemory(Vaddr va, std::span<const std::byte> data);
   bool ReadMemory(Vaddr va, std::span<std::byte> out);
   bool MemsetMemory(Vaddr va, std::byte value, uint64_t length);
@@ -75,6 +78,10 @@ class Process {
     return out;
   }
 
+  // Why the most recent failed memory access failed (kHandled when nothing failed yet, or
+  // after any successful access). The errno analog for the bool memory API above.
+  FaultResult last_fault_result() const { return last_fault_result_; }
+
  private:
   friend class Kernel;
 
@@ -88,6 +95,7 @@ class Process {
   ProcessState state_ = ProcessState::kRunning;
   int exit_code_ = 0;
   ForkMode fork_mode_ = ForkMode::kClassic;
+  FaultResult last_fault_result_ = FaultResult::kHandled;
   std::unique_ptr<AddressSpace> as_;
   std::vector<Pid> children_;
 };

@@ -4,6 +4,7 @@
 #include <cinttypes>
 #include <sstream>
 
+#include "src/fi/fault_inject.h"
 #include "src/mm/range_ops.h"
 #include "src/proc/kernel.h"
 #include "src/trace/metrics.h"
@@ -216,6 +217,12 @@ std::string FormatVmstat(Kernel& kernel) {
   out << "nr_processes_running " << kernel.RunningProcessCount() << "\n";
   out << "nr_oom_kills " << kernel.oom_kills() << "\n";
   return out.str();
+}
+
+std::string FormatFaultInject() { return fi::FaultInjector::Global().FormatStatus(); }
+
+bool ConfigureFaultInject(const std::string& spec, std::string* error) {
+  return fi::FaultInjector::Global().Configure(spec, error);
 }
 
 }  // namespace odf

@@ -59,6 +59,15 @@ std::string FormatStatusLine(const ProcessMemoryReport& report);
 // for the counter catalog.
 std::string FormatVmstat(Kernel& kernel);
 
+// /sys/kernel/debug/failslab analog (docs/robustness.md): read the current fault-injection
+// configuration — seed, per-site arming, call/injection counts.
+std::string FormatFaultInject();
+
+// Write side of the knob: applies a whitespace-separated spec like
+// "seed=42 site=frame_alloc nth=3" or "site=swap_in probability=0.01 times=5" or "reset".
+// Returns true on success; on parse error returns false and fills *error.
+bool ConfigureFaultInject(const std::string& spec, std::string* error);
+
 }  // namespace odf
 
 #endif  // ODF_SRC_PROC_PROCFS_H_

@@ -11,6 +11,15 @@ FrameId AllocPageTable(FrameAllocator& allocator) {
   return frame;
 }
 
+FrameId TryAllocPageTable(FrameAllocator& allocator) {
+  FrameId frame = allocator.TryAllocate(kPageFlagPageTable);
+  if (frame == kInvalidFrame) {
+    return kInvalidFrame;
+  }
+  allocator.GetMeta(frame).pt_share_count.store(1, std::memory_order_relaxed);
+  return frame;
+}
+
 Translation Walker::Translate(FrameId pgd, Vaddr va, AccessType access) {
   Translation result;
   FrameId table = pgd;
@@ -98,6 +107,30 @@ uint64_t* Walker::EnsureEntry(FrameId pgd, Vaddr va, PtLevel level) {
       StoreEntry(slot, entry);
     }
     ODF_CHECK(!entry.IsHuge()) << "EnsureEntry descending through a huge mapping";
+    table = entry.frame();
+  }
+  return nullptr;
+}
+
+uint64_t* Walker::TryEnsureEntry(FrameId pgd, Vaddr va, PtLevel level) {
+  FrameId table = pgd;
+  for (int l = 0; l < kPtLevels; ++l) {
+    PtLevel current = static_cast<PtLevel>(l);
+    uint64_t* entries = allocator_->TableEntries(table);
+    uint64_t* slot = &entries[TableIndex(va, current)];
+    if (current == level) {
+      return slot;
+    }
+    Pte entry = LoadEntry(slot);
+    if (!entry.IsPresent()) {
+      FrameId child = TryAllocPageTable(*allocator_);
+      if (child == kInvalidFrame) {
+        return nullptr;
+      }
+      entry = Pte::Make(child, kPtePresent | kPteWritable | kPteUser);
+      StoreEntry(slot, entry);
+    }
+    ODF_CHECK(!entry.IsHuge()) << "TryEnsureEntry descending through a huge mapping";
     table = entry.frame();
   }
   return nullptr;

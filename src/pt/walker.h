@@ -43,8 +43,14 @@ class Walker {
 
   // Like FindEntry but allocates missing intermediate tables (present+writable+user links).
   // Never allocates the final data mapping, only tables above `level` plus the table that
-  // contains the returned entry.
+  // contains the returned entry. Table allocation is NOFAIL (aborts on hard OOM).
   uint64_t* EnsureEntry(FrameId pgd, Vaddr va, PtLevel level);
+
+  // Fallible EnsureEntry (fault/fork paths): returns nullptr when a missing intermediate
+  // table cannot be allocated (genuine ENOMEM after reclaim, or injected page_table_alloc
+  // failure). Tables allocated before the failing one stay installed; they are empty and
+  // harmless, and teardown reaps them.
+  uint64_t* TryEnsureEntry(FrameId pgd, Vaddr va, PtLevel level);
 
   // Returns the frame of the table containing `va`'s entry at `level` (e.g. the PTE-table
   // frame for level kPte), or kInvalidFrame if missing. When `out_pmd_entry` is non-null and
@@ -57,8 +63,11 @@ class Walker {
   FrameAllocator* allocator_;
 };
 
-// Allocates an empty page-table frame (zeroed, refcount 1, pt_share_count 1).
+// Allocates an empty page-table frame (zeroed, refcount 1, pt_share_count 1). NOFAIL.
 FrameId AllocPageTable(FrameAllocator& allocator);
+
+// Fallible AllocPageTable: kInvalidFrame on ENOMEM or injected page_table_alloc failure.
+FrameId TryAllocPageTable(FrameAllocator& allocator);
 
 }  // namespace odf
 

@@ -54,7 +54,13 @@ namespace odf {
   X(tlb_shootdowns)              \
   X(proc_created)                \
   X(proc_exited)                 \
-  X(oom_kills)
+  X(oom_kills)                   \
+  X(fi_injected)                 \
+  X(fork_rollback)               \
+  X(fork_degrade_classic)        \
+  X(pgfault_oom)                 \
+  X(pgfault_retry_exhausted)     \
+  X(swap_io_errors)
 
 enum class VmCounter : uint32_t {
 #define ODF_VM_ENUM_MEMBER(name) k_##name,

@@ -63,7 +63,12 @@ namespace odf {
   X(proc_create)                \
   X(proc_exit)                  \
   X(proc_reap)                  \
-  X(oom_kill)
+  X(oom_kill)                   \
+  X(fi_inject)                  \
+  X(fork_rollback)              \
+  X(fork_degrade_classic)       \
+  X(fault_oom)                  \
+  X(swap_io_error)
 
 enum class TraceEventId : uint16_t {
 #define ODF_TRACE_ENUM_MEMBER(name) k_##name,
