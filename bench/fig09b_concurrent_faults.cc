@@ -1,0 +1,103 @@
+// Figure 9b (companion experiment): post-fork COW fault throughput as the number of
+// concurrently faulting threads grows. One parent with fully materialised memory forks K
+// children (K = thread count); each driver thread then write-touches every page of its own
+// child's mapping, so every touch is a COW fault that allocates a frame and copies 4 KiB.
+// Child teardown frees all those frames again. The metric is aggregate faults/sec across
+// the faulting phase only (forks and exits are untimed).
+//
+// This is the concurrency stressor for the per-CPU frame caches and batched free paths
+// (docs/performance.md): with a single global free-list lock the fault throughput flattens
+// as threads are added; with per-thread caches the alloc/free hot path stays lock-free and
+// scales with available cores.
+#include <thread>
+
+#include "bench/bench_common.h"
+
+namespace odf {
+namespace {
+
+struct FaultPoint {
+  double faults_per_sec = 0;
+  uint64_t faults = 0;
+};
+
+// One (mode, thread-count) data point: repeat {fork K children serially, fault over them
+// from K threads concurrently, tear the children down} until the timed faulting phases have
+// accumulated `seconds` of wall clock.
+FaultPoint RunPoint(ForkMode mode, int threads, uint64_t bytes_per_child, double seconds) {
+  Kernel kernel;
+  Process& parent = MakePopulatedProcess(kernel, bytes_per_child, /*huge=*/false,
+                                         /*materialize=*/true);
+  Vaddr va = FirstVmaStart(parent);
+  const uint64_t pages = bytes_per_child / kPageSize;
+
+  FaultPoint point;
+  double measured = 0;
+  while (measured < seconds) {
+    std::vector<Process*> children;
+    children.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      children.push_back(&kernel.Fork(parent, mode));
+    }
+
+    Stopwatch sw;
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        ODF_CHECK(children[static_cast<size_t>(t)]->TouchRange(va, bytes_per_child,
+                                                               AccessType::kWrite));
+      });
+    }
+    for (auto& worker : workers) {
+      worker.join();
+    }
+    measured += sw.ElapsedSeconds();
+    point.faults += pages * static_cast<uint64_t>(threads);
+
+    for (Process* child : children) {
+      kernel.Exit(*child, 0);
+      kernel.Wait(parent);
+    }
+  }
+  point.faults_per_sec = static_cast<double>(point.faults) / measured;
+  kernel.Exit(parent, 0);
+  ODF_CHECK(kernel.allocator().AllFree());
+  return point;
+}
+
+void Run() {
+  BenchConfig config = BenchConfig::FromEnv();
+  uint64_t bytes_per_child = config.fast ? (8ULL << 20) : (32ULL << 20);
+  double seconds_per_point = config.fast ? 0.5 : std::max(config.seconds / 8.0, 1.0);
+
+  PrintHeader("Fig. 9b — concurrent post-fork COW fault throughput",
+              "per-CPU frame caches keep the fault path lock-free as threads scale");
+  std::printf("Child mapping: %llu MiB; %.2f s of faulting per data point; %u core(s)\n\n",
+              static_cast<unsigned long long>(bytes_per_child >> 20), seconds_per_point,
+              std::thread::hardware_concurrency());
+
+  TablePrinter table({"Threads", "fork (faults/s)", "on-demand-fork (faults/s)",
+                      "ODF/fork"});
+  for (int threads : {1, 2, 4, 8}) {
+    FaultPoint classic =
+        RunPoint(ForkMode::kClassic, threads, bytes_per_child, seconds_per_point);
+    FaultPoint odf =
+        RunPoint(ForkMode::kOnDemand, threads, bytes_per_child, seconds_per_point);
+    table.AddRow({std::to_string(threads),
+                  TablePrinter::FormatDouble(classic.faults_per_sec, 0),
+                  TablePrinter::FormatDouble(odf.faults_per_sec, 0),
+                  TablePrinter::FormatDouble(odf.faults_per_sec / classic.faults_per_sec,
+                                             2)});
+  }
+  table.Print();
+  WriteBenchJson("fig09b_concurrent_faults", config, {{"concurrent_faults", &table}});
+}
+
+}  // namespace
+}  // namespace odf
+
+int main() {
+  odf::Run();
+  return 0;
+}

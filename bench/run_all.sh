@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Builds the default preset and runs every paper-reproduction benchmark (fig*/tab*/abl*,
+# plus the exp* extensions), collecting the BENCH_<name>.json sidecars into one directory.
+#
+# Usage:
+#   bench/run_all.sh [output-dir]
+#
+# The default output directory is bench/baseline — the committed reference sweep
+# (.gitignore carves it out of the global BENCH_*.json ignore). Point it somewhere else to
+# compare a work-in-progress tree against that baseline.
+#
+# Environment:
+#   ODF_BENCH_FAST=1   quick smoke sweep (small sizes, 1 rep, short durations) — the
+#                      default here; set ODF_BENCH_FAST=0 for the full paper-scale sweep.
+#   Other ODF_BENCH_*  knobs pass through to the binaries (see bench/bench_common.h).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+out_dir="${1:-bench/baseline}"
+mkdir -p "${out_dir}"
+out_dir="$(cd "${out_dir}" && pwd)"
+
+: "${ODF_BENCH_FAST:=1}"
+export ODF_BENCH_FAST
+export ODF_BENCH_JSON=1
+export ODF_BENCH_JSON_DIR="${out_dir}"
+
+cmake --preset default >/dev/null
+cmake --build --preset default -j"$(nproc)"
+
+benches=()
+for src in bench/fig*.cc bench/tab*.cc bench/abl*.cc bench/exp*.cc; do
+  benches+=("$(basename "${src}" .cc)")
+done
+
+echo
+echo "Running ${#benches[@]} benchmarks (ODF_BENCH_FAST=${ODF_BENCH_FAST}); JSON -> ${out_dir}"
+for bench in "${benches[@]}"; do
+  echo
+  echo ">>> ${bench}"
+  "./build/bench/${bench}"
+done
+
+echo
+echo "Done. Sidecars:"
+ls -1 "${out_dir}"/BENCH_*.json

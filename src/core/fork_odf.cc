@@ -11,6 +11,9 @@
 //                   too, write-protected at the PUD level. Tables then copy-on-write lazily
 //                   at two levels: first the PMD table on the first write below a PUD entry,
 //                   then the PTE table (or the 2 MiB page) on the first write below it.
+#include <array>
+#include <span>
+
 #include "src/core/fork_internal.h"
 #include "src/mm/fault.h"
 #include "src/mm/range_ops.h"
@@ -46,10 +49,51 @@ void SharePmdEntry(ShareState& state, uint64_t* src_slot, uint64_t* dst_slot, Pt
   ODF_TRACE(pmd_table_shared, state.pid, table);
 }
 
+// Shares every PTE table referenced by one PMD table (§3.5): one address-space reference and
+// one write-protected entry pair per present table, with all pt_share_count increments taken
+// in a single IncPtShareBatch call. Two passes — collect, batch-increment, then publish — so
+// every reference exists before the corresponding child entry becomes visible, and the whole
+// 1 GiB span costs one refcount call site instead of 512 (docs/performance.md).
+void ShareAllPteTables(ShareState& state, uint64_t* src, uint64_t* dst) {
+  FrameAllocator& allocator = *state.allocator;
+  std::array<uint64_t, kEntriesPerTable> indices;
+  std::array<FrameId, kEntriesPerTable> tables;
+  size_t shared = 0;
+  for (uint64_t i = 0; i < kEntriesPerTable; ++i) {
+    Pte entry = LoadEntry(&src[i]);
+    if (!entry.IsPresent()) {
+      continue;
+    }
+    if (entry.IsHuge()) {
+      CopyHugeEntry(allocator, &src[i], &dst[i], state.counters);
+      continue;
+    }
+    indices[shared] = i;
+    tables[shared] = entry.frame();
+    ++shared;
+  }
+  allocator.IncPtShareBatch(std::span<const FrameId>(tables.data(), shared));
+  for (size_t k = 0; k < shared; ++k) {
+    uint64_t i = indices[k];
+    // The hierarchical write permission is revoked in BOTH the parent's and the child's PMD
+    // entry so every write into this 2 MiB region faults (§3.2).
+    Pte shared_entry = LoadEntry(&src[i]).WithoutFlag(kPteWritable);
+    StoreEntry(&src[i], shared_entry);
+    StoreEntry(&dst[i], shared_entry);
+    ODF_TRACE(pte_table_shared, state.pid, tables[k]);
+  }
+  state.pte_tables_shared += shared;
+}
+
 bool ShareLevel(ShareState& state, FrameId parent_table, FrameId child_table, PtLevel level) {
   FrameAllocator& allocator = *state.allocator;
   uint64_t* src = allocator.TableEntries(parent_table);
   uint64_t* dst = allocator.TableEntries(child_table);
+
+  if (level == PtLevel::kPmd) {
+    ShareAllPteTables(state, src, dst);
+    return true;
+  }
 
   for (uint64_t i = 0; i < kEntriesPerTable; ++i) {
     Pte entry = LoadEntry(&src[i]);
@@ -61,24 +105,6 @@ bool ShareLevel(ShareState& state, FrameId parent_table, FrameId child_table, Pt
       // §4 extension: share the whole PMD table (1 GiB span). Both PUD entries lose write
       // permission; the hierarchical attribute blocks writes to everything below.
       SharePmdEntry(state, &src[i], &dst[i], entry);
-      continue;
-    }
-
-    if (level == PtLevel::kPmd) {
-      if (entry.IsHuge()) {
-        CopyHugeEntry(allocator, &src[i], &dst[i], state.counters);
-        continue;
-      }
-      // Share the PTE table: one more address space now references it (§3.5), and the
-      // hierarchical write permission is revoked in BOTH the parent's and the child's PMD
-      // entry so every write into this 2 MiB region faults (§3.2).
-      FrameId table = entry.frame();
-      allocator.GetMeta(table).pt_share_count.fetch_add(1, std::memory_order_relaxed);
-      Pte shared_entry = entry.WithoutFlag(kPteWritable);
-      StoreEntry(&src[i], shared_entry);
-      StoreEntry(&dst[i], shared_entry);
-      ++state.pte_tables_shared;
-      ODF_TRACE(pte_table_shared, state.pid, table);
       continue;
     }
 

@@ -1,6 +1,8 @@
 #include "src/mm/address_space.h"
 
 #include <algorithm>
+#include <array>
+#include <span>
 #include <vector>
 
 #include "src/mm/range_ops.h"
@@ -301,27 +303,42 @@ void AddressSpace::PopulateRange(Vaddr start, uint64_t length) {
     ODF_CHECK(first_slot != nullptr);
     // Direct-fill the table: the slot pointer is interior to the table's entry array.
     uint64_t* entries = first_slot - TableIndex(chunk, PtLevel::kPte);
+    if (vma->kind == VmaKind::kAnonPrivate) {
+      // Batch-allocate a frame for every absent slot in this chunk: one shared-pool lock
+      // round-trip per table instead of one allocation per page.
+      std::array<uint64_t*, kEntriesPerTable> slots;
+      size_t absent = 0;
+      for (Vaddr va = chunk; va < chunk_end; va += kPageSize) {
+        uint64_t* slot = &entries[TableIndex(va, PtLevel::kPte)];
+        if (!LoadEntry(slot).IsPresent()) {
+          slots[absent++] = slot;
+        }
+      }
+      std::array<FrameId, kEntriesPerTable> frames;
+      allocator_->AllocateBatch(kPageFlagAnon | kPageFlagZeroFill,
+                                std::span<FrameId>(frames.data(), absent));
+      uint64_t flags = kPtePresent | kPteUser | kPteAccessed;
+      if (vma->IsWritable()) {
+        flags |= kPteWritable;
+      }
+      for (size_t k = 0; k < absent; ++k) {
+        StoreEntry(slots[k], Pte::Make(frames[k], flags));
+      }
+      chunk = chunk_end;
+      continue;
+    }
     for (Vaddr va = chunk; va < chunk_end; va += kPageSize) {
       uint64_t* slot = &entries[TableIndex(va, PtLevel::kPte)];
       if (LoadEntry(slot).IsPresent()) {
         continue;
       }
       uint64_t flags = kPtePresent | kPteUser | kPteAccessed;
-      FrameId frame;
-      if (vma->kind == VmaKind::kAnonPrivate) {
-        frame = allocator_->Allocate(kPageFlagAnon | kPageFlagZeroFill);
-        if (vma->IsWritable()) {
-          flags |= kPteWritable;
-        }
-      } else {
-        FrameId cache_frame = vma->file->GetPage(vma->FilePageIndex(va));
-        allocator_->IncRef(cache_frame);
-        frame = cache_frame;
-        if (vma->kind == VmaKind::kFileShared && vma->IsWritable()) {
-          flags |= kPteWritable;
-        }
+      FrameId cache_frame = vma->file->GetPage(vma->FilePageIndex(va));
+      allocator_->IncRef(cache_frame);
+      if (vma->kind == VmaKind::kFileShared && vma->IsWritable()) {
+        flags |= kPteWritable;
       }
-      StoreEntry(slot, Pte::Make(frame, flags));
+      StoreEntry(slot, Pte::Make(cache_frame, flags));
     }
     chunk = chunk_end;
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cstring>
+#include <span>
 
 #include "src/trace/metrics.h"
 #include "src/trace/trace.h"
@@ -65,11 +66,16 @@ void DropPteTableReference(FrameAllocator& allocator, SwapSpace* swap, FrameId t
   }
   // Last reference: release the per-page references this table holds on behalf of all its
   // (former) sharers, then free the table frame itself. Swap entries release their slot.
+  // The per-page drops go through DecRefBatch so the whole table costs one shared-pool lock
+  // round-trip, not one per entry that hits refcount zero (docs/performance.md).
   uint64_t* entries = allocator.TableEntries(table);
+  std::array<FrameId, kEntriesPerTable> heads;
+  size_t mapped = 0;
   for (uint64_t i = 0; i < kEntriesPerTable; ++i) {
     Pte entry = LoadEntry(&entries[i]);
     if (entry.IsPresent()) {
-      PutMappedPage(allocator, entry, /*huge=*/false);
+      FrameId frame = entry.frame();
+      heads[mapped++] = ResolveCompoundHead(allocator.GetMeta(frame), frame);
       StoreEntry(&entries[i], Pte());
     } else if (entry.IsSwap()) {
       ODF_CHECK(swap != nullptr) << "swap entry without a swap device";
@@ -77,6 +83,7 @@ void DropPteTableReference(FrameAllocator& allocator, SwapSpace* swap, FrameId t
       StoreEntry(&entries[i], Pte());
     }
   }
+  allocator.DecRefBatch(std::span<const FrameId>(heads.data(), mapped));
   allocator.DecRef(table);
 }
 
@@ -87,21 +94,25 @@ void DropPmdTableReference(FrameAllocator& allocator, SwapSpace* swap, FrameId t
   if (previous != 1) {
     return;
   }
-  // Last reference: release whatever the PMD table maps — huge pages directly, PTE tables
-  // transitively (each of which puts its own pages when its count hits zero).
+  // Last reference: release whatever the PMD table maps — huge pages directly (batched),
+  // PTE tables transitively (each of which batch-puts its own pages at zero).
   uint64_t* entries = allocator.TableEntries(table);
+  std::array<FrameId, kEntriesPerTable> huge_heads;
+  size_t huge_count = 0;
   for (uint64_t i = 0; i < kEntriesPerTable; ++i) {
     Pte entry = LoadEntry(&entries[i]);
     if (!entry.IsPresent()) {
       continue;
     }
     if (entry.IsHuge()) {
-      PutMappedPage(allocator, entry, /*huge=*/true);
+      ODF_DCHECK(allocator.GetMeta(entry.frame()).IsCompoundHead());
+      huge_heads[huge_count++] = entry.frame();
     } else {
       DropPteTableReference(allocator, swap, entry.frame());
     }
     StoreEntry(&entries[i], Pte());
   }
+  allocator.DecRefBatch(std::span<const FrameId>(huge_heads.data(), huge_count));
   allocator.DecRef(table);
 }
 
@@ -136,20 +147,34 @@ FrameId DedicatePmdTable(AddressSpace& as, Vaddr pud_span_base, uint64_t* pud_sl
   }
   uint64_t* src = allocator.TableEntries(shared);
   uint64_t* dst = allocator.TableEntries(dedicated);
+  // Collect first, then take every reference in two batch calls (huge-page refcounts and
+  // PTE-table share counts), then publish the entries — all references exist before any
+  // entry of the new table is visible.
+  std::array<uint64_t, kEntriesPerTable> indices;
+  std::array<FrameId, kEntriesPerTable> huge_heads;
+  std::array<FrameId, kEntriesPerTable> pte_tables;
+  size_t present = 0;
+  size_t huge_count = 0;
+  size_t table_count = 0;
   for (uint64_t i = 0; i < kEntriesPerTable; ++i) {
     Pte entry = LoadEntry(&src[i]);
     if (!entry.IsPresent()) {
       continue;
     }
     if (entry.IsHuge()) {
-      // Take a reference on the 2 MiB compound page; keep both entries COW-protected.
-      FrameId head = entry.frame();
-      allocator.GetMeta(head).refcount.fetch_add(1, std::memory_order_relaxed);
+      // A reference on the 2 MiB compound page; both entries stay COW-protected.
+      huge_heads[huge_count++] = entry.frame();
     } else {
       // The copy becomes one more sharer of the PTE table below.
-      allocator.GetMeta(entry.frame())
-          .pt_share_count.fetch_add(1, std::memory_order_relaxed);
+      pte_tables[table_count++] = entry.frame();
     }
+    indices[present++] = i;
+  }
+  allocator.IncRefBatch(std::span<const FrameId>(huge_heads.data(), huge_count));
+  allocator.IncPtShareBatch(std::span<const FrameId>(pte_tables.data(), table_count));
+  for (size_t k = 0; k < present; ++k) {
+    uint64_t i = indices[k];
+    Pte entry = LoadEntry(&src[i]);
     if (entry.IsWritable()) {
       Pte protected_entry = entry.WithoutFlag(kPteWritable);
       StoreEntry(&src[i], protected_entry);
@@ -222,6 +247,12 @@ FrameId DedicatePteTable(AddressSpace& as, Vaddr chunk_base, uint64_t* pmd_slot,
   }
   uint64_t* src = allocator.TableEntries(shared);
   uint64_t* dst = allocator.TableEntries(dedicated);
+  // This is the deferred cost the paper measures in Table 1: one metadata lookup per entry,
+  // and (now) ONE batched refcount call for the whole table. References are taken before any
+  // entry of the new table is published.
+  std::array<uint64_t, kEntriesPerTable> indices;
+  std::array<FrameId, kEntriesPerTable> heads;
+  size_t present = 0;
   for (uint64_t i = 0; i < kEntriesPerTable; ++i) {
     Pte entry = LoadEntry(&src[i]);
     if (entry.IsSwap()) {
@@ -235,12 +266,16 @@ FrameId DedicatePteTable(AddressSpace& as, Vaddr chunk_base, uint64_t* pmd_slot,
     if (!entry.IsPresent()) {
       continue;
     }
-    // Take a reference on the mapped page for the new table. This loop is the deferred cost
-    // the paper measures in Table 1: one metadata lookup + atomic increment per entry.
     FrameId frame = entry.frame();
     PageMeta& meta = allocator.GetMeta(frame);
-    FrameId head = ResolveCompoundHead(meta, frame);
-    allocator.GetMeta(head).refcount.fetch_add(1, std::memory_order_relaxed);
+    heads[present] = ResolveCompoundHead(meta, frame);
+    indices[present] = i;
+    ++present;
+  }
+  allocator.IncRefBatch(std::span<const FrameId>(heads.data(), present));
+  for (size_t k = 0; k < present; ++k) {
+    uint64_t i = indices[k];
+    Pte entry = LoadEntry(&src[i]);
     // Write-protect the entry in both copies so the first write to each data page still
     // triggers a per-page COW; the accessed bit is duplicated as-is (§3.2).
     if (entry.IsWritable()) {
@@ -368,11 +403,14 @@ void ZapRange(AddressSpace& as, Vaddr start, Vaddr end) {
     }
 
     uint64_t* entries = allocator.TableEntries(table);
+    std::array<FrameId, kEntriesPerTable> heads;
+    size_t mapped = 0;
     for (Vaddr va = lo; va < hi; va += kPageSize) {
       uint64_t* slot = &entries[TableIndex(va, PtLevel::kPte)];
       Pte entry = LoadEntry(slot);
       if (entry.IsPresent()) {
-        PutMappedPage(allocator, entry, /*huge=*/false);
+        FrameId frame = entry.frame();
+        heads[mapped++] = ResolveCompoundHead(allocator.GetMeta(frame), frame);
         StoreEntry(slot, Pte());
       } else if (entry.IsSwap()) {
         ODF_CHECK(as.swap_space() != nullptr);
@@ -380,6 +418,7 @@ void ZapRange(AddressSpace& as, Vaddr start, Vaddr end) {
         StoreEntry(slot, Pte());
       }
     }
+    allocator.DecRefBatch(std::span<const FrameId>(heads.data(), mapped));
     if (TableIsEmpty(allocator, table)) {
       StoreEntry(pmd_slot, Pte());
       DropPteTableReference(allocator, as.swap_space(), table);

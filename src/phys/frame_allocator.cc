@@ -1,21 +1,51 @@
 #include "src/phys/frame_allocator.h"
 
+#include <array>
 #include <cstring>
 
 #include "src/fi/fault_inject.h"
+#include "src/phys/per_cpu_cache.h"
 #include "src/trace/metrics.h"
+#include "src/trace/trace.h"
 #include "src/util/log.h"
 
 namespace odf {
 
+namespace {
+
+using phys_internal::CacheForThread;
+using phys_internal::PerCpuCache;
+
+// Never-reused allocator identities for the per-thread cache table (per_cpu_cache.h).
+std::atomic<uint64_t> g_next_allocator_id{1};
+
+// Striped materialisation locks (the PtSplitLock pattern): concurrent COW faults
+// materialising different frames never serialise on one mutex, and the shared-pool lock is
+// kept out of the data path entirely.
+constexpr size_t kMaterializeStripes = 64;
+std::mutex g_materialize_stripes[kMaterializeStripes];
+
+std::mutex& MaterializeStripe(FrameId frame) {
+  return g_materialize_stripes[frame % kMaterializeStripes];
+}
+
+}  // namespace
+
+FrameAllocator::FrameAllocator()
+    : id_(g_next_allocator_id.fetch_add(1, std::memory_order_relaxed)) {}
+
 FrameAllocator::~FrameAllocator() {
+  // First orphan this allocator's per-thread caches so exiting threads do not drain into
+  // freed memory; the frame ids parked in them die with the metadata below.
+  phys_internal::RetireAllocatorCaches(this);
   // Frame data buffers are owned here; release whatever is still materialised.
   for (auto& chunk : chunks_) {
     for (size_t i = 0; i < kChunkSize; ++i) {
       PageMeta& meta = chunk[i];
-      if (meta.data != nullptr && !meta.IsCompoundTail()) {
-        delete[] meta.data;
-        meta.data = nullptr;
+      std::byte* data = meta.data.load(std::memory_order_relaxed);
+      if (data != nullptr && !meta.IsCompoundTail()) {
+        delete[] data;
+        meta.data.store(nullptr, std::memory_order_relaxed);
       }
     }
   }
@@ -24,18 +54,26 @@ FrameAllocator::~FrameAllocator() {
 PageMeta& FrameAllocator::MetaRef(FrameId frame) const {
   size_t chunk = frame >> kChunkShift;
   size_t index = frame & (kChunkSize - 1);
-  ODF_DCHECK(chunk < chunks_.size()) << "frame " << frame << " out of range";
-  return chunks_[chunk][index];
+  ODF_DCHECK(chunk < kMaxChunks) << "frame " << frame << " out of range";
+  // Acquire pairs with the release store in AddChunkLocked: a thread handed a frame id by
+  // another thread sees fully-constructed metadata even though chunk growth is concurrent.
+  PageMeta* base = chunk_table_[chunk].load(std::memory_order_acquire);
+  ODF_DCHECK(base != nullptr) << "frame " << frame << " in ungrown chunk";
+  return base[index];
 }
 
 PageMeta& FrameAllocator::GetMeta(FrameId frame) { return MetaRef(frame); }
 const PageMeta& FrameAllocator::GetMeta(FrameId frame) const { return MetaRef(frame); }
 
 void FrameAllocator::AddChunkLocked() {
+  ODF_CHECK(chunks_.size() < kMaxChunks)
+      << "simulated physical memory exhausted (" << kMaxChunks << " chunks)";
   auto chunk = std::make_unique<PageMeta[]>(kChunkSize);
-  FrameId base = static_cast<FrameId>(chunks_.size() << kChunkShift);
+  size_t slot = chunks_.size();
+  FrameId base = static_cast<FrameId>(slot << kChunkShift);
+  chunk_table_[slot].store(chunk.get(), std::memory_order_release);
   chunks_.push_back(std::move(chunk));
-  stats_.total_frames += kChunkSize;
+  stats_.total_frames.fetch_add(kChunkSize, std::memory_order_relaxed);
   // Push in reverse so low frame ids are handed out first (mildly better locality).
   for (size_t i = kChunkSize; i-- > 0;) {
     free_list_.push_back(base + static_cast<FrameId>(i));
@@ -53,12 +91,11 @@ FrameId FrameAllocator::PopFreeLocked() {
 
 void FrameAllocator::SetFrameLimit(uint64_t frames) {
   std::lock_guard<std::mutex> guard(mutex_);
-  frame_limit_ = frames;
+  frame_limit_.store(frames, std::memory_order_relaxed);
 }
 
 uint64_t FrameAllocator::frame_limit() const {
-  std::lock_guard<std::mutex> guard(mutex_);
-  return frame_limit_;
+  return frame_limit_.load(std::memory_order_relaxed);
 }
 
 void FrameAllocator::SetReclaimCallback(ReclaimCallback callback) {
@@ -70,12 +107,14 @@ bool FrameAllocator::TryWaitForQuota(uint64_t frames) {
   // Like the kernel putting the faulting process to sleep while it frees memory (§4): run
   // reclaim rounds until the allocation fits, or report OOM when no progress is possible.
   for (int attempt = 0; attempt < 16; ++attempt) {
+    uint64_t limit = frame_limit_.load(std::memory_order_relaxed);
+    if (limit == 0 ||
+        stats_.allocated_frames.load(std::memory_order_relaxed) + frames <= limit) {
+      return true;
+    }
     ReclaimCallback callback;
     {
       std::lock_guard<std::mutex> guard(mutex_);
-      if (frame_limit_ == 0 || stats_.allocated_frames + frames <= frame_limit_) {
-        return true;
-      }
       callback = reclaim_callback_;
     }
     if (!callback) {
@@ -86,8 +125,9 @@ bool FrameAllocator::TryWaitForQuota(uint64_t frames) {
       break;
     }
   }
-  std::lock_guard<std::mutex> guard(mutex_);
-  return frame_limit_ == 0 || stats_.allocated_frames + frames <= frame_limit_;
+  uint64_t limit = frame_limit_.load(std::memory_order_relaxed);
+  return limit == 0 ||
+         stats_.allocated_frames.load(std::memory_order_relaxed) + frames <= limit;
 }
 
 void FrameAllocator::WaitForQuota(uint64_t frames) {
@@ -96,7 +136,106 @@ void FrameAllocator::WaitForQuota(uint64_t frames) {
       << " wanted, reclaim exhausted (NOFAIL allocation)";
 }
 
+void FrameAllocator::InitAllocatedFrame(FrameId frame, uint8_t flags) {
+  PageMeta& meta = MetaRef(frame);
+  ODF_DCHECK((meta.flags & kPageFlagAllocated) == 0) << "double allocation of frame " << frame;
+  meta.flags = static_cast<uint8_t>(flags | kPageFlagAllocated);
+  meta.order = 0;
+  meta.compound_head = frame;
+  meta.refcount.store(1, std::memory_order_relaxed);
+  meta.pt_share_count.store(0, std::memory_order_relaxed);
+  stats_.allocated_frames.fetch_add(1, std::memory_order_relaxed);
+  if ((flags & kPageFlagPageTable) != 0) {
+    stats_.page_table_frames.fetch_add(1, std::memory_order_relaxed);
+    std::byte* data = meta.data.load(std::memory_order_relaxed);
+    if (data == nullptr) {
+      data = new std::byte[kPageSize];
+      std::memset(data, 0, kPageSize);
+      stats_.materialized_bytes.fetch_add(kPageSize, std::memory_order_relaxed);
+      // Release pairs with the acquire in TableEntries: a walker that can see this table
+      // frame also sees the zeroed entries.
+      meta.data.store(data, std::memory_order_release);
+    } else {
+      std::memset(data, 0, kPageSize);
+    }
+  }
+  CountVm(VmCounter::k_frames_allocated);
+}
+
+void FrameAllocator::ReleaseFrameState(PageMeta& meta) {
+  ODF_DCHECK((meta.flags & kPageFlagAllocated) != 0) << "double free";
+  ODF_DCHECK(!meta.IsCompound()) << "compound frame on the order-0 free path";
+  std::byte* data = meta.data.load(std::memory_order_relaxed);
+  if (data != nullptr) {
+    delete[] data;
+    meta.data.store(nullptr, std::memory_order_relaxed);
+    stats_.materialized_bytes.fetch_sub(kPageSize, std::memory_order_relaxed);
+  }
+  if ((meta.flags & kPageFlagPageTable) != 0) {
+    stats_.page_table_frames.fetch_sub(1, std::memory_order_relaxed);
+  }
+  meta.flags = 0;
+  meta.compound_head = kInvalidFrame;
+  stats_.allocated_frames.fetch_sub(1, std::memory_order_relaxed);
+  CountVm(VmCounter::k_frames_freed);
+}
+
+FrameId FrameAllocator::AllocateFromCache(uint8_t flags) {
+  if (!CacheEligible()) {
+    return kInvalidFrame;  // Frame limit armed: the exact, locked quota path takes over.
+  }
+  PerCpuCache& cache = CacheForThread(this, id_);
+  if (cache.count == 0) {
+    CountVm(VmCounter::k_pcp_miss);
+    ODF_TRACE(pcp_miss, 0);
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      for (size_t i = 0; i < PerCpuCache::kBatch; ++i) {
+        cache.slots[cache.count++] = PopFreeLocked();
+      }
+    }
+    CountVm(VmCounter::k_pcp_refill, PerCpuCache::kBatch);
+    ODF_TRACE(pcp_refill, 0, static_cast<uint64_t>(PerCpuCache::kBatch));
+  } else {
+    CountVm(VmCounter::k_pcp_hit);
+    ODF_TRACE(pcp_hit, 0);
+  }
+  FrameId frame = cache.slots[--cache.count];
+  InitAllocatedFrame(frame, flags);
+  return frame;
+}
+
+void FrameAllocator::FreeToCache(FrameId frame) {
+  ReleaseFrameState(MetaRef(frame));
+  PerCpuCache& cache = CacheForThread(this, id_);
+  if (cache.count == PerCpuCache::kCapacity) {
+    // Spill half the cache back to the shared pool in one lock hold.
+    CountVm(VmCounter::k_pcp_drain, PerCpuCache::kBatch);
+    ODF_TRACE(pcp_drain, 0, static_cast<uint64_t>(PerCpuCache::kBatch));
+    std::lock_guard<std::mutex> guard(mutex_);
+    for (size_t i = 0; i < PerCpuCache::kBatch; ++i) {
+      free_list_.push_back(cache.slots[--cache.count]);
+    }
+  }
+  cache.slots[cache.count++] = frame;
+}
+
+void FrameAllocator::DrainCacheToPool(phys_internal::PerCpuCache& cache) {
+  if (cache.count == 0) {
+    return;
+  }
+  CountVm(VmCounter::k_pcp_drain, cache.count);
+  std::lock_guard<std::mutex> guard(mutex_);
+  while (cache.count > 0) {
+    free_list_.push_back(cache.slots[--cache.count]);
+  }
+}
+
 FrameId FrameAllocator::Allocate(uint8_t flags) {
+  FrameId frame = AllocateFromCache(flags);
+  if (frame != kInvalidFrame) {
+    return frame;
+  }
   WaitForQuota(1);
   return AllocateGranted(flags);
 }
@@ -104,8 +243,14 @@ FrameId FrameAllocator::Allocate(uint8_t flags) {
 FrameId FrameAllocator::TryAllocate(uint8_t flags) {
   FiSite site =
       (flags & kPageFlagPageTable) != 0 ? FiSite::k_page_table_alloc : FiSite::k_frame_alloc;
+  // Injection is consulted before the cache: a scheduled failure fails the logical
+  // allocation even when a cached frame could have served it (seed-replayable schedules).
   if (fi::ShouldInject(site)) {
     return kInvalidFrame;
+  }
+  FrameId frame = AllocateFromCache(flags);
+  if (frame != kInvalidFrame) {
+    return frame;
   }
   if (!TryWaitForQuota(1)) {
     return kInvalidFrame;
@@ -114,26 +259,36 @@ FrameId FrameAllocator::TryAllocate(uint8_t flags) {
 }
 
 FrameId FrameAllocator::AllocateGranted(uint8_t flags) {
-  std::lock_guard<std::mutex> guard(mutex_);
-  FrameId frame = PopFreeLocked();
-  PageMeta& meta = MetaRef(frame);
-  ODF_DCHECK((meta.flags & kPageFlagAllocated) == 0) << "double allocation of frame " << frame;
-  meta.flags = static_cast<uint8_t>(flags | kPageFlagAllocated);
-  meta.order = 0;
-  meta.compound_head = frame;
-  meta.refcount.store(1, std::memory_order_relaxed);
-  meta.pt_share_count.store(0, std::memory_order_relaxed);
-  ++stats_.allocated_frames;
-  if ((flags & kPageFlagPageTable) != 0) {
-    ++stats_.page_table_frames;
-    if (meta.data == nullptr) {
-      meta.data = new std::byte[kPageSize];
-      stats_.materialized_bytes += kPageSize;
-    }
-    std::memset(meta.data, 0, kPageSize);
+  FrameId frame;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    frame = PopFreeLocked();
   }
-  CountVm(VmCounter::k_frames_allocated);
+  InitAllocatedFrame(frame, flags);
   return frame;
+}
+
+void FrameAllocator::AllocateBatch(uint8_t flags, std::span<FrameId> out) {
+  if (out.empty()) {
+    return;
+  }
+  if (frame_limit_.load(std::memory_order_relaxed) != 0) {
+    // Under a frame limit, allocate one by one so reclaim can free earlier frames of this
+    // very batch (an all-at-once quota demand could spuriously OOM).
+    for (FrameId& slot : out) {
+      slot = Allocate(flags);
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    for (FrameId& slot : out) {
+      slot = PopFreeLocked();
+    }
+  }
+  for (FrameId frame : out) {
+    InitAllocatedFrame(frame, flags);
+  }
 }
 
 FrameId FrameAllocator::AllocateCompound(uint8_t flags) {
@@ -162,9 +317,14 @@ FrameId FrameAllocator::AllocateCompoundGranted(uint8_t flags) {
     // Grow by one chunk dedicated to compounds (like a hugetlb pool): all of its 512-aligned
     // runs go onto the compound free list, amortising the chunk-add cost over 128 compound
     // allocations instead of paying it per fault.
-    FrameId base = static_cast<FrameId>(chunks_.size() << kChunkShift);
-    chunks_.push_back(std::make_unique<PageMeta[]>(kChunkSize));
-    stats_.total_frames += kChunkSize;
+    ODF_CHECK(chunks_.size() < kMaxChunks)
+        << "simulated physical memory exhausted (" << kMaxChunks << " chunks)";
+    auto chunk = std::make_unique<PageMeta[]>(kChunkSize);
+    size_t slot = chunks_.size();
+    FrameId base = static_cast<FrameId>(slot << kChunkShift);
+    chunk_table_[slot].store(chunk.get(), std::memory_order_release);
+    chunks_.push_back(std::move(chunk));
+    stats_.total_frames.fetch_add(kChunkSize, std::memory_order_relaxed);
     for (FrameId run = static_cast<FrameId>(kChunkSize); run > kCompoundFrames;
          run -= kCompoundFrames) {
       compound_free_list_.push_back(base + run - kCompoundFrames);
@@ -185,7 +345,7 @@ FrameId FrameAllocator::AllocateCompoundGranted(uint8_t flags) {
     tail.compound_head = head;
     tail.refcount.store(0, std::memory_order_relaxed);
   }
-  stats_.allocated_frames += kCompoundFrames;
+  stats_.allocated_frames.fetch_add(kCompoundFrames, std::memory_order_relaxed);
   CountVm(VmCounter::k_frames_allocated, kCompoundFrames);
   return head;
 }
@@ -194,13 +354,76 @@ void FrameAllocator::IncRef(FrameId frame) {
   GetMeta(frame).refcount.fetch_add(1, std::memory_order_relaxed);
 }
 
+void FrameAllocator::IncRefBatch(std::span<const FrameId> frames) {
+  for (FrameId frame : frames) {
+    PageMeta& meta = MetaRef(frame);
+    ODF_DCHECK(!meta.IsCompoundTail()) << "IncRef on compound tail " << frame;
+    meta.refcount.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void FrameAllocator::IncPtShareBatch(std::span<const FrameId> tables) {
+  for (FrameId table : tables) {
+    PageMeta& meta = MetaRef(table);
+    ODF_DCHECK(meta.IsPageTable()) << "pt_share increment on non-table frame " << table;
+    meta.pt_share_count.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 void FrameAllocator::DecRef(FrameId frame) {
   PageMeta& meta = GetMeta(frame);
   ODF_DCHECK(!meta.IsCompoundTail()) << "DecRef on compound tail " << frame;
   uint32_t previous = meta.refcount.fetch_sub(1, std::memory_order_acq_rel);
   ODF_DCHECK(previous != 0) << "refcount underflow on frame " << frame;
-  if (previous == 1) {
-    std::lock_guard<std::mutex> guard(mutex_);
+  if (previous != 1) {
+    return;
+  }
+  // Last reference: the acq_rel RMW above ordered every other owner's accesses before this
+  // point, so the frame is exclusively ours to tear down — lock-free when cacheable.
+  if (!meta.IsCompoundHead() && CacheEligible()) {
+    FreeToCache(frame);
+    return;
+  }
+  std::lock_guard<std::mutex> guard(mutex_);
+  FreeOneLocked(frame);
+}
+
+void FrameAllocator::DecRefBatch(std::span<const FrameId> frames) {
+  // Drop every reference first, collecting the frames that hit zero, then free those under
+  // a single shared-pool lock acquisition (one lock round-trip per 512-entry table instead
+  // of one per entry).
+  std::array<FrameId, 512> dead;
+  size_t dead_count = 0;
+  for (FrameId frame : frames) {
+    PageMeta& meta = MetaRef(frame);
+    ODF_DCHECK(!meta.IsCompoundTail()) << "DecRef on compound tail " << frame;
+    uint32_t previous = meta.refcount.fetch_sub(1, std::memory_order_acq_rel);
+    ODF_DCHECK(previous != 0) << "refcount underflow on frame " << frame;
+    if (previous == 1) {
+      dead[dead_count++] = frame;
+      if (dead_count == dead.size()) {
+        FreeBatch(std::span<const FrameId>(dead.data(), dead_count));
+        dead_count = 0;
+      }
+    }
+  }
+  if (dead_count > 0) {
+    FreeBatch(std::span<const FrameId>(dead.data(), dead_count));
+  }
+}
+
+void FrameAllocator::FreeBatch(std::span<const FrameId> frames) {
+  if (frames.empty()) {
+    return;
+  }
+  CountVm(VmCounter::k_batch_free, frames.size());
+  ODF_TRACE(batch_free, 0, static_cast<uint64_t>(frames.size()));
+  std::lock_guard<std::mutex> guard(mutex_);
+  FreeBatchLocked(frames);
+}
+
+void FrameAllocator::FreeBatchLocked(std::span<const FrameId> frames) {
+  for (FrameId frame : frames) {
     FreeOneLocked(frame);
   }
 }
@@ -208,17 +431,17 @@ void FrameAllocator::DecRef(FrameId frame) {
 void FrameAllocator::FreeOneLocked(FrameId frame) {
   PageMeta& meta = MetaRef(frame);
   ODF_DCHECK((meta.flags & kPageFlagAllocated) != 0) << "double free of frame " << frame;
-  if (meta.data != nullptr) {
-    uint64_t bytes = meta.IsCompoundHead() ? kHugePageSize : kPageSize;
-    delete[] meta.data;
-    meta.data = nullptr;
-    stats_.materialized_bytes -= bytes;
-  }
-  if ((meta.flags & kPageFlagPageTable) != 0) {
-    --stats_.page_table_frames;
-  }
   if (meta.IsCompoundHead()) {
     constexpr FrameId kCompoundFrames = 1u << kHugePageOrder;
+    std::byte* data = meta.data.load(std::memory_order_relaxed);
+    if (data != nullptr) {
+      delete[] data;
+      meta.data.store(nullptr, std::memory_order_relaxed);
+      stats_.materialized_bytes.fetch_sub(kHugePageSize, std::memory_order_relaxed);
+    }
+    if ((meta.flags & kPageFlagPageTable) != 0) {
+      stats_.page_table_frames.fetch_sub(1, std::memory_order_relaxed);
+    }
     for (FrameId i = 1; i < kCompoundFrames; ++i) {
       PageMeta& tail = MetaRef(frame + i);
       tail.flags = 0;
@@ -226,16 +449,13 @@ void FrameAllocator::FreeOneLocked(FrameId frame) {
     }
     meta.flags = 0;
     meta.order = 0;
-    stats_.allocated_frames -= kCompoundFrames;
+    stats_.allocated_frames.fetch_sub(kCompoundFrames, std::memory_order_relaxed);
     compound_free_list_.push_back(frame);
     CountVm(VmCounter::k_frames_freed, kCompoundFrames);
     return;
   }
-  meta.flags = 0;
-  meta.compound_head = kInvalidFrame;
-  --stats_.allocated_frames;
+  ReleaseFrameState(meta);
   free_list_.push_back(frame);
-  CountVm(VmCounter::k_frames_freed);
 }
 
 std::byte* FrameAllocator::MaterializeData(FrameId frame, bool zero) {
@@ -246,20 +466,23 @@ std::byte* FrameAllocator::MaterializeData(FrameId frame, bool zero) {
     std::byte* base = MaterializeData(head, /*zero=*/true);
     return base + (static_cast<uint64_t>(frame - head) << kPageShift);
   }
-  if (meta.data != nullptr) {
-    return meta.data;
+  std::byte* data = meta.data.load(std::memory_order_acquire);
+  if (data != nullptr) {
+    return data;
   }
-  std::lock_guard<std::mutex> guard(mutex_);
-  if (meta.data == nullptr) {
+  std::lock_guard<std::mutex> guard(MaterializeStripe(frame));
+  data = meta.data.load(std::memory_order_acquire);
+  if (data == nullptr) {
     uint64_t bytes = meta.IsCompoundHead() ? kHugePageSize : kPageSize;
     auto* buffer = new std::byte[bytes];
     if (zero) {
       std::memset(buffer, 0, bytes);
     }
-    meta.data = buffer;
-    stats_.materialized_bytes += bytes;
+    stats_.materialized_bytes.fetch_add(bytes, std::memory_order_relaxed);
+    meta.data.store(buffer, std::memory_order_release);
+    data = buffer;
   }
-  return meta.data;
+  return data;
 }
 
 std::byte* FrameAllocator::PeekData(FrameId frame) {
@@ -272,7 +495,7 @@ std::byte* FrameAllocator::PeekData(FrameId frame) {
     }
     return base + (static_cast<uint64_t>(frame - head) << kPageShift);
   }
-  return meta.data;
+  return meta.data.load(std::memory_order_acquire);
 }
 
 const std::byte* FrameAllocator::PeekData(FrameId frame) const {
@@ -282,17 +505,24 @@ const std::byte* FrameAllocator::PeekData(FrameId frame) const {
 uint64_t* FrameAllocator::TableEntries(FrameId frame) {
   PageMeta& meta = GetMeta(frame);
   ODF_DCHECK(meta.IsPageTable()) << "frame " << frame << " is not a page table";
-  return reinterpret_cast<uint64_t*>(meta.data);
+  return reinterpret_cast<uint64_t*>(meta.data.load(std::memory_order_acquire));
 }
 
 FrameAllocatorStats FrameAllocator::Stats() const {
-  std::lock_guard<std::mutex> guard(mutex_);
-  return stats_;
+  FrameAllocatorStats snapshot;
+  snapshot.total_frames = stats_.total_frames.load(std::memory_order_relaxed);
+  snapshot.allocated_frames = stats_.allocated_frames.load(std::memory_order_relaxed);
+  snapshot.materialized_bytes = stats_.materialized_bytes.load(std::memory_order_relaxed);
+  snapshot.page_table_frames = stats_.page_table_frames.load(std::memory_order_relaxed);
+  return snapshot;
 }
 
 bool FrameAllocator::AllFree() const {
-  std::lock_guard<std::mutex> guard(mutex_);
-  return stats_.allocated_frames == 0;
+  return stats_.allocated_frames.load(std::memory_order_relaxed) == 0;
+}
+
+uint64_t FrameAllocator::CachedFrames() const {
+  return phys_internal::CachedFrameCount(this);
 }
 
 }  // namespace odf

@@ -4,20 +4,35 @@
 // the kernel's memmap/`struct page` array). Frame *data* (the 4 KiB contents) is materialised
 // lazily on first write so that a 50 GB simulated mapping costs only metadata — this is the
 // substitution that lets paper-scale sweeps run in a small container (see DESIGN.md).
+//
+// Concurrency model (docs/performance.md): order-0 allocation and free are served from
+// per-thread frame caches (src/phys/per_cpu_cache.h, the pcplist analog) and touch the
+// shared-pool mutex only to refill or spill a batch of frames. Refcount/free traffic on the
+// fork and teardown paths goes through the batch APIs below so a 512-entry table costs one
+// lock round-trip instead of 512. Statistics are relaxed atomics, so `Stats()` is race-free
+// while caches run uncoordinated.
 #ifndef ODF_SRC_PHYS_FRAME_ALLOCATOR_H_
 #define ODF_SRC_PHYS_FRAME_ALLOCATOR_H_
 
+#include <array>
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "src/phys/page_meta.h"
 
 namespace odf {
 
-// Aggregate allocator statistics, readable at any time (approximate under concurrency).
+namespace phys_internal {
+struct PerCpuCache;
+}  // namespace phys_internal
+
+// Aggregate allocator statistics: a coherent-enough snapshot assembled from relaxed atomic
+// counters, readable at any time without taking the allocator lock.
 struct FrameAllocatorStats {
   uint64_t total_frames = 0;      // Frames ever created (high-water mark).
   uint64_t allocated_frames = 0;  // Currently allocated (counting each tail of a compound).
@@ -27,7 +42,7 @@ struct FrameAllocatorStats {
 
 class FrameAllocator {
  public:
-  FrameAllocator() = default;
+  FrameAllocator();
   ~FrameAllocator();
 
   FrameAllocator(const FrameAllocator&) = delete;
@@ -39,27 +54,57 @@ class FrameAllocator {
   //
   // This is the GFP_NOFAIL analog: it never consults fault injection and aborts when the
   // frame limit cannot be satisfied after reclaim. Recoverable paths use TryAllocate.
+  //
+  // While no frame limit is armed, the fast path is a per-thread cache hit that never takes
+  // the shared-pool lock.
   FrameId Allocate(uint8_t flags);
 
   // Allocates a 2 MiB compound page (512 contiguous frames, head + tails). Returns the head.
   // The head starts with refcount 1; tails are marked and redirect to the head. NOFAIL, like
-  // Allocate.
+  // Allocate. Compounds always go through the shared pool (they are 512-frame events; the
+  // per-thread caches hold only order-0 frames, exactly like pcplists).
   FrameId AllocateCompound(uint8_t flags);
 
   // Fallible variants (paper §4 "Robustness"): return kInvalidFrame instead of aborting when
   // the frame limit cannot be satisfied after reclaim, or when fault injection (src/fi,
   // sites frame_alloc / page_table_alloc / compound_alloc) fails the call. Callers must
   // unwind cleanly on kInvalidFrame — see docs/robustness.md for the error contract.
+  //
+  // Fault injection is consulted before the per-thread cache, so an injected failure fails
+  // the logical allocation even when a cached frame could have served it (schedules stay
+  // seed-replayable regardless of cache state).
   FrameId TryAllocate(uint8_t flags);
   FrameId TryAllocateCompound(uint8_t flags);
 
   // Drops one reference; frees the frame when the count hits zero. For compound heads the
   // entire compound is freed. Must not be called on tails (callers resolve the head first).
+  // Order-0 frames freed while no limit is armed go to the calling thread's cache.
   void DecRef(FrameId frame);
 
   // Adds a reference. Callers on the fork path use GetMeta + explicit atomics instead so the
   // cost profile is visible at the call site; this is the convenience form.
   void IncRef(FrameId frame);
+
+  // --- Batched operations: one shared-pool lock round-trip per batch, not per frame ---
+
+  // Fills `out` with freshly allocated order-0 frames. NOFAIL, like Allocate; equivalent to
+  // out.size() Allocate(flags) calls but the free list is popped under a single lock hold.
+  void AllocateBatch(uint8_t flags, std::span<FrameId> out);
+
+  // Frees frames owned solely by the caller (each must have refcount exactly 1) under a
+  // single lock acquisition. The bulk-teardown analog of free_pages_bulk.
+  void FreeBatch(std::span<const FrameId> frames);
+
+  // Adds one reference to each frame (callers pass resolved compound heads). One call per
+  // copied PTE table keeps the fork-path cost visible at a single site.
+  void IncRefBatch(std::span<const FrameId> frames);
+
+  // Drops one reference from each frame; all frames that hit zero are freed together under
+  // a single lock acquisition (counted as batch_free in vmstat).
+  void DecRefBatch(std::span<const FrameId> frames);
+
+  // Adds one sharer to each PTE/PMD-table frame's pt_share_count (fork_odf table sharing).
+  void IncPtShareBatch(std::span<const FrameId> tables);
 
   PageMeta& GetMeta(FrameId frame);
   const PageMeta& GetMeta(FrameId frame) const;
@@ -68,6 +113,9 @@ class FrameAllocator {
   // For compound tails, returns the interior pointer into the head's 2 MiB buffer.
   // Pass zero=false only when the caller immediately overwrites the whole buffer (COW
   // copies), saving a redundant clear.
+  //
+  // Materialisation synchronises on a striped lock keyed by frame id — concurrent faults on
+  // different frames never serialise here, and the shared-pool lock is not involved.
   std::byte* MaterializeData(FrameId frame, bool zero = true);
 
   // Returns the data buffer or nullptr if the frame's content is still logical-zero.
@@ -80,7 +128,12 @@ class FrameAllocator {
   FrameAllocatorStats Stats() const;
 
   // True when every frame ever allocated has been freed — the leak check used by tests.
+  // Frames parked in per-thread caches are free (they count toward nothing here).
   bool AllFree() const;
+
+  // Frames currently parked in this allocator's per-thread caches. Callers must be quiescent
+  // (no thread concurrently allocating/freeing); intended for tests and procfs.
+  uint64_t CachedFrames() const;
 
   // --- Simulated physical-memory pressure (paper §4 "Robustness") ---
 
@@ -88,6 +141,9 @@ class FrameAllocator {
   // default) means unlimited. When an allocation would exceed the limit, the reclaim
   // callback runs (outside the allocator lock) until enough frames are free; if it cannot
   // make progress the allocation is a fatal OOM.
+  //
+  // Arming a limit routes every allocation and free through the locked quota path (the
+  // per-thread caches stand down) so the limit is enforced exactly, not approximately.
   void SetFrameLimit(uint64_t frames);
   uint64_t frame_limit() const;
 
@@ -95,14 +151,46 @@ class FrameAllocator {
   using ReclaimCallback = std::function<uint64_t(uint64_t want)>;
   void SetReclaimCallback(ReclaimCallback callback);
 
+  // Internal: returns `cache`'s frames to the shared free list. Called (under the cache
+  // registry lock) when a thread exits with cached frames; see src/phys/per_cpu_cache.h.
+  void DrainCacheToPool(phys_internal::PerCpuCache& cache);
+
  private:
   static constexpr size_t kChunkShift = 16;  // 65536 frames (256 MiB simulated) per chunk.
   static constexpr size_t kChunkSize = 1ULL << kChunkShift;
+  // Fixed spine of chunk pointers so GetMeta never races chunk growth: slots are published
+  // with a release store and read with an acquire load (the sparse-memmap-section analog).
+  // 4096 chunks x 64 Ki frames x 4 KiB = 1 TiB of simulated memory, far above any sweep.
+  static constexpr size_t kMaxChunks = 4096;
+
+  struct AtomicStats {
+    std::atomic<uint64_t> total_frames{0};
+    std::atomic<uint64_t> allocated_frames{0};
+    std::atomic<uint64_t> materialized_bytes{0};
+    std::atomic<uint64_t> page_table_frames{0};
+  };
 
   // Grows the metadata array by one chunk and pushes its frames onto the free list.
   void AddChunkLocked();
   FrameId PopFreeLocked();
   void FreeOneLocked(FrameId frame);
+  void FreeBatchLocked(std::span<const FrameId> frames);
+
+  // Cache fast paths. AllocateFromCache returns kInvalidFrame when the cache must stand
+  // down (frame limit armed); FreeToCache requires an order-0 non-compound frame whose
+  // refcount already reached zero.
+  FrameId AllocateFromCache(uint8_t flags);
+  void FreeToCache(FrameId frame);
+  bool CacheEligible() const {
+    return frame_limit_.load(std::memory_order_relaxed) == 0;
+  }
+
+  // Marks `frame` allocated and initialises its metadata. Caller owns the frame exclusively
+  // (just popped from the free list or a cache); no lock is required.
+  void InitAllocatedFrame(FrameId frame, uint8_t flags);
+  // Inverse: tears down an order-0 non-compound frame's state (drops the data buffer,
+  // adjusts stats) before the id is parked in a cache or the free list.
+  void ReleaseFrameState(PageMeta& meta);
 
   PageMeta& MetaRef(FrameId frame) const;
 
@@ -118,14 +206,18 @@ class FrameAllocator {
   FrameId AllocateGranted(uint8_t flags);
   FrameId AllocateCompoundGranted(uint8_t flags);
 
+  // Never-reused identity for the per-thread cache table (see per_cpu_cache.h).
+  const uint64_t id_;
+
   mutable std::mutex mutex_;
-  uint64_t frame_limit_ = 0;
+  std::atomic<uint64_t> frame_limit_{0};
   ReclaimCallback reclaim_callback_;
-  std::vector<std::unique_ptr<PageMeta[]>> chunks_;
+  std::vector<std::unique_ptr<PageMeta[]>> chunks_;  // Ownership; indexing goes via the spine.
+  std::array<std::atomic<PageMeta*>, kMaxChunks> chunk_table_{};
   std::vector<FrameId> free_list_;
   // Free list of 512-aligned compound candidates (freed compounds are recycled whole).
   std::vector<FrameId> compound_free_list_;
-  FrameAllocatorStats stats_;
+  AtomicStats stats_;
 };
 
 }  // namespace odf

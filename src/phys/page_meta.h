@@ -59,7 +59,11 @@ struct PageMeta {
 
   // Lazily materialised backing store (kPageSize bytes, or kHugePageSize on compound heads).
   // Null means the frame's logical content is all-zero. Page-table frames always have data.
-  std::byte* data = nullptr;
+  //
+  // Atomic so concurrent faulting threads can check-then-materialise without the shared pool
+  // lock: MaterializeData publishes the filled buffer with a release store and readers load
+  // acquire, so whoever observes the pointer also observes the bytes behind it.
+  std::atomic<std::byte*> data{nullptr};
 
   bool IsPageTable() const { return (flags & kPageFlagPageTable) != 0; }
   bool IsCompoundHead() const { return (flags & kPageFlagCompoundHead) != 0; }

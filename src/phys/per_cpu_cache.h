@@ -1,0 +1,62 @@
+// Per-thread frame caches: the userspace analog of the kernel's per-CPU pagesets (pcplists).
+//
+// Every `Allocate`/`DecRef` in the fault path used to take the single FrameAllocator mutex —
+// the equivalent of contending the zone lock from every CPU. Linux sidesteps that with
+// per-CPU free-page caches refilled and drained in batches; we mirror the design per thread
+// (the simulator's "CPU" is a thread): order-0 allocations and frees are served from a small
+// thread-local stack of free FrameIds and only touch the shared pool once per kBatch frames.
+//
+// Lifetime protocol (the part pcplists get for free from fixed CPU topology):
+//   - Each thread owns its caches outright; nothing else reads or writes `slots`/`count`
+//     while the thread lives. A cache is found via a thread_local table keyed by the owning
+//     allocator's never-reused id, so a lookup never dereferences a dead allocator.
+//   - A global registry mutex serialises the two rare cross-thread events: a thread exiting
+//     (drains each live cache back to its allocator's free list) and an allocator being
+//     destroyed (marks its caches orphaned so exiting threads skip them). Lock order is
+//     registry mutex -> allocator mutex, never the reverse.
+#ifndef ODF_SRC_PHYS_PER_CPU_CACHE_H_
+#define ODF_SRC_PHYS_PER_CPU_CACHE_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "src/phys/page_meta.h"
+
+namespace odf {
+
+class FrameAllocator;
+
+namespace phys_internal {
+
+struct PerCpuCache {
+  // Frames moved per shared-pool lock acquisition (the pcplist `batch`). Capacity is twice
+  // the batch so a thread alternating alloc/free around a refill boundary doesn't thrash.
+  static constexpr size_t kBatch = 32;
+  static constexpr size_t kCapacity = 2 * kBatch;
+
+  std::array<FrameId, kCapacity> slots;
+  size_t count = 0;
+
+  // Identity of the owning allocator. `allocator_id` is globally unique and never reused;
+  // `owner` is nulled (under the registry mutex) when the allocator dies before this thread.
+  uint64_t allocator_id = 0;
+  FrameAllocator* owner = nullptr;
+};
+
+// Returns the calling thread's cache for `allocator`, creating and registering it on first
+// use. The returned cache is exclusively owned by this thread until thread exit.
+PerCpuCache& CacheForThread(FrameAllocator* allocator, uint64_t allocator_id);
+
+// Called by ~FrameAllocator: orphans every cache registered against `allocator` so exiting
+// threads do not drain into freed memory. The frames inside die with the allocator.
+void RetireAllocatorCaches(FrameAllocator* allocator);
+
+// Sum of `count` across this allocator's caches. Test/introspection helper: callers must be
+// quiescent (no thread concurrently allocating from this allocator).
+uint64_t CachedFrameCount(const FrameAllocator* allocator);
+
+}  // namespace phys_internal
+}  // namespace odf
+
+#endif  // ODF_SRC_PHYS_PER_CPU_CACHE_H_

@@ -210,6 +210,7 @@ std::string FormatVmstat(Kernel& kernel) {
   out << "nr_allocated_frames " << frames.allocated_frames << "\n";
   out << "nr_page_table_frames " << frames.page_table_frames << "\n";
   out << "nr_materialized_bytes " << frames.materialized_bytes << "\n";
+  out << "nr_pcp_cached_frames " << kernel.allocator().CachedFrames() << "\n";
   SwapStats swap = kernel.swap_space().Stats();
   out << "nr_swap_slots_total " << swap.total_slots << "\n";
   out << "nr_swap_slots_in_use " << swap.slots_in_use << "\n";

@@ -60,7 +60,12 @@ namespace odf {
   X(fork_degrade_classic)        \
   X(pgfault_oom)                 \
   X(pgfault_retry_exhausted)     \
-  X(swap_io_errors)
+  X(swap_io_errors)              \
+  X(pcp_hit)                     \
+  X(pcp_miss)                    \
+  X(pcp_refill)                  \
+  X(pcp_drain)                   \
+  X(batch_free)
 
 enum class VmCounter : uint32_t {
 #define ODF_VM_ENUM_MEMBER(name) k_##name,

@@ -68,7 +68,12 @@ namespace odf {
   X(fork_rollback)              \
   X(fork_degrade_classic)       \
   X(fault_oom)                  \
-  X(swap_io_error)
+  X(swap_io_error)              \
+  X(pcp_hit)                    \
+  X(pcp_miss)                   \
+  X(pcp_refill)                 \
+  X(pcp_drain)                  \
+  X(batch_free)
 
 enum class TraceEventId : uint16_t {
 #define ODF_TRACE_ENUM_MEMBER(name) k_##name,

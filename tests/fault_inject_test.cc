@@ -238,6 +238,32 @@ TEST_F(FaultInjectTest, TryAllocateFailsCleanlyUnderInjection) {
   EXPECT_TRUE(allocator.AllFree());
 }
 
+TEST_F(FaultInjectTest, InjectionFailsTheLogicalAllocationEvenOnACacheHit) {
+  FrameAllocator allocator;
+  // Park a frame in this thread's per-CPU cache so the next TryAllocate would be a pure
+  // cache hit (no pool lock, no ENOMEM possible).
+  FrameId warm = allocator.Allocate(kPageFlagAnon);
+  ASSERT_NE(warm, kInvalidFrame);
+  allocator.DecRef(warm);
+  uint64_t cached_before = allocator.CachedFrames();
+  ASSERT_GT(cached_before, 0u) << "the freed frame must have parked in the cache";
+
+  {
+    ScopedInjection inject(FiSite::k_frame_alloc, FiSiteConfig{.nth = 1});
+    // The injector is consulted before the cache: the logical allocation fails even though
+    // a cached frame was sitting ready, and the cached frame is not consumed.
+    EXPECT_EQ(allocator.TryAllocate(kPageFlagAnon), kInvalidFrame);
+    EXPECT_EQ(allocator.CachedFrames(), cached_before)
+        << "an injected failure must not consume a cached frame";
+    EXPECT_EQ(FaultInjector::Global().SiteStats(FiSite::k_frame_alloc).injected, 1u);
+    // The nth=1 schedule is spent: the retry is served from the cache.
+    FrameId frame = allocator.TryAllocate(kPageFlagAnon);
+    ASSERT_EQ(frame, warm) << "the retry must recycle the parked frame";
+    allocator.DecRef(frame);
+  }
+  EXPECT_TRUE(allocator.AllFree());
+}
+
 TEST_F(FaultInjectTest, TryAllocateCompoundConsultsTheCompoundSite) {
   FrameAllocator allocator;
   ScopedInjection inject(FiSite::k_compound_alloc, FiSiteConfig{.nth = 1});
