@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# ci/check.sh — the repo's full verification gate. Builds and tests every
+# configuration that must stay green, then runs the static checks. Any failure
+# exits nonzero; run this before merging.
+#
+#   ./ci/check.sh            # everything
+#   ./ci/check.sh default    # one preset only (any configure-preset name)
+#   ODF_CHECK_JOBS=4 ./ci/check.sh
+#
+# Presets covered (see CMakePresets.json):
+#   default       RelWithDebInfo, full ctest suite (the tier-1 gate)
+#   asan-ubsan    Debug + ASan/UBSan, full suite
+#   tsan          ThreadSanitizer, concurrency-labeled suites
+#   fault-inject  RelWithDebInfo + fault injection, full suite (includes torture)
+#   debug-vm      invariant checkers armed: VM_BUG_ON, poisoning, lockdep, auto-verify
+# Static checks:
+#   scripts/odf_lint.py      repo-specific rules (see its docstring)
+#   clang-tidy               over src/ when the binary exists (skipped otherwise —
+#                            the container image may not ship it)
+
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${ODF_CHECK_JOBS:-$(nproc 2>/dev/null || echo 4)}"
+ONLY="${1:-}"
+FAILURES=()
+
+note() { printf '\n==== %s ====\n' "$*"; }
+
+run_preset() {
+  local preset="$1"
+  if [[ -n "$ONLY" && "$ONLY" != "$preset" ]]; then
+    return 0
+  fi
+  note "preset $preset: configure"
+  if ! cmake --preset "$preset" >/dev/null; then
+    FAILURES+=("$preset: configure"); return 1
+  fi
+  note "preset $preset: build"
+  if ! cmake --build --preset "$preset" -j "$JOBS"; then
+    FAILURES+=("$preset: build"); return 1
+  fi
+  note "preset $preset: test"
+  if ! ctest --preset "$preset"; then
+    FAILURES+=("$preset: test"); return 1
+  fi
+}
+
+run_preset default
+run_preset asan-ubsan
+run_preset tsan
+run_preset fault-inject
+run_preset debug-vm
+
+if [[ -z "$ONLY" || "$ONLY" == "lint" ]]; then
+  note "odf_lint"
+  if ! python3 scripts/odf_lint.py; then
+    FAILURES+=("odf_lint")
+  fi
+
+  note "clang-tidy"
+  if command -v clang-tidy >/dev/null 2>&1; then
+    # compile_commands.json comes from the lint preset (export-only configure).
+    if ! cmake --preset lint >/dev/null; then
+      FAILURES+=("clang-tidy: configure")
+    else
+      mapfile -t TIDY_SOURCES < <(find src -name '*.cc' | sort)
+      if ! clang-tidy -p build-lint --quiet "${TIDY_SOURCES[@]}"; then
+        FAILURES+=("clang-tidy")
+      fi
+    fi
+  else
+    echo "clang-tidy not installed; skipping (install it to enable this gate)"
+  fi
+fi
+
+if ((${#FAILURES[@]})); then
+  note "FAILED"
+  printf '  %s\n' "${FAILURES[@]}"
+  exit 1
+fi
+note "all checks passed"

@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""odf_lint: repo-specific static checks for the odf simulated kernel.
+
+Rules (each suppressible per line with `// odf-lint: allow(<rule>)` on the
+offending line or the line above it — always with a reason):
+
+  raw-refcount
+      PageMeta::refcount / PageMeta::pt_share_count may only be *mutated* inside
+      src/phys/ (the FrameAllocator IncRef/DecRef/AddRefs/IncPtShare/DecPtShare
+      family and their batch variants). Everywhere else a raw fetch_add/store on
+      those counters bypasses the debug-vm underflow/saturation/freed-frame
+      checks and the lockless-correctness story documented on the allocator API.
+
+  naked-lock
+      In the mm-critical directories (src/phys, src/pt, src/mm, src/core,
+      src/proc, src/fs) plain std::lock_guard / unique_lock / scoped_lock /
+      mutex.lock() are forbidden: those locks form the deadlock-relevant graph,
+      so acquisitions must go through odf::debug::MutexGuard, which feeds the
+      lockdep cycle detector in debug-vm builds (and compiles to exactly a
+      std::lock_guard otherwise). Infrastructure below or beside the mm layer
+      (src/util, src/trace, src/fi, src/debug itself) is exempt.
+
+  trace-outside-guard
+      trace::Emit may only be called from the ODF_TRACE macro (src/trace). A
+      direct call elsewhere records unconditionally, survives -DODF_TRACE=OFF
+      builds, and breaks the zero-cost compile-out guarantee. (trace::Enabled
+      is fine to call directly: it is constexpr false when compiled out.)
+
+  missing-nodiscard
+      A header-declared function whose unqualified name starts with `Try` and
+      which returns non-void is a fallible API by repo convention (it reports
+      failure through its return value — see docs/robustness.md). The
+      declaration must carry [[nodiscard]] so ignoring the failure is a compile
+      warning, not a silent leak.
+
+Exit status: 0 when clean, 1 when any finding is reported, 2 on usage error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Directories scanned at all (relative to the repo root).
+SCAN_DIRS = ("src", "tests", "bench", "examples")
+
+# naked-lock applies only where the mm lock graph lives.
+LOCK_CHECKED_DIRS = ("src/phys", "src/pt", "src/mm", "src/core", "src/proc", "src/fs")
+
+ALLOW_RE = re.compile(r"//\s*odf-lint:\s*allow\(([a-z-]+)\)")
+
+RAW_REFCOUNT_RE = re.compile(
+    r"\.(?:refcount|pt_share_count)\s*\.\s*"
+    r"(?:fetch_add|fetch_sub|store|exchange|compare_exchange\w*)\s*\("
+)
+
+NAKED_LOCK_RE = re.compile(
+    r"std::(?:lock_guard|unique_lock|scoped_lock)\b|\.\s*(?:lock|unlock)\s*\(\s*\)"
+)
+
+TRACE_CALL_RE = re.compile(r"\btrace::Emit\s*\(")
+
+# A Try* declaration line in a header: a return type token sequence followed by an
+# UNqualified TryXxx( — qualified names (Foo::TryXxx) are definitions, and `.Try`/`->Try`
+# are calls; neither takes the attribute.
+TRY_DECL_RE = re.compile(
+    r"^\s*(?:virtual\s+|static\s+|inline\s+|constexpr\s+|explicit\s+)*"
+    r"(?P<ret>[A-Za-z_][A-Za-z0-9_:<>,\s*&]*?)\s+"
+    r"(?P<name>Try[A-Z][A-Za-z0-9]*)\s*\("
+)
+
+
+def strip_strings_and_line_comment(line):
+    """Crude but sufficient: drop string literals, then anything after //."""
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    cut = line.find("//")
+    return line if cut < 0 else line[:cut]
+
+
+def allowed(rule, lines, index):
+    """True when line `index` (0-based) or the one above carries an allow for `rule`."""
+    for i in (index, index - 1):
+        if i < 0:
+            continue
+        match = ALLOW_RE.search(lines[i])
+        if match and match.group(1) == rule:
+            return True
+    return False
+
+
+def lint_file(rel_path, findings):
+    path = os.path.join(REPO_ROOT, rel_path)
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+
+    in_lock_dir = any(
+        rel_path.startswith(d + os.sep) or rel_path.startswith(d + "/")
+        for d in LOCK_CHECKED_DIRS
+    )
+    in_phys = rel_path.startswith("src/phys/")
+    in_trace = rel_path.startswith("src/trace/")
+    in_debug = rel_path.startswith("src/debug/")
+    is_header = rel_path.endswith(".h")
+
+    in_block_comment = False
+    for index, raw in enumerate(lines):
+        line = raw
+        # Track /* ... */ blocks so commented-out code does not trip the rules.
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2:]
+            in_block_comment = False
+        if "/*" in line and "*/" not in line[line.find("/*"):]:
+            line = line[: line.find("/*")]
+            in_block_comment = True
+        code = strip_strings_and_line_comment(line)
+        if not code.strip():
+            continue
+
+        def report(rule, message):
+            if not allowed(rule, lines, index):
+                findings.append((rel_path, index + 1, rule, message))
+
+        if not in_phys and RAW_REFCOUNT_RE.search(code):
+            report(
+                "raw-refcount",
+                "raw refcount/pt_share_count mutation outside src/phys/ — use the "
+                "FrameAllocator IncRef/DecRef/AddRefs/IncPtShare/DecPtShare APIs",
+            )
+
+        if in_lock_dir and NAKED_LOCK_RE.search(code):
+            report(
+                "naked-lock",
+                "naked mutex primitive in an mm-critical directory — use "
+                "odf::debug::MutexGuard so lockdep sees the acquisition",
+            )
+
+        if not in_trace and TRACE_CALL_RE.search(code):
+            report(
+                "trace-outside-guard",
+                "direct trace::Emit call outside src/trace — use the "
+                "ODF_TRACE macro (compile-guarded and Enabled()-gated)",
+            )
+
+        if is_header and not in_debug:
+            decl = TRY_DECL_RE.match(code)
+            if decl and decl.group("ret").split()[-1] not in ("void", "return"):
+                has_attr = "[[nodiscard]]" in raw or (
+                    index > 0 and "[[nodiscard]]" in lines[index - 1]
+                )
+                if not has_attr:
+                    report(
+                        "missing-nodiscard",
+                        f"fallible API {decl.group('name')}() returns a value but is "
+                        "not [[nodiscard]]",
+                    )
+
+
+def collect_files():
+    for top in SCAN_DIRS:
+        base = os.path.join(REPO_ROOT, top)
+        if not os.path.isdir(base):
+            continue
+        for root, _dirs, names in os.walk(base):
+            for name in sorted(names):
+                if name.endswith((".h", ".cc")):
+                    yield os.path.relpath(os.path.join(root, name), REPO_ROOT)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*", help="specific files (default: whole tree)")
+    args = parser.parse_args()
+
+    files = args.files or sorted(collect_files())
+    findings = []
+    for rel_path in files:
+        if not os.path.isfile(os.path.join(REPO_ROOT, rel_path)):
+            print(f"odf_lint: no such file: {rel_path}", file=sys.stderr)
+            return 2
+        lint_file(rel_path, findings)
+
+    for rel_path, line, rule, message in findings:
+        print(f"{rel_path}:{line}: [{rule}] {message}")
+    if findings:
+        print(f"odf_lint: {len(findings)} finding(s) in {len(files)} file(s)")
+        return 1
+    print(f"odf_lint: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

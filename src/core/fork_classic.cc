@@ -130,7 +130,7 @@ void CopyHugeEntry(FrameAllocator& allocator, uint64_t* parent_slot, uint64_t* c
   Pte entry = LoadEntry(parent_slot);
   ODF_DCHECK(entry.IsPresent() && entry.IsHuge());
   FrameId head = entry.frame();
-  allocator.GetMeta(head).refcount.fetch_add(1, std::memory_order_relaxed);
+  allocator.IncRef(head);
   if (entry.IsWritable()) {
     Pte protected_entry = entry.WithoutFlag(kPteWritable);
     StoreEntry(parent_slot, protected_entry);
@@ -159,7 +159,7 @@ bool ShareChunkFallback(AddressSpace& parent, AddressSpace& child, Vaddr chunk,
   ODF_DCHECK(!LoadEntry(child_pmd).IsPresent());
   Pte pmd = LoadEntry(parent_pmd);
   FrameId table = pmd.frame();
-  allocator.GetMeta(table).pt_share_count.fetch_add(1, std::memory_order_relaxed);
+  allocator.IncPtShare(table);
   Pte shared_entry = pmd.WithoutFlag(kPteWritable);
   StoreEntry(parent_pmd, shared_entry);
   StoreEntry(child_pmd, shared_entry);

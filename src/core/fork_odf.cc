@@ -41,7 +41,7 @@ struct ShareState {
 void SharePmdEntry(ShareState& state, uint64_t* src_slot, uint64_t* dst_slot, Pte entry) {
   FrameAllocator& allocator = *state.allocator;
   FrameId table = entry.frame();
-  allocator.GetMeta(table).pt_share_count.fetch_add(1, std::memory_order_relaxed);
+  allocator.IncPtShare(table);
   Pte shared_entry = entry.WithoutFlag(kPteWritable);
   StoreEntry(src_slot, shared_entry);
   StoreEntry(dst_slot, shared_entry);

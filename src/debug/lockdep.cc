@@ -1,0 +1,195 @@
+#include "src/debug/lockdep.h"
+
+#if ODF_DEBUG_VM_COMPILED
+
+#include <sstream>
+#include <string>
+
+#include "src/util/log.h"
+
+namespace odf {
+namespace debug {
+
+namespace {
+
+constexpr int kMaxClasses = 64;
+constexpr int kMaxHeld = 16;
+
+struct HeldLock {
+  int class_id = -1;
+  const char* class_name = nullptr;
+  const char* file = nullptr;
+  uint32_t line = 0;
+};
+
+struct HeldStack {
+  HeldLock locks[kMaxHeld];
+  int depth = 0;
+};
+
+HeldStack& ThreadHeld() {
+  thread_local HeldStack stack;
+  return stack;
+}
+
+// The global class dependency graph. Guarded by its own (deliberately uninstrumented)
+// mutex; it is a leaf lock touched only on the slow path of a first-seen dependency.
+class LockdepGraph {
+ public:
+  static LockdepGraph& Global() {
+    // Leaked on purpose: instrumented locks may be taken during static destruction.
+    static LockdepGraph* graph = new LockdepGraph;
+    return *graph;
+  }
+
+  int ClassId(LockClass& cls) {
+    int id = cls.assigned_id();
+    if (id >= 0) {
+      return id;
+    }
+    std::lock_guard<std::mutex> guard(mutex_);
+    id = cls.assigned_id();
+    if (id >= 0) {
+      return id;
+    }
+    ODF_CHECK(class_count_ < kMaxClasses) << "lockdep: too many lock classes";
+    id = class_count_++;
+    names_[id] = cls.name();
+    cls.assign_id(id);
+    return id;
+  }
+
+  // Records the dependency held -> acquired, aborting with both acquisition contexts and
+  // the existing dependency chain when the new edge would close a cycle.
+  void AddDependency(const HeldLock& held, int acquired_id, const char* acquired_name,
+                     const char* file, uint32_t line) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (edge_[held.class_id][acquired_id]) {
+      return;  // Known-good ordering; nothing to do.
+    }
+    // A path acquired -> ... -> held means the reverse ordering is already on record:
+    // adding held -> acquired would create a cycle, i.e. an ABBA deadlock candidate.
+    int path[kMaxClasses] = {};
+    int path_length = FindPath(acquired_id, held.class_id, path, 0);
+    if (path_length > 0) {
+      std::ostringstream out;
+      out << "lock-order inversion: acquiring \"" << acquired_name << "\" at " << file << ":"
+          << line << " while holding \"" << held.class_name << "\" (acquired at " << held.file
+          << ":" << held.line << "), but the reverse ordering is already established:\n";
+      for (int i = 0; i + 1 <= path_length; ++i) {
+        int from = path[i];
+        int to = i + 1 == path_length ? held.class_id : path[i + 1];
+        out << "  \"" << names_[from] << "\" -> \"" << names_[to] << "\" recorded at "
+            << contexts_[from][to] << "\n";
+      }
+      ODF_CHECK(false) << out.str();
+    }
+    edge_[held.class_id][acquired_id] = true;
+    std::ostringstream ctx;
+    ctx << file << ":" << line << " (holding \"" << held.class_name << "\" from " << held.file
+        << ":" << held.line << ")";
+    contexts_[held.class_id][acquired_id] = ctx.str();
+    ++edge_count_;
+  }
+
+  void CountAcquisition() { acquisitions_.fetch_add(1, std::memory_order_relaxed); }
+
+  LockdepStats Stats() {
+    LockdepStats stats;
+    std::lock_guard<std::mutex> guard(mutex_);
+    stats.classes = static_cast<uint64_t>(class_count_);
+    stats.edges = edge_count_;
+    stats.acquisitions = acquisitions_.load(std::memory_order_relaxed);
+    return stats;
+  }
+
+ private:
+  // DFS from `from` looking for `to`; fills `path` with the node chain (excluding `to`)
+  // and returns its length, or 0 when unreachable. Called under mutex_.
+  int FindPath(int from, int to, int (&path)[kMaxClasses], int depth) {
+    if (depth >= kMaxClasses) {
+      return 0;
+    }
+    path[depth] = from;
+    if (edge_[from][to]) {
+      return depth + 1;
+    }
+    for (int next = 0; next < class_count_; ++next) {
+      if (edge_[from][next] && !OnPath(path, depth, next)) {
+        int length = FindPath(next, to, path, depth + 1);
+        if (length > 0) {
+          return length;
+        }
+      }
+    }
+    return 0;
+  }
+
+  static bool OnPath(const int (&path)[kMaxClasses], int depth, int node) {
+    for (int i = 0; i <= depth; ++i) {
+      if (path[i] == node) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::mutex mutex_;
+  int class_count_ = 0;
+  uint64_t edge_count_ = 0;
+  std::atomic<uint64_t> acquisitions_{0};
+  const char* names_[kMaxClasses] = {};
+  bool edge_[kMaxClasses][kMaxClasses] = {};
+  std::string contexts_[kMaxClasses][kMaxClasses];
+};
+
+}  // namespace
+
+void LockAcquired(LockClass& cls, const char* file, uint32_t line) {
+  LockdepGraph& graph = LockdepGraph::Global();
+  int id = graph.ClassId(cls);
+  graph.CountAcquisition();
+  HeldStack& held = ThreadHeld();
+  ODF_CHECK(held.depth < kMaxHeld) << "lockdep: held-lock stack overflow";
+  for (int i = 0; i < held.depth; ++i) {
+    ODF_CHECK(held.locks[i].class_id != id)
+        << "lockdep: recursive acquisition of lock class \"" << cls.name() << "\" at " << file
+        << ":" << line << " (first acquired at " << held.locks[i].file << ":"
+        << held.locks[i].line << ") — no code path legitimately nests this class";
+    graph.AddDependency(held.locks[i], id, cls.name(), file, line);
+  }
+  held.locks[held.depth++] = HeldLock{id, cls.name(), file, line};
+}
+
+void LockReleased(LockClass& cls) {
+  HeldStack& held = ThreadHeld();
+  int id = cls.assigned_id();
+  // Releases are usually LIFO but guards may unwind out of order; remove wherever it is.
+  for (int i = held.depth - 1; i >= 0; --i) {
+    if (held.locks[i].class_id == id) {
+      for (int j = i; j + 1 < held.depth; ++j) {
+        held.locks[j] = held.locks[j + 1];
+      }
+      --held.depth;
+      return;
+    }
+  }
+  ODF_CHECK(false) << "lockdep: release of lock class not held by this thread";
+}
+
+LockdepStats GetLockdepStats() { return LockdepGraph::Global().Stats(); }
+
+}  // namespace debug
+}  // namespace odf
+
+#else  // ODF_DEBUG_VM_COMPILED
+
+namespace odf {
+namespace debug {
+
+LockdepStats GetLockdepStats() { return {}; }
+
+}  // namespace debug
+}  // namespace odf
+
+#endif  // ODF_DEBUG_VM_COMPILED

@@ -1,0 +1,48 @@
+#include "src/debug/mutation.h"
+
+#if ODF_DEBUG_VM_COMPILED
+
+#include <shared_mutex>
+
+namespace odf {
+namespace debug {
+
+namespace {
+
+thread_local int g_mutation_depth = 0;
+
+// Mutators hold this shared; the verifier try-locks it exclusive. Leaked so mutation
+// scopes entered during static destruction stay valid.
+std::shared_mutex& QuiescenceLock() {
+  static std::shared_mutex* lock = new std::shared_mutex;
+  return *lock;
+}
+
+}  // namespace
+
+MutationScope::MutationScope() {
+  if (g_mutation_depth++ == 0) {
+    QuiescenceLock().lock_shared();
+  }
+}
+
+MutationScope::~MutationScope() {
+  if (--g_mutation_depth == 0) {
+    QuiescenceLock().unlock_shared();
+  }
+}
+
+int MutationScope::Depth() { return g_mutation_depth; }
+
+namespace internal {
+
+bool TryLockQuiescent() { return QuiescenceLock().try_lock(); }
+
+void UnlockQuiescent() { QuiescenceLock().unlock(); }
+
+}  // namespace internal
+
+}  // namespace debug
+}  // namespace odf
+
+#endif  // ODF_DEBUG_VM_COMPILED

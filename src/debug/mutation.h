@@ -1,0 +1,65 @@
+// MutationScope: the quiescence protocol between kernel mutators and the full-system
+// verifier (src/debug/verify.h).
+//
+// The verifier reads every process's paging structures non-atomically, so it may only run
+// when no other thread is mid-mutation. The protocol is a single global shared_mutex:
+// every mutating entry point (fork, exit, zap, fault, file write, ...) wraps itself in a
+// MutationScope, which holds the lock SHARED for the outermost scope on each thread;
+// AutoVerifyKernel try-locks it EXCLUSIVE and silently skips when the try fails. The
+// verifier therefore never blocks a mutator and never observes torn state.
+//
+// This lives in odf_debug_core (not odf_debug) so layers below the process tree — phys,
+// pt, mm, fs — can mark their mutations without linking against the Kernel-aware
+// verifier. With -DODF_DEBUG_VM=OFF the scope is an empty object and compiles to nothing.
+#ifndef ODF_SRC_DEBUG_MUTATION_H_
+#define ODF_SRC_DEBUG_MUTATION_H_
+
+#include "src/debug/debug.h"
+
+namespace odf {
+namespace debug {
+
+#if ODF_DEBUG_VM_COMPILED
+
+// RAII marker wrapped around every kernel mutation. Holds the global verify lock shared
+// (outermost scope only) and tracks per-thread nesting depth.
+class MutationScope {
+ public:
+  MutationScope();
+  MutationScope(const MutationScope&) = delete;
+  MutationScope& operator=(const MutationScope&) = delete;
+  ~MutationScope();
+
+  // Nesting depth of mutation scopes on the calling thread (0 = not mutating).
+  static int Depth();
+};
+
+namespace internal {
+
+// Verifier side of the protocol: exclusive try-lock on the quiescence lock. Returns false
+// when any thread holds a MutationScope. Used by AutoVerifyKernel; tests stay on the
+// public VerifyKernel API.
+bool TryLockQuiescent();
+void UnlockQuiescent();
+
+}  // namespace internal
+
+#else  // ODF_DEBUG_VM_COMPILED
+
+class MutationScope {
+ public:
+  // User-provided (still empty, still zero-cost) so scope objects are non-trivial and
+  // -Wunused-variable stays quiet at the instrumentation sites.
+  MutationScope() {}
+  ~MutationScope() {}
+  MutationScope(const MutationScope&) = delete;
+  MutationScope& operator=(const MutationScope&) = delete;
+  static int Depth() { return 0; }
+};
+
+#endif  // ODF_DEBUG_VM_COMPILED
+
+}  // namespace debug
+}  // namespace odf
+
+#endif  // ODF_SRC_DEBUG_MUTATION_H_

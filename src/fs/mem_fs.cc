@@ -3,12 +3,24 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/debug/lockdep.h"
+#include "src/debug/mutation.h"
 #include "src/util/log.h"
 
 namespace odf {
 
+namespace {
+
+// Page-cache lock classes. MemFile::mutex_ is held while calling into the frame allocator
+// (GetPage allocates, Truncate frees), so the recorded order is file -> pool.
+debug::LockClass g_mem_file_lock_class("MemFile::mutex_");
+debug::LockClass g_mem_fs_lock_class("MemFilesystem::mutex_");
+
+}  // namespace
+
 MemFile::~MemFile() {
-  std::lock_guard<std::mutex> guard(mutex_);
+  debug::MutationScope mutation;  // Releases every cached frame.
+  debug::MutexGuard guard(mutex_, g_mem_file_lock_class);
   for (auto& [index, frame] : cache_) {
     allocator_->DecRef(frame);
   }
@@ -16,12 +28,13 @@ MemFile::~MemFile() {
 }
 
 uint64_t MemFile::size() const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  debug::MutexGuard guard(mutex_, g_mem_file_lock_class);
   return size_;
 }
 
 FrameId MemFile::GetPage(uint64_t index) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  debug::MutationScope mutation;  // May allocate a page-cache frame.
+  debug::MutexGuard guard(mutex_, g_mem_file_lock_class);
   auto it = cache_.find(index);
   if (it != cache_.end()) {
     return it->second;
@@ -34,12 +47,13 @@ FrameId MemFile::GetPage(uint64_t index) {
 }
 
 FrameId MemFile::PeekPage(uint64_t index) const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  debug::MutexGuard guard(mutex_, g_mem_file_lock_class);
   auto it = cache_.find(index);
   return it == cache_.end() ? kInvalidFrame : it->second;
 }
 
 void MemFile::Write(uint64_t offset, std::span<const std::byte> data) {
+  debug::MutationScope mutation;  // Allocates and fills page-cache frames.
   size_t written = 0;
   while (written < data.size()) {
     uint64_t pos = offset + written;
@@ -51,7 +65,7 @@ void MemFile::Write(uint64_t offset, std::span<const std::byte> data) {
     std::memcpy(dest + in_page, data.data() + written, chunk);
     written += chunk;
   }
-  std::lock_guard<std::mutex> guard(mutex_);
+  debug::MutexGuard guard(mutex_, g_mem_file_lock_class);
   size_ = std::max(size_, offset + data.size());
 }
 
@@ -78,7 +92,8 @@ void MemFile::Read(uint64_t offset, std::span<std::byte> out) const {
 }
 
 void MemFile::Truncate(uint64_t new_size) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  debug::MutationScope mutation;  // Frees the truncated tail's frames.
+  debug::MutexGuard guard(mutex_, g_mem_file_lock_class);
   uint64_t keep_pages = (new_size + kPageSize - 1) / kPageSize;
   for (auto it = cache_.begin(); it != cache_.end();) {
     if (it->first >= keep_pages) {
@@ -92,19 +107,19 @@ void MemFile::Truncate(uint64_t new_size) {
 }
 
 uint64_t MemFile::CachedPages() const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  debug::MutexGuard guard(mutex_, g_mem_file_lock_class);
   return cache_.size();
 }
 
 void MemFile::ForEachCachedPage(const std::function<void(uint64_t, FrameId)>& fn) const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  debug::MutexGuard guard(mutex_, g_mem_file_lock_class);
   for (const auto& [index, frame] : cache_) {
     fn(index, frame);
   }
 }
 
 std::shared_ptr<MemFile> MemFilesystem::Open(const std::string& path) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  debug::MutexGuard guard(mutex_, g_mem_fs_lock_class);
   auto it = files_.find(path);
   if (it != files_.end()) {
     return it->second;
@@ -115,24 +130,24 @@ std::shared_ptr<MemFile> MemFilesystem::Open(const std::string& path) {
 }
 
 std::shared_ptr<MemFile> MemFilesystem::Lookup(const std::string& path) const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  debug::MutexGuard guard(mutex_, g_mem_fs_lock_class);
   auto it = files_.find(path);
   return it == files_.end() ? nullptr : it->second;
 }
 
 bool MemFilesystem::Remove(const std::string& path) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  debug::MutexGuard guard(mutex_, g_mem_fs_lock_class);
   return files_.erase(path) != 0;
 }
 
 size_t MemFilesystem::FileCount() const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  debug::MutexGuard guard(mutex_, g_mem_fs_lock_class);
   return files_.size();
 }
 
 void MemFilesystem::ForEachFile(
     const std::function<void(const std::shared_ptr<MemFile>&)>& fn) const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  debug::MutexGuard guard(mutex_, g_mem_fs_lock_class);
   for (const auto& [path, file] : files_) {
     fn(file);
   }

@@ -171,7 +171,7 @@ bool SplitHugeMapping(AddressSpace& as, Vaddr chunk_base, uint64_t* pmd_slot) {
   constexpr FrameId kCompoundFrames = 1u << kHugePageOrder;
   // Each 4 KiB entry takes its own reference on the compound (tails resolve to the head):
   // +512 for the new entries, -1 below for the huge PMD entry being replaced.
-  allocator.GetMeta(head).refcount.fetch_add(kCompoundFrames, std::memory_order_relaxed);
+  allocator.AddRefs(head, kCompoundFrames);
   uint64_t* entries = allocator.TableEntries(table);
   uint64_t flags = kPtePresent | kPteUser | (entry.flags() & kPteAccessed);
   for (FrameId i = 0; i < kCompoundFrames; ++i) {

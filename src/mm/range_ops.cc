@@ -5,6 +5,7 @@
 #include <cstring>
 #include <span>
 
+#include "src/debug/lockdep.h"
 #include "src/trace/metrics.h"
 #include "src/trace/trace.h"
 #include "src/util/log.h"
@@ -28,6 +29,10 @@ LatencyHistogram& PmdTableCowHistogram() {
 // Number of split locks; hashing table frames across a small array mirrors the kernel's
 // per-table page locks without per-frame storage.
 constexpr size_t kSplitLockCount = 64;
+
+// All 64 split locks are one lockdep class; no code path nests two of them (dedicate
+// releases the lock before any further acquisition), which the validator enforces.
+debug::LockClass g_pt_split_lock_class("mm::PtSplitLock");
 
 bool TableIsEmpty(FrameAllocator& allocator, FrameId table) {
   const uint64_t* entries = allocator.TableEntries(table);
@@ -58,10 +63,7 @@ void PutMappedPage(FrameAllocator& allocator, Pte entry, bool huge) {
 }
 
 void DropPteTableReference(FrameAllocator& allocator, SwapSpace* swap, FrameId table) {
-  PageMeta& meta = allocator.GetMeta(table);
-  uint32_t previous = meta.pt_share_count.fetch_sub(1, std::memory_order_acq_rel);
-  ODF_DCHECK(previous != 0) << "PTE table share underflow on frame " << table;
-  if (previous != 1) {
+  if (allocator.DecPtShare(table) != 1) {
     return;
   }
   // Last reference: release the per-page references this table holds on behalf of all its
@@ -88,10 +90,7 @@ void DropPteTableReference(FrameAllocator& allocator, SwapSpace* swap, FrameId t
 }
 
 void DropPmdTableReference(FrameAllocator& allocator, SwapSpace* swap, FrameId table) {
-  PageMeta& meta = allocator.GetMeta(table);
-  uint32_t previous = meta.pt_share_count.fetch_sub(1, std::memory_order_acq_rel);
-  ODF_DCHECK(previous != 0) << "PMD table share underflow on frame " << table;
-  if (previous != 1) {
+  if (allocator.DecPtShare(table) != 1) {
     return;
   }
   // Last reference: release whatever the PMD table maps — huge pages directly (batched),
@@ -125,7 +124,7 @@ FrameId DedicatePmdTable(AddressSpace& as, Vaddr pud_span_base, uint64_t* pud_sl
   ODF_DCHECK(pud.IsPresent() && !pud.IsHuge());
   FrameId shared = pud.frame();
 
-  std::lock_guard<std::mutex> guard(PtSplitLock(shared));
+  debug::MutexGuard guard(PtSplitLock(shared), g_pt_split_lock_class);
   PageMeta& shared_meta = allocator.GetMeta(shared);
   uint32_t share = shared_meta.pt_share_count.load(std::memory_order_acquire);
   ODF_DCHECK(share >= 1);
@@ -184,8 +183,9 @@ FrameId DedicatePmdTable(AddressSpace& as, Vaddr pud_span_base, uint64_t* pud_sl
   }
   StoreEntry(pud_slot, Pte::Make(dedicated, kPtePresent | kPteWritable | kPteUser |
                                                 (pud.flags() & kPteAccessed)));
-  uint32_t previous = shared_meta.pt_share_count.fetch_sub(1, std::memory_order_acq_rel);
+  uint32_t previous = allocator.DecPtShare(shared);
   ODF_DCHECK(previous >= 2);
+  (void)previous;
   as.tlb().InvalidateRange(pud_span_base, span_end);
   ++as.stats().pmd_table_cow_faults;
   CountVm(VmCounter::k_pmd_table_cow);
@@ -223,7 +223,7 @@ FrameId DedicatePteTable(AddressSpace& as, Vaddr chunk_base, uint64_t* pmd_slot,
   ODF_DCHECK(pmd.IsPresent() && !pmd.IsHuge());
   FrameId shared = pmd.frame();
 
-  std::lock_guard<std::mutex> guard(PtSplitLock(shared));
+  debug::MutexGuard guard(PtSplitLock(shared), g_pt_split_lock_class);
   PageMeta& shared_meta = allocator.GetMeta(shared);
   uint32_t share = shared_meta.pt_share_count.load(std::memory_order_acquire);
   ODF_DCHECK(share >= 1);
@@ -289,8 +289,9 @@ FrameId DedicatePteTable(AddressSpace& as, Vaddr chunk_base, uint64_t* pmd_slot,
   // at the PMD level, and drop our reference to the shared table.
   StoreEntry(pmd_slot, Pte::Make(dedicated, kPtePresent | kPteWritable | kPteUser |
                                                 (pmd.flags() & kPteAccessed)));
-  uint32_t previous = shared_meta.pt_share_count.fetch_sub(1, std::memory_order_acq_rel);
+  uint32_t previous = allocator.DecPtShare(shared);
   ODF_DCHECK(previous >= 2);
+  (void)previous;
   as.tlb().InvalidateRange(chunk_base, chunk_base + kPteTableSpan);
   ++as.stats().pte_table_cow_faults;
   CountVm(VmCounter::k_pte_table_cow);

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "src/debug/lockdep.h"
 #include "src/fi/fault_inject.h"
 #include "src/trace/metrics.h"
 #include "src/trace/trace.h"
@@ -9,8 +10,16 @@
 
 namespace odf {
 
+namespace {
+
+// Swap-device lock class. Taken from the reclaimer and the swap-in fault path; never held
+// while acquiring another mm lock (all callers copy in/out under it and return).
+debug::LockClass g_swap_lock_class("SwapSpace::mutex_");
+
+}  // namespace
+
 SwapSlot SwapSpace::WriteOut(const std::byte* src) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  debug::MutexGuard guard(mutex_, g_swap_lock_class);
   SwapSlot slot;
   if (!free_slots_.empty()) {
     slot = free_slots_.back();
@@ -41,7 +50,7 @@ SwapSlot SwapSpace::TryWriteOut(const std::byte* src) {
   if (fi::ShouldInject(FiSite::k_swap_out)) {
     ODF_TRACE(swap_io_error, 0, /*is_write=*/1);
     CountVm(VmCounter::k_swap_io_errors);
-    std::lock_guard<std::mutex> guard(mutex_);
+    debug::MutexGuard guard(mutex_, g_swap_lock_class);
     ++stats_.io_errors;
     return kInvalidSwapSlot;
   }
@@ -49,7 +58,7 @@ SwapSlot SwapSpace::TryWriteOut(const std::byte* src) {
 }
 
 void SwapSpace::ReadIn(SwapSlot slot, std::byte* dst) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  debug::MutexGuard guard(mutex_, g_swap_lock_class);
   ODF_CHECK(slot < slots_.size() && slots_[slot].refs > 0) << "read of free swap slot " << slot;
   const Slot& entry = slots_[slot];
   if (entry.data == nullptr) {
@@ -65,7 +74,7 @@ bool SwapSpace::TryReadIn(SwapSlot slot, std::byte* dst) {
   if (fi::ShouldInject(FiSite::k_swap_in)) {
     ODF_TRACE(swap_io_error, 0, /*is_write=*/0, slot);
     CountVm(VmCounter::k_swap_io_errors);
-    std::lock_guard<std::mutex> guard(mutex_);
+    debug::MutexGuard guard(mutex_, g_swap_lock_class);
     ++stats_.io_errors;
     return false;
   }
@@ -74,13 +83,13 @@ bool SwapSpace::TryReadIn(SwapSlot slot, std::byte* dst) {
 }
 
 void SwapSpace::IncRef(SwapSlot slot) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  debug::MutexGuard guard(mutex_, g_swap_lock_class);
   ODF_CHECK(slot < slots_.size() && slots_[slot].refs > 0) << "incref of free slot " << slot;
   ++slots_[slot].refs;
 }
 
 void SwapSpace::DecRef(SwapSlot slot) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  debug::MutexGuard guard(mutex_, g_swap_lock_class);
   ODF_CHECK(slot < slots_.size() && slots_[slot].refs > 0) << "decref of free slot " << slot;
   if (--slots_[slot].refs == 0) {
     free_slots_.push_back(slot);
@@ -90,17 +99,17 @@ void SwapSpace::DecRef(SwapSlot slot) {
 }
 
 uint32_t SwapSpace::RefCount(SwapSlot slot) const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  debug::MutexGuard guard(mutex_, g_swap_lock_class);
   return slot < slots_.size() ? slots_[slot].refs : 0;
 }
 
 SwapStats SwapSpace::Stats() const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  debug::MutexGuard guard(mutex_, g_swap_lock_class);
   return stats_;
 }
 
 bool SwapSpace::AllFree() const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  debug::MutexGuard guard(mutex_, g_swap_lock_class);
   return stats_.slots_in_use == 0;
 }
 

@@ -48,14 +48,14 @@ class SwapSpace {
 
   // Fallible WriteOut: kInvalidSwapSlot when fault injection (site swap_out) fails the
   // device write. Callers keep the page resident and retry later (the reclaimer skips it).
-  SwapSlot TryWriteOut(const std::byte* src);
+  [[nodiscard]] SwapSlot TryWriteOut(const std::byte* src);
 
   // Copies the slot's content into `dst` (exactly kPageSize bytes). NOFAIL.
   void ReadIn(SwapSlot slot, std::byte* dst);
 
   // Fallible ReadIn: false when fault injection (site swap_in) fails the device read; `dst`
   // is untouched and the slot keeps its reference so a later retry can succeed.
-  bool TryReadIn(SwapSlot slot, std::byte* dst);
+  [[nodiscard]] bool TryReadIn(SwapSlot slot, std::byte* dst);
 
   // Slot reference management (fork copies a swap entry -> IncRef; unmap/swap-in -> DecRef).
   void IncRef(SwapSlot slot);

@@ -3,6 +3,8 @@
 #include <array>
 #include <cstring>
 
+#include "src/debug/debug.h"
+#include "src/debug/lockdep.h"
 #include "src/fi/fault_inject.h"
 #include "src/phys/per_cpu_cache.h"
 #include "src/trace/metrics.h"
@@ -28,6 +30,11 @@ std::mutex g_materialize_stripes[kMaterializeStripes];
 std::mutex& MaterializeStripe(FrameId frame) {
   return g_materialize_stripes[frame % kMaterializeStripes];
 }
+
+// Lockdep classes (debug-vm builds only; empty tags otherwise). All 64 materialize
+// stripes share one class, exactly like lockdep keying lock instances by type.
+debug::LockClass g_pool_lock_class("FrameAllocator::mutex_");
+debug::LockClass g_materialize_lock_class("FrameAllocator::materialize_stripe");
 
 }  // namespace
 
@@ -90,7 +97,7 @@ FrameId FrameAllocator::PopFreeLocked() {
 }
 
 void FrameAllocator::SetFrameLimit(uint64_t frames) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  debug::MutexGuard guard(mutex_, g_pool_lock_class);
   frame_limit_.store(frames, std::memory_order_relaxed);
 }
 
@@ -99,7 +106,7 @@ uint64_t FrameAllocator::frame_limit() const {
 }
 
 void FrameAllocator::SetReclaimCallback(ReclaimCallback callback) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  debug::MutexGuard guard(mutex_, g_pool_lock_class);
   reclaim_callback_ = std::move(callback);
 }
 
@@ -114,7 +121,7 @@ bool FrameAllocator::TryWaitForQuota(uint64_t frames) {
     }
     ReclaimCallback callback;
     {
-      std::lock_guard<std::mutex> guard(mutex_);
+      debug::MutexGuard guard(mutex_, g_pool_lock_class);
       callback = reclaim_callback_;
     }
     if (!callback) {
@@ -138,12 +145,28 @@ void FrameAllocator::WaitForQuota(uint64_t frames) {
 
 void FrameAllocator::InitAllocatedFrame(FrameId frame, uint8_t flags) {
   PageMeta& meta = MetaRef(frame);
+  ODF_VM_BUG_ON_PAGE((meta.flags & kPageFlagAllocated) != 0, meta, frame)
+      << "double allocation";
+  // Poison-check-on-alloc: a free frame must still be inert. Any stale IncRef/DecRef,
+  // pt_share write, or canary clobber against this frame since it was freed aborts here,
+  // at the next allocation — the earliest point the corruption is observable.
+  ODF_VM_BUG_ON_PAGE(meta.refcount.load(std::memory_order_relaxed) != 0, meta, frame)
+      << "frame gained references while on the free list";
+  ODF_VM_BUG_ON_PAGE(meta.pt_share_count.load(std::memory_order_relaxed) != 0, meta, frame)
+      << "frame gained table sharers while on the free list";
+#if ODF_DEBUG_VM_COMPILED
+  debug::internal::g_poison_checks.fetch_add(1, std::memory_order_relaxed);
+  ODF_VM_BUG_ON_PAGE(meta.reserved != 0 && meta.reserved != debug::kPoisonFreed, meta, frame)
+      << "free-frame canary clobbered";
+  meta.reserved = debug::kPoisonAllocated;
+#endif
   ODF_DCHECK((meta.flags & kPageFlagAllocated) == 0) << "double allocation of frame " << frame;
   meta.flags = static_cast<uint8_t>(flags | kPageFlagAllocated);
   meta.order = 0;
   meta.compound_head = frame;
   meta.refcount.store(1, std::memory_order_relaxed);
-  meta.pt_share_count.store(0, std::memory_order_relaxed);
+  meta.pt_share_count.store((flags & kPageFlagPageTable) != 0 ? 1 : 0,
+                            std::memory_order_relaxed);
   stats_.allocated_frames.fetch_add(1, std::memory_order_relaxed);
   if ((flags & kPageFlagPageTable) != 0) {
     stats_.page_table_frames.fetch_add(1, std::memory_order_relaxed);
@@ -163,10 +186,25 @@ void FrameAllocator::InitAllocatedFrame(FrameId frame, uint8_t flags) {
 }
 
 void FrameAllocator::ReleaseFrameState(PageMeta& meta) {
+  ODF_VM_BUG_ON((meta.flags & kPageFlagAllocated) == 0) << "double free";
+  // At free time the counters must be spent: refcount 0 (DecRef path) or exactly 1
+  // (FreeBatch's sole-owner contract); table shares 0 (dropped) or 1 (the allocation
+  // reference, for tables torn down recursively).
+  ODF_VM_BUG_ON(meta.refcount.load(std::memory_order_relaxed) > 1)
+      << "freeing a frame that still has owners";
+  ODF_VM_BUG_ON(meta.pt_share_count.load(std::memory_order_relaxed) > 1)
+      << "freeing a page table that still has sharers";
   ODF_DCHECK((meta.flags & kPageFlagAllocated) != 0) << "double free";
   ODF_DCHECK(!meta.IsCompound()) << "compound frame on the order-0 free path";
   std::byte* data = meta.data.load(std::memory_order_relaxed);
   if (data != nullptr) {
+#if ODF_DEBUG_VM_COMPILED
+    // Poison-on-free: a stale reader racing the free observes 0xaa..aa instead of
+    // plausible page contents. A stale access after the delete[] is a heap UAF — ASan's
+    // department (the asan-ubsan preset).
+    std::memset(data, static_cast<int>(debug::kPoisonByte), kPageSize);
+    debug::internal::g_poison_writes.fetch_add(1, std::memory_order_relaxed);
+#endif
     delete[] data;
     meta.data.store(nullptr, std::memory_order_relaxed);
     stats_.materialized_bytes.fetch_sub(kPageSize, std::memory_order_relaxed);
@@ -176,6 +214,13 @@ void FrameAllocator::ReleaseFrameState(PageMeta& meta) {
   }
   meta.flags = 0;
   meta.compound_head = kInvalidFrame;
+  // Free frames are inert: zero both counters so poison-check-on-alloc (and the debug-vm
+  // full sweep) can detect any mutation of a freed frame's metadata.
+  meta.refcount.store(0, std::memory_order_relaxed);
+  meta.pt_share_count.store(0, std::memory_order_relaxed);
+#if ODF_DEBUG_VM_COMPILED
+  meta.reserved = debug::kPoisonFreed;
+#endif
   stats_.allocated_frames.fetch_sub(1, std::memory_order_relaxed);
   CountVm(VmCounter::k_frames_freed);
 }
@@ -189,7 +234,7 @@ FrameId FrameAllocator::AllocateFromCache(uint8_t flags) {
     CountVm(VmCounter::k_pcp_miss);
     ODF_TRACE(pcp_miss, 0);
     {
-      std::lock_guard<std::mutex> guard(mutex_);
+      debug::MutexGuard guard(mutex_, g_pool_lock_class);
       for (size_t i = 0; i < PerCpuCache::kBatch; ++i) {
         cache.slots[cache.count++] = PopFreeLocked();
       }
@@ -212,7 +257,7 @@ void FrameAllocator::FreeToCache(FrameId frame) {
     // Spill half the cache back to the shared pool in one lock hold.
     CountVm(VmCounter::k_pcp_drain, PerCpuCache::kBatch);
     ODF_TRACE(pcp_drain, 0, static_cast<uint64_t>(PerCpuCache::kBatch));
-    std::lock_guard<std::mutex> guard(mutex_);
+    debug::MutexGuard guard(mutex_, g_pool_lock_class);
     for (size_t i = 0; i < PerCpuCache::kBatch; ++i) {
       free_list_.push_back(cache.slots[--cache.count]);
     }
@@ -225,7 +270,7 @@ void FrameAllocator::DrainCacheToPool(phys_internal::PerCpuCache& cache) {
     return;
   }
   CountVm(VmCounter::k_pcp_drain, cache.count);
-  std::lock_guard<std::mutex> guard(mutex_);
+  debug::MutexGuard guard(mutex_, g_pool_lock_class);
   while (cache.count > 0) {
     free_list_.push_back(cache.slots[--cache.count]);
   }
@@ -261,7 +306,7 @@ FrameId FrameAllocator::TryAllocate(uint8_t flags) {
 FrameId FrameAllocator::AllocateGranted(uint8_t flags) {
   FrameId frame;
   {
-    std::lock_guard<std::mutex> guard(mutex_);
+    debug::MutexGuard guard(mutex_, g_pool_lock_class);
     frame = PopFreeLocked();
   }
   InitAllocatedFrame(frame, flags);
@@ -281,7 +326,7 @@ void FrameAllocator::AllocateBatch(uint8_t flags, std::span<FrameId> out) {
     return;
   }
   {
-    std::lock_guard<std::mutex> guard(mutex_);
+    debug::MutexGuard guard(mutex_, g_pool_lock_class);
     for (FrameId& slot : out) {
       slot = PopFreeLocked();
     }
@@ -308,7 +353,7 @@ FrameId FrameAllocator::TryAllocateCompound(uint8_t flags) {
 
 FrameId FrameAllocator::AllocateCompoundGranted(uint8_t flags) {
   constexpr FrameId kCompoundFrames = 1u << kHugePageOrder;
-  std::lock_guard<std::mutex> guard(mutex_);
+  debug::MutexGuard guard(mutex_, g_pool_lock_class);
   FrameId head;
   if (!compound_free_list_.empty()) {
     head = compound_free_list_.back();
@@ -333,6 +378,17 @@ FrameId FrameAllocator::AllocateCompoundGranted(uint8_t flags) {
     ODF_CHECK((head & (kCompoundFrames - 1)) == 0) << "compound carve misaligned";
   }
   PageMeta& head_meta = MetaRef(head);
+  ODF_VM_BUG_ON_PAGE((head_meta.flags & kPageFlagAllocated) != 0, head_meta, head)
+      << "double allocation of compound head";
+  ODF_VM_BUG_ON_PAGE(head_meta.refcount.load(std::memory_order_relaxed) != 0, head_meta, head)
+      << "compound head gained references while on the free list";
+#if ODF_DEBUG_VM_COMPILED
+  debug::internal::g_poison_checks.fetch_add(1, std::memory_order_relaxed);
+  ODF_VM_BUG_ON_PAGE(
+      head_meta.reserved != 0 && head_meta.reserved != debug::kPoisonFreed, head_meta, head)
+      << "free-frame canary clobbered";
+  head_meta.reserved = debug::kPoisonAllocated;
+#endif
   head_meta.flags = static_cast<uint8_t>(flags | kPageFlagAllocated | kPageFlagCompoundHead);
   head_meta.order = static_cast<uint8_t>(kHugePageOrder);
   head_meta.compound_head = head;
@@ -340,10 +396,15 @@ FrameId FrameAllocator::AllocateCompoundGranted(uint8_t flags) {
   head_meta.pt_share_count.store(0, std::memory_order_relaxed);
   for (FrameId i = 1; i < kCompoundFrames; ++i) {
     PageMeta& tail = MetaRef(head + i);
+    ODF_VM_BUG_ON_PAGE(tail.refcount.load(std::memory_order_relaxed) != 0, tail, head + i)
+        << "compound tail gained references while on the free list";
     tail.flags = static_cast<uint8_t>(flags | kPageFlagAllocated | kPageFlagCompoundTail);
     tail.order = 0;
     tail.compound_head = head;
     tail.refcount.store(0, std::memory_order_relaxed);
+#if ODF_DEBUG_VM_COMPILED
+    tail.reserved = debug::kPoisonAllocated;
+#endif
   }
   stats_.allocated_frames.fetch_add(kCompoundFrames, std::memory_order_relaxed);
   CountVm(VmCounter::k_frames_allocated, kCompoundFrames);
@@ -351,20 +412,65 @@ FrameId FrameAllocator::AllocateCompoundGranted(uint8_t flags) {
 }
 
 void FrameAllocator::IncRef(FrameId frame) {
-  GetMeta(frame).refcount.fetch_add(1, std::memory_order_relaxed);
+  PageMeta& meta = GetMeta(frame);
+  ODF_VM_BUG_ON_PAGE((meta.flags & kPageFlagAllocated) == 0, meta, frame)
+      << "IncRef on freed frame";
+  ODF_VM_BUG_ON_PAGE(meta.IsCompoundTail(), meta, frame) << "IncRef on compound tail";
+  uint32_t previous = meta.refcount.fetch_add(1, std::memory_order_relaxed);
+  ODF_VM_BUG_ON_PAGE(previous >= debug::kRefcountSaturated, meta, frame)
+      << "refcount saturation";
+  (void)previous;
+}
+
+void FrameAllocator::AddRefs(FrameId frame, uint32_t count) {
+  PageMeta& meta = GetMeta(frame);
+  ODF_VM_BUG_ON_PAGE((meta.flags & kPageFlagAllocated) == 0, meta, frame)
+      << "AddRefs on freed frame";
+  ODF_VM_BUG_ON_PAGE(meta.IsCompoundTail(), meta, frame) << "AddRefs on compound tail";
+  uint32_t previous = meta.refcount.fetch_add(count, std::memory_order_relaxed);
+  ODF_VM_BUG_ON_PAGE(previous + count >= debug::kRefcountSaturated, meta, frame)
+      << "refcount saturation";
+  (void)previous;
+}
+
+void FrameAllocator::IncPtShare(FrameId table) {
+  PageMeta& meta = GetMeta(table);
+  ODF_VM_BUG_ON_PAGE(!meta.IsPageTable(), meta, table)
+      << "pt_share increment on non-table frame";
+  ODF_VM_BUG_ON_PAGE((meta.flags & kPageFlagAllocated) == 0, meta, table)
+      << "pt_share increment on freed table";
+  meta.pt_share_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint32_t FrameAllocator::DecPtShare(FrameId table) {
+  PageMeta& meta = GetMeta(table);
+  ODF_VM_BUG_ON_PAGE(!meta.IsPageTable(), meta, table)
+      << "pt_share decrement on non-table frame";
+  // acq_rel for the same reason as DecRef: the thread that drops the last share takes
+  // exclusive ownership of the table and must observe every other sharer's writes.
+  uint32_t previous = meta.pt_share_count.fetch_sub(1, std::memory_order_acq_rel);
+  ODF_VM_BUG_ON_PAGE(previous == 0, meta, table) << "pt_share underflow";
+  return previous;
 }
 
 void FrameAllocator::IncRefBatch(std::span<const FrameId> frames) {
   for (FrameId frame : frames) {
     PageMeta& meta = MetaRef(frame);
+    ODF_VM_BUG_ON_PAGE((meta.flags & kPageFlagAllocated) == 0, meta, frame)
+        << "IncRef on freed frame";
     ODF_DCHECK(!meta.IsCompoundTail()) << "IncRef on compound tail " << frame;
-    meta.refcount.fetch_add(1, std::memory_order_relaxed);
+    uint32_t previous = meta.refcount.fetch_add(1, std::memory_order_relaxed);
+    ODF_VM_BUG_ON_PAGE(previous >= debug::kRefcountSaturated, meta, frame)
+        << "refcount saturation";
+    (void)previous;
   }
 }
 
 void FrameAllocator::IncPtShareBatch(std::span<const FrameId> tables) {
   for (FrameId table : tables) {
     PageMeta& meta = MetaRef(table);
+    ODF_VM_BUG_ON_PAGE((meta.flags & kPageFlagAllocated) == 0, meta, table)
+        << "pt_share increment on freed table";
     ODF_DCHECK(meta.IsPageTable()) << "pt_share increment on non-table frame " << table;
     meta.pt_share_count.fetch_add(1, std::memory_order_relaxed);
   }
@@ -372,8 +478,12 @@ void FrameAllocator::IncPtShareBatch(std::span<const FrameId> tables) {
 
 void FrameAllocator::DecRef(FrameId frame) {
   PageMeta& meta = GetMeta(frame);
+  ODF_VM_BUG_ON_PAGE((meta.flags & kPageFlagAllocated) == 0, meta, frame)
+      << "DecRef on freed frame";
+  ODF_VM_BUG_ON_PAGE(meta.IsCompoundTail(), meta, frame) << "DecRef on compound tail";
   ODF_DCHECK(!meta.IsCompoundTail()) << "DecRef on compound tail " << frame;
   uint32_t previous = meta.refcount.fetch_sub(1, std::memory_order_acq_rel);
+  ODF_VM_BUG_ON_PAGE(previous == 0, meta, frame) << "refcount underflow";
   ODF_DCHECK(previous != 0) << "refcount underflow on frame " << frame;
   if (previous != 1) {
     return;
@@ -384,7 +494,7 @@ void FrameAllocator::DecRef(FrameId frame) {
     FreeToCache(frame);
     return;
   }
-  std::lock_guard<std::mutex> guard(mutex_);
+  debug::MutexGuard guard(mutex_, g_pool_lock_class);
   FreeOneLocked(frame);
 }
 
@@ -396,8 +506,11 @@ void FrameAllocator::DecRefBatch(std::span<const FrameId> frames) {
   size_t dead_count = 0;
   for (FrameId frame : frames) {
     PageMeta& meta = MetaRef(frame);
+    ODF_VM_BUG_ON_PAGE((meta.flags & kPageFlagAllocated) == 0, meta, frame)
+        << "DecRef on freed frame";
     ODF_DCHECK(!meta.IsCompoundTail()) << "DecRef on compound tail " << frame;
     uint32_t previous = meta.refcount.fetch_sub(1, std::memory_order_acq_rel);
+    ODF_VM_BUG_ON_PAGE(previous == 0, meta, frame) << "refcount underflow";
     ODF_DCHECK(previous != 0) << "refcount underflow on frame " << frame;
     if (previous == 1) {
       dead[dead_count++] = frame;
@@ -418,7 +531,7 @@ void FrameAllocator::FreeBatch(std::span<const FrameId> frames) {
   }
   CountVm(VmCounter::k_batch_free, frames.size());
   ODF_TRACE(batch_free, 0, static_cast<uint64_t>(frames.size()));
-  std::lock_guard<std::mutex> guard(mutex_);
+  debug::MutexGuard guard(mutex_, g_pool_lock_class);
   FreeBatchLocked(frames);
 }
 
@@ -430,11 +543,18 @@ void FrameAllocator::FreeBatchLocked(std::span<const FrameId> frames) {
 
 void FrameAllocator::FreeOneLocked(FrameId frame) {
   PageMeta& meta = MetaRef(frame);
+  ODF_VM_BUG_ON_PAGE((meta.flags & kPageFlagAllocated) == 0, meta, frame) << "double free";
   ODF_DCHECK((meta.flags & kPageFlagAllocated) != 0) << "double free of frame " << frame;
   if (meta.IsCompoundHead()) {
     constexpr FrameId kCompoundFrames = 1u << kHugePageOrder;
+    ODF_VM_BUG_ON_PAGE(meta.refcount.load(std::memory_order_relaxed) > 1, meta, frame)
+        << "freeing a compound that still has owners";
     std::byte* data = meta.data.load(std::memory_order_relaxed);
     if (data != nullptr) {
+#if ODF_DEBUG_VM_COMPILED
+      std::memset(data, static_cast<int>(debug::kPoisonByte), kHugePageSize);
+      debug::internal::g_poison_writes.fetch_add(1, std::memory_order_relaxed);
+#endif
       delete[] data;
       meta.data.store(nullptr, std::memory_order_relaxed);
       stats_.materialized_bytes.fetch_sub(kHugePageSize, std::memory_order_relaxed);
@@ -444,11 +564,21 @@ void FrameAllocator::FreeOneLocked(FrameId frame) {
     }
     for (FrameId i = 1; i < kCompoundFrames; ++i) {
       PageMeta& tail = MetaRef(frame + i);
+      ODF_VM_BUG_ON_PAGE(tail.refcount.load(std::memory_order_relaxed) != 0, tail, frame + i)
+          << "compound tail gained its own references";
       tail.flags = 0;
       tail.compound_head = kInvalidFrame;
+#if ODF_DEBUG_VM_COMPILED
+      tail.reserved = debug::kPoisonFreed;
+#endif
     }
     meta.flags = 0;
     meta.order = 0;
+    meta.refcount.store(0, std::memory_order_relaxed);
+    meta.pt_share_count.store(0, std::memory_order_relaxed);
+#if ODF_DEBUG_VM_COMPILED
+    meta.reserved = debug::kPoisonFreed;
+#endif
     stats_.allocated_frames.fetch_sub(kCompoundFrames, std::memory_order_relaxed);
     compound_free_list_.push_back(frame);
     CountVm(VmCounter::k_frames_freed, kCompoundFrames);
@@ -470,7 +600,7 @@ std::byte* FrameAllocator::MaterializeData(FrameId frame, bool zero) {
   if (data != nullptr) {
     return data;
   }
-  std::lock_guard<std::mutex> guard(MaterializeStripe(frame));
+  debug::MutexGuard guard(MaterializeStripe(frame), g_materialize_lock_class);
   data = meta.data.load(std::memory_order_acquire);
   if (data == nullptr) {
     uint64_t bytes = meta.IsCompoundHead() ? kHugePageSize : kPageSize;

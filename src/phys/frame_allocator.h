@@ -73,17 +73,29 @@ class FrameAllocator {
   // Fault injection is consulted before the per-thread cache, so an injected failure fails
   // the logical allocation even when a cached frame could have served it (schedules stay
   // seed-replayable regardless of cache state).
-  FrameId TryAllocate(uint8_t flags);
-  FrameId TryAllocateCompound(uint8_t flags);
+  [[nodiscard]] FrameId TryAllocate(uint8_t flags);
+  [[nodiscard]] FrameId TryAllocateCompound(uint8_t flags);
 
   // Drops one reference; frees the frame when the count hits zero. For compound heads the
   // entire compound is freed. Must not be called on tails (callers resolve the head first).
   // Order-0 frames freed while no limit is armed go to the calling thread's cache.
   void DecRef(FrameId frame);
 
-  // Adds a reference. Callers on the fork path use GetMeta + explicit atomics instead so the
-  // cost profile is visible at the call site; this is the convenience form.
+  // Adds a reference. All refcount mutation goes through these entry points (enforced by
+  // scripts/odf_lint.py rule raw-refcount) so the debug-vm underflow/saturation/freed-frame
+  // checks see every transition.
   void IncRef(FrameId frame);
+
+  // Adds `count` references at once (huge-page split: the head absorbs one reference per
+  // new PTE). Checked like IncRef.
+  void AddRefs(FrameId frame, uint32_t count);
+
+  // Adds/drops one sharer on a PTE/PMD-table frame's pt_share_count (on-demand-fork table
+  // sharing, §3.6). DecPtShare returns the PREVIOUS value: 1 means the caller just dropped
+  // the last sharer and owns the table exclusively (the dedicate/teardown paths branch on
+  // this exactly like atomic_dec_and_test).
+  void IncPtShare(FrameId table);
+  uint32_t DecPtShare(FrameId table);
 
   // --- Batched operations: one shared-pool lock round-trip per batch, not per frame ---
 
@@ -200,7 +212,7 @@ class FrameAllocator {
 
   // Like WaitForQuota but returns false instead of aborting when reclaim is exhausted (or no
   // reclaimer is installed while over the limit).
-  bool TryWaitForQuota(uint64_t frames);
+  [[nodiscard]] bool TryWaitForQuota(uint64_t frames);
 
   // Allocation bodies shared by the NOFAIL and Try entry points (quota already granted).
   FrameId AllocateGranted(uint8_t flags);

@@ -4,11 +4,16 @@
 #include <mutex>
 #include <vector>
 
+#include "src/debug/lockdep.h"
 #include "src/phys/frame_allocator.h"
 
 namespace odf {
 namespace phys_internal {
 namespace {
+
+// One class for the cache registry: it nests INSIDE the pool lock ordering (registry ->
+// pool, via thread-exit drains), which lockdep records and enforces.
+debug::LockClass g_registry_lock_class("phys_internal::Registry::mu");
 
 // Global registry of live caches, keyed by allocator. Touched only on the rare paths
 // (first allocation by a thread, thread exit, allocator destruction); every hot-path
@@ -46,7 +51,7 @@ struct ThreadCaches {
 
   ~ThreadCaches() {
     Registry& registry = GlobalRegistry();
-    std::lock_guard<std::mutex> guard(registry.mu);
+    debug::MutexGuard guard(registry.mu, g_registry_lock_class);
     for (PerCpuCache* cache : entries) {
       if (cache->owner != nullptr) {
         cache->owner->DrainCacheToPool(*cache);
@@ -80,7 +85,7 @@ PerCpuCache& CacheForThread(FrameAllocator* allocator, uint64_t allocator_id) {
   cache->allocator_id = allocator_id;
   cache->owner = allocator;
   Registry& registry = GlobalRegistry();
-  std::lock_guard<std::mutex> guard(registry.mu);
+  debug::MutexGuard guard(registry.mu, g_registry_lock_class);
   // While here (and holding the lock that guards `owner`), drop entries orphaned by dead
   // allocators so long-lived threads don't accumulate one cache per Kernel ever created.
   std::erase_if(table.entries, [](PerCpuCache* stale) {
@@ -102,7 +107,7 @@ PerCpuCache& CacheForThread(FrameAllocator* allocator, uint64_t allocator_id) {
 
 void RetireAllocatorCaches(FrameAllocator* allocator) {
   Registry& registry = GlobalRegistry();
-  std::lock_guard<std::mutex> guard(registry.mu);
+  debug::MutexGuard guard(registry.mu, g_registry_lock_class);
   Registry::AllocatorEntry* entry = registry.Find(allocator);
   if (entry == nullptr) {
     return;
@@ -117,7 +122,7 @@ void RetireAllocatorCaches(FrameAllocator* allocator) {
 
 uint64_t CachedFrameCount(const FrameAllocator* allocator) {
   Registry& registry = GlobalRegistry();
-  std::lock_guard<std::mutex> guard(registry.mu);
+  debug::MutexGuard guard(registry.mu, g_registry_lock_class);
   Registry::AllocatorEntry* entry = registry.Find(allocator);
   if (entry == nullptr) {
     return 0;

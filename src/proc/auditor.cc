@@ -43,6 +43,7 @@ void CheckTableFrame(AuditState& state, FrameId frame, const char* what) {
 // distinct PMD tables (leaf tables are scanned once per distinct table in phase 2).
 void WalkAddressSpace(AuditState& state, AddressSpace& as) {
   FrameAllocator& allocator = *state.allocator;
+  state.result->reachable_frames.insert(as.pgd());
   uint64_t* pgd_entries = allocator.TableEntries(as.pgd());
   for (uint64_t g = 0; g < kEntriesPerTable; ++g) {
     Pte pud_link = LoadEntry(&pgd_entries[g]);
@@ -50,6 +51,7 @@ void WalkAddressSpace(AuditState& state, AddressSpace& as) {
       continue;
     }
     CheckTableFrame(state, pud_link.frame(), "PUD-table");
+    state.result->reachable_frames.insert(pud_link.frame());
     uint64_t* pud_entries = allocator.TableEntries(pud_link.frame());
     for (uint64_t u = 0; u < kEntriesPerTable; ++u) {
       Pte pmd_link = LoadEntry(&pud_entries[u]);
@@ -57,6 +59,7 @@ void WalkAddressSpace(AuditState& state, AddressSpace& as) {
         continue;
       }
       CheckTableFrame(state, pmd_link.frame(), "PMD-table");
+      state.result->reachable_frames.insert(pmd_link.frame());
       ++state.pmd_table_refs[pmd_link.frame()];
       state.distinct_pmd_tables.insert(pmd_link.frame());
       ++state.result->tables_checked;
@@ -76,11 +79,13 @@ void WalkPmdTables(AuditState& state) {
         continue;
       }
       if (entry.IsHuge()) {
+        state.result->reachable_frames.insert(entry.frame());
         ++state.page_refs[entry.frame()];
         ++state.result->leaf_entries_checked;
         continue;
       }
       CheckTableFrame(state, entry.frame(), "PTE-table");
+      state.result->reachable_frames.insert(entry.frame());
       ++state.pte_table_refs[entry.frame()];
       state.distinct_pte_tables.insert(entry.frame());
       ++state.result->tables_checked;
@@ -111,6 +116,7 @@ void WalkPteTables(AuditState& state) {
       if (meta.IsPageTable()) {
         state.Violation("leaf entry references a page-table frame " + std::to_string(frame));
       }
+      state.result->reachable_frames.insert(ResolveCompoundHead(meta, frame));
       ++state.page_refs[ResolveCompoundHead(meta, frame)];
       ++state.result->leaf_entries_checked;
     }
@@ -167,6 +173,7 @@ AuditResult AuditKernel(Kernel& kernel) {
   for (const auto& file : file_handles) {
     file->ForEachCachedPage([&](uint64_t index, FrameId frame) {
       (void)index;
+      result.reachable_frames.insert(frame);
       ++state.page_refs[frame];
     });
   }

@@ -16,6 +16,7 @@
 #define ODF_SRC_PROC_AUDITOR_H_
 
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "src/proc/kernel.h"
@@ -27,6 +28,12 @@ struct AuditResult {
   uint64_t processes_audited = 0;
   uint64_t tables_checked = 0;
   uint64_t leaf_entries_checked = 0;
+
+  // Every frame the walk found a live reference to: PGD/PUD/PMD/PTE table frames, mapped
+  // data frames (compound heads; tails are implied by the head's order), and page-cache
+  // frames. odf::debug::VerifyKernel diffs this against the allocator's full PageMeta
+  // array — an allocated frame absent from this set is a leak.
+  std::unordered_set<FrameId> reachable_frames;
 
   bool ok() const { return violations.empty(); }
   std::string Describe() const;

@@ -3,12 +3,22 @@
 #include <algorithm>
 #include <vector>
 
+#include "src/debug/lockdep.h"
+#include "src/debug/verify.h"
 #include "src/mm/reclaim.h"
 #include "src/trace/metrics.h"
 #include "src/trace/trace.h"
 #include "src/util/log.h"
 
 namespace odf {
+
+namespace {
+
+// Process-table lock class. Recorded order: Kernel::table_mutex_ -> pool/registry locks
+// (process teardown under the table lock frees frames into the allocator).
+debug::LockClass g_table_lock_class("Kernel::table_mutex_");
+
+}  // namespace
 
 thread_local Process* Kernel::active_process_ = nullptr;
 
@@ -19,13 +29,17 @@ Kernel::Kernel() : fs_(&allocator_) {
 void Kernel::SetMemoryLimitFrames(uint64_t frames) { allocator_.SetFrameLimit(frames); }
 
 uint64_t Kernel::ReclaimMemory(uint64_t want) {
+  // Reclaim mutates page tables and frees frames; it usually runs nested inside the
+  // allocation that triggered it (whose own MutationScope is already open), but the scope
+  // is reentrant so standing alone is fine too.
+  debug::MutationScope mutation;
   CountVm(VmCounter::k_reclaim_runs);
   ODF_TRACE(reclaim_begin, /*pid=*/0, want);
   // Snapshot the running processes (reclaim may be invoked from an allocation deep inside
   // one of them; the table lock is not held there).
   std::vector<Process*> candidates;
   {
-    std::lock_guard<std::mutex> guard(table_mutex_);
+    debug::MutexGuard guard(table_mutex_, g_table_lock_class);
     for (auto& [pid, process] : processes_) {
       if (process->state() == ProcessState::kRunning) {
         candidates.push_back(process.get());
@@ -79,14 +93,16 @@ uint64_t Kernel::ReclaimMemory(uint64_t want) {
 }
 
 Kernel::~Kernel() {
+  debug::MutationScope mutation;
   // Tear down in pid order; address spaces release their frames as they go.
-  std::lock_guard<std::mutex> guard(table_mutex_);
+  debug::MutexGuard guard(table_mutex_, g_table_lock_class);
   processes_.clear();
 }
 
 Process& Kernel::CreateProcess() {
+  debug::MutationScope mutation;
   auto as = std::make_unique<AddressSpace>(&allocator_, &swap_);
-  std::lock_guard<std::mutex> guard(table_mutex_);
+  debug::MutexGuard guard(table_mutex_, g_table_lock_class);
   Pid pid = next_pid_++;
   auto process = std::make_unique<Process>(this, pid, /*parent=*/0, std::move(as));
   process->set_fork_mode(default_fork_mode_);
@@ -106,44 +122,59 @@ Process& Kernel::Fork(Process& parent, ForkMode mode, ForkProfile* profile) {
 }
 
 Process* Kernel::TryFork(Process& parent, ForkMode mode, ForkProfile* profile) {
-  ODF_CHECK(parent.state() == ProcessState::kRunning);
-  ActiveProcessScope immune(&parent);  // The parent must survive its own fork's allocations.
-  auto child_as = std::make_unique<AddressSpace>(&allocator_, &swap_);
-  if (!CopyAddressSpace(parent.address_space(), *child_as, mode, profile, &fork_counters_)) {
-    // Transactional rollback: the half-built child holds real references (page refcounts,
-    // table share counts, swap-slot refs), all reachable through its own page tables.
-    // TearDown clears the VMA list first, so shared tables are dropped whole — never
-    // dedicated — making the unwind allocation-free (rollback cannot itself fail).
-    child_as->TearDown();
-    CountVm(VmCounter::k_fork_rollback);
-    ODF_TRACE(fork_rollback, parent.pid(), static_cast<uint64_t>(mode));
-    return nullptr;
-  }
+  // The fork body runs inside a MutationScope (closed before the post-fork verifier hook
+  // below); the lambda keeps the early rollback return inside the scope.
+  Process* forked = [&]() -> Process* {
+    debug::MutationScope mutation;
+    ODF_CHECK(parent.state() == ProcessState::kRunning);
+    ActiveProcessScope immune(&parent);  // The parent must survive its own fork's allocations.
+    auto child_as = std::make_unique<AddressSpace>(&allocator_, &swap_);
+    if (!CopyAddressSpace(parent.address_space(), *child_as, mode, profile, &fork_counters_)) {
+      // Transactional rollback: the half-built child holds real references (page refcounts,
+      // table share counts, swap-slot refs), all reachable through its own page tables.
+      // TearDown clears the VMA list first, so shared tables are dropped whole — never
+      // dedicated — making the unwind allocation-free (rollback cannot itself fail).
+      child_as->TearDown();
+      CountVm(VmCounter::k_fork_rollback);
+      ODF_TRACE(fork_rollback, parent.pid(), static_cast<uint64_t>(mode));
+      return nullptr;
+    }
 
-  std::lock_guard<std::mutex> guard(table_mutex_);
-  Pid pid = next_pid_++;
-  auto child = std::make_unique<Process>(this, pid, parent.pid(), std::move(child_as));
-  child->set_fork_mode(parent.fork_mode());
-  parent.children_.push_back(pid);
-  Process& ref = *child;
-  processes_.emplace(pid, std::move(child));
-  CountVm(VmCounter::k_proc_created);
-  ODF_TRACE(proc_create, pid, static_cast<uint64_t>(parent.pid()));
-  return &ref;
+    debug::MutexGuard guard(table_mutex_, g_table_lock_class);
+    Pid pid = next_pid_++;
+    auto child = std::make_unique<Process>(this, pid, parent.pid(), std::move(child_as));
+    child->set_fork_mode(parent.fork_mode());
+    parent.children_.push_back(pid);
+    Process& ref = *child;
+    processes_.emplace(pid, std::move(child));
+    CountVm(VmCounter::k_proc_created);
+    ODF_TRACE(proc_create, pid, static_cast<uint64_t>(parent.pid()));
+    return &ref;
+  }();
+  // Rollbacks are verified too: a failed fork must leave the kernel exactly as it was.
+  debug::AutoVerifyKernel(*this, "fork");
+  return forked;
 }
 
 void Kernel::Exit(Process& process, int code) {
-  ODF_CHECK(process.state() == ProcessState::kRunning) << "double exit of pid " << process.pid();
-  process.exit_code_ = code;
-  process.as_->TearDown();
-  process.state_ = ProcessState::kZombie;
-  CountVm(VmCounter::k_proc_exited);
-  ODF_TRACE(proc_exit, process.pid(), static_cast<uint64_t>(code));
-  // Reparent any children to init (pid 0 == no reaper; they self-reap on Wait misses).
+  {
+    debug::MutationScope mutation;
+    ODF_CHECK(process.state() == ProcessState::kRunning)
+        << "double exit of pid " << process.pid();
+    process.exit_code_ = code;
+    process.as_->TearDown();
+    process.state_ = ProcessState::kZombie;
+    CountVm(VmCounter::k_proc_exited);
+    ODF_TRACE(proc_exit, process.pid(), static_cast<uint64_t>(code));
+    // Reparent any children to init (pid 0 == no reaper; they self-reap on Wait misses).
+  }
+  // Skipped automatically when this Exit is an OOM kill nested inside another mutation.
+  debug::AutoVerifyKernel(*this, "exit");
 }
 
 Pid Kernel::Wait(Process& parent) {
-  std::lock_guard<std::mutex> guard(table_mutex_);
+  debug::MutationScope mutation;  // Reaping destroys the zombie's remaining state.
+  debug::MutexGuard guard(table_mutex_, g_table_lock_class);
   for (auto it = parent.children_.begin(); it != parent.children_.end(); ++it) {
     auto found = processes_.find(*it);
     if (found != processes_.end() && found->second->state() == ProcessState::kZombie) {
@@ -158,13 +189,13 @@ Pid Kernel::Wait(Process& parent) {
 }
 
 Process* Kernel::FindProcess(Pid pid) {
-  std::lock_guard<std::mutex> guard(table_mutex_);
+  debug::MutexGuard guard(table_mutex_, g_table_lock_class);
   auto it = processes_.find(pid);
   return it == processes_.end() ? nullptr : it->second.get();
 }
 
 std::vector<Process*> Kernel::RunningProcesses() {
-  std::lock_guard<std::mutex> guard(table_mutex_);
+  debug::MutexGuard guard(table_mutex_, g_table_lock_class);
   std::vector<Process*> result;
   for (auto& [pid, process] : processes_) {
     if (process->state() == ProcessState::kRunning) {
@@ -175,12 +206,12 @@ std::vector<Process*> Kernel::RunningProcesses() {
 }
 
 size_t Kernel::ProcessCount() const {
-  std::lock_guard<std::mutex> guard(table_mutex_);
+  debug::MutexGuard guard(table_mutex_, g_table_lock_class);
   return processes_.size();
 }
 
 size_t Kernel::RunningProcessCount() const {
-  std::lock_guard<std::mutex> guard(table_mutex_);
+  debug::MutexGuard guard(table_mutex_, g_table_lock_class);
   return static_cast<size_t>(
       std::count_if(processes_.begin(), processes_.end(), [](const auto& entry) {
         return entry.second->state() == ProcessState::kRunning;

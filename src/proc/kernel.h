@@ -51,7 +51,8 @@ class Kernel {
   // returns nullptr. The parent is untouched (its write-protected entries are benign; the
   // fault path restores them lazily) and no process-table entry is created. ENOMEM-safe in
   // the sense of docs/robustness.md: fork either fully succeeds or has no effect.
-  Process* TryFork(Process& parent, ForkMode mode, ForkProfile* profile = nullptr);
+  [[nodiscard]] Process* TryFork(Process& parent, ForkMode mode,
+                                 ForkProfile* profile = nullptr);
 
   // Terminates the process: tears down its address space immediately (dropping page and
   // shared-table references) and leaves a zombie for the parent to reap.

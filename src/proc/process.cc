@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/debug/verify.h"
 #include "src/util/log.h"
 
 namespace odf {
@@ -17,6 +18,7 @@ Process::Process(Kernel* kernel, Pid pid, Pid parent, std::unique_ptr<AddressSpa
 bool Process::AccessMemory(Vaddr va, std::byte* buffer, uint64_t length, AccessType access,
                            bool set_memory, std::byte memset_value) {
   ODF_CHECK(state_ == ProcessState::kRunning) << "memory access on exited process " << pid_;
+  debug::MutationScope mutation;  // Faults allocate frames and rewrite page tables.
   Kernel::ActiveProcessScope immune(this);  // OOM mid-access must pick another victim.
   AddressSpace& as = *as_;
   FrameAllocator& allocator = as.allocator();
@@ -116,6 +118,31 @@ std::string Process::ReadString(Vaddr va, uint64_t max_length) {
     out.push_back(c);
   }
   return out;
+}
+
+Vaddr Process::Mmap(uint64_t length, uint32_t prot, bool huge) {
+  debug::MutationScope mutation;
+  return as_->MapAnonymous(length, prot, huge);
+}
+
+void Process::Munmap(Vaddr start, uint64_t length) {
+  {
+    debug::MutationScope mutation;
+    as_->Unmap(start, length);
+  }
+  // Zap is where stale-PTE and table-refcount bugs surface; verify the whole kernel after
+  // every top-level unmap in debug-vm builds.
+  debug::AutoVerifyKernel(*kernel_, "zap");
+}
+
+Vaddr Process::Mremap(Vaddr old_start, uint64_t old_length, uint64_t new_length) {
+  debug::MutationScope mutation;
+  return as_->Remap(old_start, old_length, new_length);
+}
+
+void Process::MadviseDontNeed(Vaddr start, uint64_t length) {
+  debug::MutationScope mutation;
+  as_->AdviseDontNeed(start, length);
 }
 
 bool Process::TouchRange(Vaddr va, uint64_t length, AccessType access) {

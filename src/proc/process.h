@@ -63,15 +63,13 @@ class Process {
   // data. Benchmarks use it to reproduce paper access patterns cheaply.
   bool TouchRange(Vaddr va, uint64_t length, AccessType access);
 
-  // Mapping syscalls forwarded to the address space.
-  Vaddr Mmap(uint64_t length, uint32_t prot, bool huge = false) {
-    return as_->MapAnonymous(length, prot, huge);
-  }
-  void Munmap(Vaddr start, uint64_t length) { as_->Unmap(start, length); }
-  Vaddr Mremap(Vaddr old_start, uint64_t old_length, uint64_t new_length) {
-    return as_->Remap(old_start, old_length, new_length);
-  }
-  void MadviseDontNeed(Vaddr start, uint64_t length) { as_->AdviseDontNeed(start, length); }
+  // Mapping syscalls forwarded to the address space. Out-of-line (process.cc) because the
+  // mutating ones run inside a debug::MutationScope, and Munmap — the zap path — triggers
+  // the post-zap kernel verifier in debug-vm builds.
+  Vaddr Mmap(uint64_t length, uint32_t prot, bool huge = false);
+  void Munmap(Vaddr start, uint64_t length);
+  Vaddr Mremap(Vaddr old_start, uint64_t old_length, uint64_t new_length);
+  void MadviseDontNeed(Vaddr start, uint64_t length);
   std::vector<uint8_t> Mincore(Vaddr start, uint64_t length) {
     std::vector<uint8_t> out;
     as_->Mincore(start, length, &out);

@@ -4,6 +4,9 @@
 #include <cinttypes>
 #include <sstream>
 
+#include "src/debug/debug.h"
+#include "src/debug/lockdep.h"
+#include "src/debug/verify.h"
 #include "src/fi/fault_inject.h"
 #include "src/mm/range_ops.h"
 #include "src/proc/kernel.h"
@@ -224,6 +227,25 @@ std::string FormatFaultInject() { return fi::FaultInjector::Global().FormatStatu
 
 bool ConfigureFaultInject(const std::string& spec, std::string* error) {
   return fi::FaultInjector::Global().Configure(spec, error);
+}
+
+std::string FormatDebugVm() {
+  std::ostringstream out;
+  out << "debug_vm_compiled " << (debug::Compiled() ? 1 : 0) << "\n";
+  debug::CheckStats checks = debug::GetCheckStats();
+  out << "vm_checks " << checks.vm_checks << "\n";
+  out << "poison_checks " << checks.poison_checks << "\n";
+  out << "poison_writes " << checks.poison_writes << "\n";
+  debug::LockdepStats lockdep = debug::GetLockdepStats();
+  out << "lockdep_classes " << lockdep.classes << "\n";
+  out << "lockdep_edges " << lockdep.edges << "\n";
+  out << "lockdep_acquisitions " << lockdep.acquisitions << "\n";
+  debug::VerifyStats verify = debug::GetVerifyStats();
+  out << "verify_runs " << verify.runs << "\n";
+  out << "verify_skipped_reentrant " << verify.skipped_reentrant << "\n";
+  out << "verify_skipped_concurrent " << verify.skipped_concurrent << "\n";
+  out << "verify_skipped_disabled " << verify.skipped_disabled << "\n";
+  return out.str();
 }
 
 }  // namespace odf

@@ -68,6 +68,11 @@ std::string FormatFaultInject();
 // Returns true on success; on parse error returns false and fills *error.
 bool ConfigureFaultInject(const std::string& spec, std::string* error);
 
+// /sys/kernel/debug/debug_vm analog (docs/debugging.md): whether the odf::debug invariant
+// checkers are compiled in, plus check/poison/lockdep/verifier counters. All lines render
+// in every build; the counters just stay zero with -DODF_DEBUG_VM=OFF.
+std::string FormatDebugVm();
+
 }  // namespace odf
 
 #endif  // ODF_SRC_PROC_PROCFS_H_

@@ -1,23 +1,19 @@
 #include "src/pt/walker.h"
 
+#include "src/debug/debug.h"
 #include "src/util/log.h"
 
 namespace odf {
 
+// A fresh table starts dedicated — exactly one address space references it — which is
+// InitAllocatedFrame's initial state for page-table frames, so no counter write is
+// needed here (and raw pt_share stores outside src/phys/ are a lint violation).
 FrameId AllocPageTable(FrameAllocator& allocator) {
-  FrameId frame = allocator.Allocate(kPageFlagPageTable);
-  // A fresh table starts dedicated: exactly one address space references it.
-  allocator.GetMeta(frame).pt_share_count.store(1, std::memory_order_relaxed);
-  return frame;
+  return allocator.Allocate(kPageFlagPageTable);
 }
 
 FrameId TryAllocPageTable(FrameAllocator& allocator) {
-  FrameId frame = allocator.TryAllocate(kPageFlagPageTable);
-  if (frame == kInvalidFrame) {
-    return kInvalidFrame;
-  }
-  allocator.GetMeta(frame).pt_share_count.store(1, std::memory_order_relaxed);
-  return frame;
+  return allocator.TryAllocate(kPageFlagPageTable);
 }
 
 Translation Walker::Translate(FrameId pgd, Vaddr va, AccessType access) {
@@ -48,6 +44,14 @@ Translation Walker::Translate(FrameId pgd, Vaddr va, AccessType access) {
         StoreEntry(slot, LoadEntry(slot).WithFlag(kPteDirty));
       }
       FrameId head = entry.frame();
+      // Leaf invariants (huge/4k consistency): a huge PMD entry must reference a live
+      // compound head — anything else means a split or free raced past the entry.
+      ODF_VM_BUG_ON_PAGE((allocator_->GetMeta(head).flags & kPageFlagAllocated) == 0,
+                         allocator_->GetMeta(head), head)
+          << "huge PMD entry references a freed frame";
+      ODF_VM_BUG_ON_PAGE(!allocator_->GetMeta(head).IsCompoundHead(),
+                         allocator_->GetMeta(head), head)
+          << "huge PMD entry references a non-compound-head frame";
       uint64_t offset = (va >> kPageShift) & ((1ULL << kHugePageOrder) - 1);
       result.status = TranslateStatus::kOk;
       result.frame = head + static_cast<FrameId>(offset);
@@ -59,8 +63,22 @@ Translation Walker::Translate(FrameId pgd, Vaddr va, AccessType access) {
       if (access == AccessType::kWrite) {
         StoreEntry(slot, LoadEntry(slot).WithFlag(kPteDirty));
       }
+      FrameId frame = entry.frame();
+      // Leaf invariants: a present PTE must reference an allocated, referenced data frame
+      // (a shared PTE table's single reference counts — §3.6), never a table frame.
+      ODF_VM_BUG_ON_PAGE((allocator_->GetMeta(frame).flags & kPageFlagAllocated) == 0,
+                         allocator_->GetMeta(frame), frame)
+          << "present PTE references a freed frame";
+      ODF_VM_BUG_ON_PAGE(allocator_->GetMeta(frame).IsPageTable(),
+                         allocator_->GetMeta(frame), frame)
+          << "present PTE references a page-table frame";
+      ODF_VM_BUG_ON_PAGE(
+          allocator_->GetMeta(ResolveCompoundHead(allocator_->GetMeta(frame), frame))
+                  .refcount.load(std::memory_order_relaxed) == 0,
+          allocator_->GetMeta(frame), frame)
+          << "present PTE references a zero-refcount frame";
       result.status = TranslateStatus::kOk;
-      result.frame = entry.frame();
+      result.frame = frame;
       result.pte_table = table;
       return result;
     }

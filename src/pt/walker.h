@@ -50,7 +50,7 @@ class Walker {
   // table cannot be allocated (genuine ENOMEM after reclaim, or injected page_table_alloc
   // failure). Tables allocated before the failing one stay installed; they are empty and
   // harmless, and teardown reaps them.
-  uint64_t* TryEnsureEntry(FrameId pgd, Vaddr va, PtLevel level);
+  [[nodiscard]] uint64_t* TryEnsureEntry(FrameId pgd, Vaddr va, PtLevel level);
 
   // Returns the frame of the table containing `va`'s entry at `level` (e.g. the PTE-table
   // frame for level kPte), or kInvalidFrame if missing. When `out_pmd_entry` is non-null and
@@ -67,7 +67,7 @@ class Walker {
 FrameId AllocPageTable(FrameAllocator& allocator);
 
 // Fallible AllocPageTable: kInvalidFrame on ENOMEM or injected page_table_alloc failure.
-FrameId TryAllocPageTable(FrameAllocator& allocator);
+[[nodiscard]] FrameId TryAllocPageTable(FrameAllocator& allocator);
 
 }  // namespace odf
 

@@ -135,7 +135,14 @@ class TraceRing {
 // Global runtime switch. Inline so the ODF_TRACE fast path is a single relaxed load.
 inline std::atomic<bool> g_trace_enabled{false};
 
+// With tracing compiled out, Enabled() folds to false so instrumentation-adjacent code
+// (`const bool tracing = trace::Enabled();` timestamp prologues) vanishes too — direct
+// callers get the same zero-cost guarantee as the ODF_TRACE macro itself.
+#if ODF_TRACE_COMPILED
 inline bool Enabled() { return g_trace_enabled.load(std::memory_order_relaxed); }
+#else
+constexpr bool Enabled() { return false; }
+#endif
 void SetEnabled(bool enabled);
 
 // Nanoseconds since the process-wide tracer epoch (steady clock).

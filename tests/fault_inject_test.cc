@@ -81,7 +81,7 @@ TEST_F(FaultInjectTest, TimesBudgetCapsInjections) {
   fi.Arm(FiSite::k_compound_alloc, FiSiteConfig{.interval = 1, .times = 3});
   uint64_t injected = 0;
   for (int call = 0; call < 10; ++call) {
-    injected += fi.ShouldFail(FiSite::k_compound_alloc) ? 1 : 0;
+    injected += fi.ShouldFail(FiSite::k_compound_alloc) ? 1u : 0u;
   }
   EXPECT_EQ(injected, 3u) << "times=3 must stop the every-call schedule after 3 failures";
   EXPECT_EQ(fi.TotalInjected(), 3u);

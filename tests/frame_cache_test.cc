@@ -246,15 +246,14 @@ TEST(FrameCacheTest, IncPtShareBatchMatchesScalar) {
   FrameAllocator allocator;
   std::array<FrameId, 8> tables;
   for (FrameId& table : tables) {
-    table = allocator.Allocate(kPageFlagPageTable);
-    allocator.GetMeta(table).pt_share_count.store(1, std::memory_order_relaxed);
+    table = allocator.Allocate(kPageFlagPageTable);  // Born with pt_share_count == 1.
   }
   allocator.IncPtShareBatch(std::span<const FrameId>(tables));
   for (FrameId table : tables) {
     EXPECT_EQ(allocator.GetMeta(table).pt_share_count.load(std::memory_order_relaxed), 2u);
   }
   for (FrameId table : tables) {
-    allocator.GetMeta(table).pt_share_count.store(0, std::memory_order_relaxed);
+    EXPECT_EQ(allocator.DecPtShare(table), 2u);
     allocator.DecRef(table);
   }
   EXPECT_TRUE(allocator.AllFree());

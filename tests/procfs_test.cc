@@ -2,6 +2,7 @@
 // demonstrates on-demand-fork's memory efficiency.
 #include <gtest/gtest.h>
 
+#include "src/debug/debug.h"
 #include "src/mm/reclaim.h"
 #include "src/proc/procfs.h"
 #include "tests/test_util.h"
@@ -109,6 +110,27 @@ TEST_F(ProcfsTest, FormattersProduceReadableText) {
   EXPECT_NE(smaps.find("anon"), std::string::npos);
   std::string status = FormatStatusLine(report);
   EXPECT_NE(status.find("VmRSS 64 kB"), std::string::npos) << status;
+}
+
+TEST_F(ProcfsTest, DebugVmReportsCompileStateAndCounters) {
+  // The /sys/kernel/debug/debug_vm analog exists in every build; whether the counters
+  // move depends on whether the checkers are compiled in.
+  Vaddr va = p_.Mmap(4 * kPageSize, kProtRead | kProtWrite);
+  FillPattern(p_, va, 4 * kPageSize, 6);
+  kernel_.Fork(p_, ForkMode::kOnDemand);
+  std::string text = FormatDebugVm();
+  std::string expected_compiled =
+      std::string("debug_vm_compiled ") + (debug::Compiled() ? "1" : "0");
+  EXPECT_NE(text.find(expected_compiled), std::string::npos) << text;
+  for (const char* key : {"vm_checks", "lockdep_acquisitions", "verify_runs",
+                          "verify_skipped_concurrent"}) {
+    EXPECT_NE(text.find(key), std::string::npos) << "missing " << key << " in:\n" << text;
+  }
+  if (debug::Compiled()) {
+    EXPECT_EQ(text.find("vm_checks 0\n"), std::string::npos)
+        << "a fork must exercise VM_BUG_ON checks when compiled in:\n" << text;
+    EXPECT_EQ(text.find("lockdep_acquisitions 0\n"), std::string::npos) << text;
+  }
 }
 
 TEST_F(ProcfsTest, HundredOdfChildrenCostAlmostNoTableMemory) {
