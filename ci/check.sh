@@ -48,6 +48,16 @@ run_preset() {
 }
 
 run_preset default
+
+# The reclaim slice again, by itself: `ctest -L reclaim` must stay a usable
+# developer entry point (docs/reclaim.md), so CI exercises the label filter too.
+if [[ -z "$ONLY" || "$ONLY" == "default" ]]; then
+  note "reclaim label (default preset)"
+  if ! ctest --test-dir build -L reclaim --output-on-failure; then
+    FAILURES+=("reclaim label")
+  fi
+fi
+
 run_preset asan-ubsan
 run_preset tsan
 run_preset fault-inject

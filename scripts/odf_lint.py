@@ -33,6 +33,13 @@ offending line or the line above it — always with a reason):
       declaration must carry [[nodiscard]] so ignoring the failure is a compile
       warning, not a silent leak.
 
+  direct-writeback
+      SwapSpace::TryWriteOut may only be called from src/reclaim/ and
+      src/mm/swap.cc. Everywhere else, pushing a page to swap must go through
+      the reclaim shrinker: a direct write-out bypasses the rmap broadcast
+      (other mappings keep referencing the freed frame), the LRU bookkeeping,
+      and the workingset shadow recording (docs/reclaim.md).
+
 Exit status: 0 when clean, 1 when any finding is reported, 2 on usage error.
 """
 
@@ -47,7 +54,18 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SCAN_DIRS = ("src", "tests", "bench", "examples")
 
 # naked-lock applies only where the mm lock graph lives.
-LOCK_CHECKED_DIRS = ("src/phys", "src/pt", "src/mm", "src/core", "src/proc", "src/fs")
+LOCK_CHECKED_DIRS = (
+    "src/phys",
+    "src/pt",
+    "src/mm",
+    "src/core",
+    "src/proc",
+    "src/fs",
+    "src/reclaim",
+)
+
+# direct-writeback: the only places allowed to push pages to the swap device.
+WRITEBACK_ALLOWED = ("src/reclaim/", "src/mm/swap.cc")
 
 ALLOW_RE = re.compile(r"//\s*odf-lint:\s*allow\(([a-z-]+)\)")
 
@@ -61,6 +79,8 @@ NAKED_LOCK_RE = re.compile(
 )
 
 TRACE_CALL_RE = re.compile(r"\btrace::Emit\s*\(")
+
+WRITEBACK_RE = re.compile(r"(?:\.|->)TryWriteOut\s*\(")
 
 # A Try* declaration line in a header: a return type token sequence followed by an
 # UNqualified TryXxx( — qualified names (Foo::TryXxx) are definitions, and `.Try`/`->Try`
@@ -102,6 +122,10 @@ def lint_file(rel_path, findings):
     in_phys = rel_path.startswith("src/phys/")
     in_trace = rel_path.startswith("src/trace/")
     in_debug = rel_path.startswith("src/debug/")
+    writeback_ok = any(
+        rel_path.startswith(d) if d.endswith("/") else rel_path == d
+        for d in WRITEBACK_ALLOWED
+    )
     is_header = rel_path.endswith(".h")
 
     in_block_comment = False
@@ -144,6 +168,14 @@ def lint_file(rel_path, findings):
                 "trace-outside-guard",
                 "direct trace::Emit call outside src/trace — use the "
                 "ODF_TRACE macro (compile-guarded and Enabled()-gated)",
+            )
+
+        if not writeback_ok and WRITEBACK_RE.search(code):
+            report(
+                "direct-writeback",
+                "direct SwapSpace::TryWriteOut call outside src/reclaim/ — evict "
+                "through the shrinker so rmap, LRU, and workingset state stay "
+                "consistent",
             )
 
         if is_header and not in_debug:

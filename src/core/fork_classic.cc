@@ -8,6 +8,7 @@
 #include "src/core/fork_internal.h"
 #include "src/mm/fault.h"
 #include "src/mm/range_ops.h"
+#include "src/reclaim/rmap.h"
 #include "src/trace/metrics.h"
 #include "src/trace/trace.h"
 #include "src/util/log.h"
@@ -22,9 +23,9 @@ namespace {
 // Fig. 3), batch-increment every refcount in one IncRefBatch call, then write the entries.
 // References are taken before any child entry becomes visible, so the table never points at
 // an under-referenced frame.
-void CopyPteSliceFused(FrameAllocator& allocator, SwapSpace* swap, uint64_t* src,
-                       uint64_t* dst, Vaddr lo, Vaddr hi, bool wrprotect,
-                       ForkCounters* counters) {
+void CopyPteSliceFused(FrameAllocator& allocator, SwapSpace* swap,
+                       reclaim::RmapRegistry* rmap, uint64_t* src, uint64_t* dst, Vaddr lo,
+                       Vaddr hi, bool wrprotect, ForkCounters* counters) {
   std::array<uint64_t, kEntriesPerTable> indices;
   std::array<FrameId, kEntriesPerTable> heads;
   size_t present = 0;
@@ -60,6 +61,9 @@ void CopyPteSliceFused(FrameAllocator& allocator, SwapSpace* swap, uint64_t* src
       entry = protected_entry;
     }
     StoreEntry(&dst[index], entry);
+    if (rmap != nullptr) {
+      rmap->Add(entry.frame(), &dst[index]);
+    }
   }
   copied += present;
   if (counters != nullptr) {
@@ -71,9 +75,10 @@ void CopyPteSliceFused(FrameAllocator& allocator, SwapSpace* swap, uint64_t* src
 // Instrumented variant: performs the same work in three batched passes so the time spent in
 // metadata resolution, refcounting, and entry writing can be attributed separately (the
 // Fig. 3 breakdown).
-void CopyPteSliceProfiled(FrameAllocator& allocator, SwapSpace* swap, uint64_t* src,
-                          uint64_t* dst, Vaddr lo, Vaddr hi, bool wrprotect,
-                          ForkProfile* profile, ForkCounters* counters) {
+void CopyPteSliceProfiled(FrameAllocator& allocator, SwapSpace* swap,
+                          reclaim::RmapRegistry* rmap, uint64_t* src, uint64_t* dst,
+                          Vaddr lo, Vaddr hi, bool wrprotect, ForkProfile* profile,
+                          ForkCounters* counters) {
   std::array<uint64_t, kEntriesPerTable> indices;
   std::array<FrameId, kEntriesPerTable> heads;
   size_t present = 0;
@@ -113,6 +118,9 @@ void CopyPteSliceProfiled(FrameAllocator& allocator, SwapSpace* swap, uint64_t* 
       entry = protected_entry;
     }
     StoreEntry(&dst[index], entry);
+    if (rmap != nullptr) {
+      rmap->Add(entry.frame(), &dst[index]);
+    }
   }
   profile->entry_copy_ns += sw.ElapsedNanos();
 
@@ -125,8 +133,8 @@ void CopyPteSliceProfiled(FrameAllocator& allocator, SwapSpace* swap, uint64_t* 
 
 }  // namespace
 
-void CopyHugeEntry(FrameAllocator& allocator, uint64_t* parent_slot, uint64_t* child_slot,
-                   ForkCounters* counters) {
+void CopyHugeEntry(FrameAllocator& allocator, reclaim::RmapRegistry* rmap,
+                   uint64_t* parent_slot, uint64_t* child_slot, ForkCounters* counters) {
   Pte entry = LoadEntry(parent_slot);
   ODF_DCHECK(entry.IsPresent() && entry.IsHuge());
   FrameId head = entry.frame();
@@ -137,6 +145,9 @@ void CopyHugeEntry(FrameAllocator& allocator, uint64_t* parent_slot, uint64_t* c
     entry = protected_entry;
   }
   StoreEntry(child_slot, entry);
+  if (rmap != nullptr) {
+    rmap->Add(head, child_slot, /*huge=*/true);
+  }
   if (counters != nullptr) {
     ++counters->huge_entries_copied;
   }
@@ -213,7 +224,7 @@ bool ClassicCopyPageTables(AddressSpace& parent, AddressSpace& child, ForkProfil
           return false;
         }
         if (!LoadEntry(child_pmd).IsPresent()) {
-          CopyHugeEntry(allocator, parent_pmd, child_pmd, counters);
+          CopyHugeEntry(allocator, child.rmap(), parent_pmd, child_pmd, counters);
         }
         continue;
       }
@@ -248,11 +259,11 @@ bool ClassicCopyPageTables(AddressSpace& parent, AddressSpace& child, ForkProfil
       if (profile != nullptr) {
         profile->table_alloc_ns += alloc_sw.ElapsedNanos();
         ++profile->pte_tables_visited;
-        CopyPteSliceProfiled(allocator, parent.swap_space(), src, dst, lo, hi, wrprotect,
-                             profile, counters);
+        CopyPteSliceProfiled(allocator, parent.swap_space(), child.rmap(), src, dst, lo, hi,
+                             wrprotect, profile, counters);
       } else {
-        CopyPteSliceFused(allocator, parent.swap_space(), src, dst, lo, hi, wrprotect,
-                          counters);
+        CopyPteSliceFused(allocator, parent.swap_space(), child.rmap(), src, dst, lo, hi,
+                          wrprotect, counters);
       }
     }
   }

@@ -5,6 +5,8 @@
 
 #include "src/proc/auditor.h"
 #include "src/proc/kernel.h"
+#include "src/reclaim/mm_gate.h"
+#include "src/reclaim/rmap.h"
 #include "src/util/log.h"
 
 namespace odf {
@@ -107,6 +109,29 @@ void SweepFrameArray(Kernel& kernel, const AuditResult& audit, VerifyResult& res
   }
 }
 
+// Cross-checks the rmap registry against the auditor's page-table walk: every present
+// leaf slot must be registered with exactly the frame id and granularity stored in it,
+// and the registry must hold nothing else (an exact bijection — docs/reclaim.md "Rmap
+// invariants"). A missing location means reclaim cannot find a mapping (data corruption
+// on eviction); a stale one means reclaim would rewrite a slot it no longer owns.
+void CheckRmap(Kernel& kernel, const AuditResult& audit, VerifyResult& result) {
+  reclaim::RmapRegistry& rmap = kernel.rmap();
+  for (const auto& [slot, mapping] : audit.leaf_slots) {
+    if (!rmap.Contains(mapping.first, slot, mapping.second)) {
+      result.violations.push_back(
+          "present leaf entry for frame " + std::to_string(mapping.first) +
+          (mapping.second ? " (huge)" : "") + " has no rmap location");
+    }
+  }
+  uint64_t locations = rmap.TotalLocations();
+  if (locations != audit.leaf_slots.size()) {
+    result.violations.push_back(
+        "rmap holds " + std::to_string(locations) + " locations but the walk found " +
+        std::to_string(audit.leaf_slots.size()) +
+        " present leaf entries (stale or duplicate rmap state)");
+  }
+}
+
 }  // namespace
 
 std::string VerifyResult::Describe() const {
@@ -125,12 +150,17 @@ std::string VerifyResult::Describe() const {
 }
 
 VerifyResult VerifyKernel(Kernel& kernel) {
+  // Freeze the VM: the walk reads paging structures non-atomically and the rmap
+  // comparison needs slots that are not being rewritten. The exclusive gate holds off
+  // every mutator AND the shrinker (reentrant if this thread already holds it).
+  reclaim::MmGate::ExclusiveScope gate;
   AuditResult audit = AuditKernel(kernel);
   VerifyResult result;
   result.violations = audit.violations;
   result.processes_audited = audit.processes_audited;
   result.tables_checked = audit.tables_checked;
   result.leaf_entries_checked = audit.leaf_entries_checked;
+  CheckRmap(kernel, audit, result);
   SweepFrameArray(kernel, audit, result);
   return result;
 }

@@ -44,7 +44,9 @@ namespace odf {
   X(compound_alloc)         \
   X(page_table_alloc)       \
   X(swap_out)               \
-  X(swap_in)
+  X(swap_in)                \
+  X(rmap_alloc)             \
+  X(reclaim_writeback)
 
 enum class FiSite : uint32_t {
 #define ODF_FI_ENUM_MEMBER(name) k_##name,

@@ -12,7 +12,8 @@ namespace odf {
 namespace {
 
 // Page-cache lock classes. MemFile::mutex_ is held while calling into the frame allocator
-// (GetPage allocates, Truncate frees), so the recorded order is file -> pool.
+// to FREE (Truncate, GetPage's lost-race DecRef), so the recorded order is file -> pool.
+// Allocation happens outside mutex_ (it can block in direct reclaim — see mm_gate.h).
 debug::LockClass g_mem_file_lock_class("MemFile::mutex_");
 debug::LockClass g_mem_fs_lock_class("MemFilesystem::mutex_");
 
@@ -34,16 +35,25 @@ uint64_t MemFile::size() const {
 
 FrameId MemFile::GetPage(uint64_t index) {
   debug::MutationScope mutation;  // May allocate a page-cache frame.
-  debug::MutexGuard guard(mutex_, g_mem_file_lock_class);
-  auto it = cache_.find(index);
-  if (it != cache_.end()) {
-    return it->second;
+  {
+    debug::MutexGuard guard(mutex_, g_mem_file_lock_class);
+    auto it = cache_.find(index);
+    if (it != cache_.end()) {
+      return it->second;
+    }
   }
+  // Allocate OUTSIDE mutex_: a NOFAIL allocation under pressure blocks in direct reclaim,
+  // and no lock may be held at a quota-wait point (src/reclaim/mm_gate.h). Double-checked
+  // insert: a racing caller may have populated the slot meanwhile — keep theirs, free ours.
   // Faulting a page into the cache does not change the file size (pages past EOF can be
   // cached for mappings, as in real page caches).
   FrameId frame = allocator_->Allocate(kPageFlagFile | kPageFlagZeroFill);
-  cache_.emplace(index, frame);
-  return frame;
+  debug::MutexGuard guard(mutex_, g_mem_file_lock_class);
+  auto [it, inserted] = cache_.emplace(index, frame);
+  if (!inserted) {
+    allocator_->DecRef(frame);
+  }
+  return it->second;
 }
 
 FrameId MemFile::PeekPage(uint64_t index) const {

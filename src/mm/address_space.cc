@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/mm/range_ops.h"
+#include "src/reclaim/rmap.h"
 #include "src/util/log.h"
 
 namespace odf {
@@ -19,9 +20,11 @@ constexpr Vaddr kGuardGap = kPageSize;
 
 }  // namespace
 
-AddressSpace::AddressSpace(FrameAllocator* allocator, SwapSpace* swap)
+AddressSpace::AddressSpace(FrameAllocator* allocator, SwapSpace* swap,
+                           reclaim::RmapRegistry* rmap)
     : allocator_(allocator),
       swap_(swap),
+      rmap_(rmap),
       walker_(allocator),
       pgd_(AllocPageTable(*allocator)),
       mmap_cursor_(kMmapBase) {}
@@ -293,6 +296,9 @@ void AddressSpace::PopulateRange(Vaddr start, uint64_t length) {
         flags |= kPteWritable;
       }
       StoreEntry(pmd_slot, Pte::Make(head, flags));
+      if (rmap_ != nullptr) {
+        rmap_->Add(head, pmd_slot, /*huge=*/true);
+      }
     }
     return;
   }
@@ -323,6 +329,9 @@ void AddressSpace::PopulateRange(Vaddr start, uint64_t length) {
       }
       for (size_t k = 0; k < absent; ++k) {
         StoreEntry(slots[k], Pte::Make(frames[k], flags));
+        if (rmap_ != nullptr) {
+          rmap_->Add(frames[k], slots[k]);
+        }
       }
       chunk = chunk_end;
       continue;
@@ -339,6 +348,9 @@ void AddressSpace::PopulateRange(Vaddr start, uint64_t length) {
         flags |= kPteWritable;
       }
       StoreEntry(slot, Pte::Make(cache_frame, flags));
+      if (rmap_ != nullptr) {
+        rmap_->Add(cache_frame, slot);
+      }
     }
     chunk = chunk_end;
   }

@@ -23,6 +23,10 @@
 
 namespace odf {
 
+namespace reclaim {
+class RmapRegistry;
+}  // namespace reclaim
+
 struct MmStats {
   uint64_t demand_zero_faults = 0;
   uint64_t file_faults = 0;
@@ -42,7 +46,11 @@ struct MmStats {
 
 class AddressSpace {
  public:
-  explicit AddressSpace(FrameAllocator* allocator, SwapSpace* swap = nullptr);
+  // `rmap`, when provided (the Kernel always does), receives every leaf-PTE install and
+  // clear this address space performs, feeding page reclaim (src/reclaim). Standalone
+  // mm-layer tests may pass nullptr: all rmap maintenance is skipped.
+  explicit AddressSpace(FrameAllocator* allocator, SwapSpace* swap = nullptr,
+                        reclaim::RmapRegistry* rmap = nullptr);
   ~AddressSpace();
 
   AddressSpace(const AddressSpace&) = delete;
@@ -95,6 +103,7 @@ class AddressSpace {
   Walker& walker() { return walker_; }
   FrameAllocator& allocator() { return *allocator_; }
   SwapSpace* swap_space() { return swap_; }
+  reclaim::RmapRegistry* rmap() { return rmap_; }
   MmStats& stats() { return stats_; }
   const MmStats& stats() const { return stats_; }
   std::mutex& lock() { return lock_; }
@@ -124,6 +133,7 @@ class AddressSpace {
 
   FrameAllocator* allocator_;
   SwapSpace* swap_;
+  reclaim::RmapRegistry* rmap_;
   Walker walker_;
   FrameId pgd_;
   Tlb tlb_;

@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "src/mm/range_ops.h"
+#include "src/reclaim/lru.h"
+#include "src/reclaim/rmap.h"
 #include "src/trace/metrics.h"
 #include "src/trace/trace.h"
 #include "src/util/log.h"
@@ -71,6 +73,9 @@ bool DemandInstall(AddressSpace& as, VmArea& vma, Vaddr va, uint64_t* slot) {
     ODF_TRACE(fault_file, as.owner_pid(), va);
   }
   StoreEntry(slot, Pte::Make(frame, flags));
+  if (as.rmap() != nullptr) {
+    as.rmap()->Add(frame, slot);
+  }
   return true;
 }
 
@@ -119,8 +124,14 @@ bool DataCowFault(AddressSpace& as, VmArea& vma, Vaddr va, uint64_t* slot) {
     std::memcpy(dst, src, kPageSize);
   }
   // else: the source was never materialised (logical zero) — the copy stays lazy-zero.
+  if (as.rmap() != nullptr) {
+    as.rmap()->Remove(frame, slot);
+  }
   StoreEntry(slot, Pte::Make(copy, kPtePresent | kPteWritable | kPteUser | kPteAccessed |
                                        kPteDirty));
+  if (as.rmap() != nullptr) {
+    as.rmap()->Add(copy, slot);
+  }
   PutMappedPage(allocator, entry, /*huge=*/false);
   as.tlb().InvalidatePage(va);
   ++as.stats().cow_page_faults;
@@ -147,6 +158,9 @@ bool HugeDemandInstall(AddressSpace& as, VmArea& vma, Vaddr chunk_base, uint64_t
     flags |= kPteWritable;
   }
   StoreEntry(pmd_slot, Pte::Make(head, flags));
+  if (as.rmap() != nullptr) {
+    as.rmap()->Add(head, pmd_slot, /*huge=*/true);
+  }
   ++as.stats().demand_zero_faults;
   CountVm(VmCounter::k_pgfault_demand_zero);
   ODF_TRACE(fault_demand_zero, as.owner_pid(), chunk_base, /*ns=*/0, /*huge=*/1);
@@ -176,6 +190,13 @@ bool SplitHugeMapping(AddressSpace& as, Vaddr chunk_base, uint64_t* pmd_slot) {
   uint64_t flags = kPtePresent | kPteUser | (entry.flags() & kPteAccessed);
   for (FrameId i = 0; i < kCompoundFrames; ++i) {
     StoreEntry(&entries[i], Pte::Make(head + i, flags));
+    if (as.rmap() != nullptr) {
+      // Tails register under head+i — the frame id exactly as the new PTE stores it.
+      as.rmap()->Add(head + i, &entries[i]);
+    }
+  }
+  if (as.rmap() != nullptr) {
+    as.rmap()->Remove(head, pmd_slot, /*huge=*/true);
   }
   StoreEntry(pmd_slot, Pte::Make(table, kPtePresent | kPteWritable | kPteUser |
                                             (entry.flags() & kPteAccessed)));
@@ -218,8 +239,14 @@ bool HugeCowFault(AddressSpace& as, Vaddr chunk_base, uint64_t* pmd_slot) {
     std::byte* dst = allocator.MaterializeData(copy, /*zero=*/false);
     std::memcpy(dst, src, kHugePageSize);
   }
+  if (as.rmap() != nullptr) {
+    as.rmap()->Remove(head, pmd_slot, /*huge=*/true);
+  }
   StoreEntry(pmd_slot, Pte::Make(copy, kPtePresent | kPteWritable | kPteUser | kPteAccessed |
                                            kPteDirty | kPteHuge));
+  if (as.rmap() != nullptr) {
+    as.rmap()->Add(copy, pmd_slot, /*huge=*/true);
+  }
   PutMappedPage(allocator, entry, /*huge=*/true);
   as.tlb().InvalidateRange(chunk_base, chunk_base + kHugePageSize);
   ++as.stats().cow_huge_faults;
@@ -375,6 +402,15 @@ FaultResult HandleFault(AddressSpace& as, Vaddr va, AccessType access, FrameId* 
         flags |= kPteWritable;
       }
       StoreEntry(slot, Pte::Make(frame, flags));
+      if (as.rmap() != nullptr) {
+        as.rmap()->Add(frame, slot);
+        reclaim::PageLru* lru = as.rmap()->lru();
+        if (lru != nullptr && lru->NoteRefault(entry.swap_slot())) {
+          // Workingset refault: the page was evicted too recently — start it on the
+          // active list instead of making it walk up from inactive again.
+          lru->Activate(frame);
+        }
+      }
       ++as.stats().swap_in_faults;
       CountVm(VmCounter::k_pgfault_swap_in);
       ODF_TRACE(fault_swap_in, as.owner_pid(), va, entry.swap_slot());

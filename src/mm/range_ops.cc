@@ -6,6 +6,7 @@
 #include <span>
 
 #include "src/debug/lockdep.h"
+#include "src/reclaim/rmap.h"
 #include "src/trace/metrics.h"
 #include "src/trace/trace.h"
 #include "src/util/log.h"
@@ -62,7 +63,8 @@ void PutMappedPage(FrameAllocator& allocator, Pte entry, bool huge) {
   allocator.DecRef(ResolveCompoundHead(meta, frame));
 }
 
-void DropPteTableReference(FrameAllocator& allocator, SwapSpace* swap, FrameId table) {
+void DropPteTableReference(FrameAllocator& allocator, SwapSpace* swap,
+                           reclaim::RmapRegistry* rmap, FrameId table) {
   if (allocator.DecPtShare(table) != 1) {
     return;
   }
@@ -77,6 +79,9 @@ void DropPteTableReference(FrameAllocator& allocator, SwapSpace* swap, FrameId t
     Pte entry = LoadEntry(&entries[i]);
     if (entry.IsPresent()) {
       FrameId frame = entry.frame();
+      if (rmap != nullptr) {
+        rmap->Remove(frame, &entries[i]);
+      }
       heads[mapped++] = ResolveCompoundHead(allocator.GetMeta(frame), frame);
       StoreEntry(&entries[i], Pte());
     } else if (entry.IsSwap()) {
@@ -89,7 +94,8 @@ void DropPteTableReference(FrameAllocator& allocator, SwapSpace* swap, FrameId t
   allocator.DecRef(table);
 }
 
-void DropPmdTableReference(FrameAllocator& allocator, SwapSpace* swap, FrameId table) {
+void DropPmdTableReference(FrameAllocator& allocator, SwapSpace* swap,
+                           reclaim::RmapRegistry* rmap, FrameId table) {
   if (allocator.DecPtShare(table) != 1) {
     return;
   }
@@ -105,9 +111,12 @@ void DropPmdTableReference(FrameAllocator& allocator, SwapSpace* swap, FrameId t
     }
     if (entry.IsHuge()) {
       ODF_DCHECK(allocator.GetMeta(entry.frame()).IsCompoundHead());
+      if (rmap != nullptr) {
+        rmap->Remove(entry.frame(), &entries[i], /*huge=*/true);
+      }
       huge_heads[huge_count++] = entry.frame();
     } else {
-      DropPteTableReference(allocator, swap, entry.frame());
+      DropPteTableReference(allocator, swap, rmap, entry.frame());
     }
     StoreEntry(&entries[i], Pte());
   }
@@ -124,12 +133,23 @@ FrameId DedicatePmdTable(AddressSpace& as, Vaddr pud_span_base, uint64_t* pud_sl
   ODF_DCHECK(pud.IsPresent() && !pud.IsHuge());
   FrameId shared = pud.frame();
 
+  // Allocate the private table BEFORE taking the split lock: a NOFAIL allocation may block
+  // in direct reclaim (which takes the MmGate exclusively), and no lock may be held at a
+  // quota-wait point (src/reclaim/mm_gate.h). The fixup path below frees the spare.
+  FrameId dedicated = policy == AllocPolicy::kTry ? TryAllocPageTable(allocator)
+                                                  : AllocPageTable(allocator);
+  if (dedicated == kInvalidFrame) {
+    // kTry only: nothing has been mutated; the caller unwinds or degrades.
+    return kInvalidFrame;
+  }
+
   debug::MutexGuard guard(PtSplitLock(shared), g_pt_split_lock_class);
   PageMeta& shared_meta = allocator.GetMeta(shared);
   uint32_t share = shared_meta.pt_share_count.load(std::memory_order_acquire);
   ODF_DCHECK(share >= 1);
   Vaddr span_end = pud_span_base + EntrySpan(PtLevel::kPud);
   if (share == 1) {
+    allocator.DecRef(dedicated);  // The other sharers went away: the spare is unused.
     StoreEntry(pud_slot, pud.WithFlag(kPteWritable));
     as.tlb().InvalidateRange(pud_span_base, span_end);
     ++as.stats().pmd_table_fixups;
@@ -138,12 +158,6 @@ FrameId DedicatePmdTable(AddressSpace& as, Vaddr pud_span_base, uint64_t* pud_sl
     return shared;
   }
 
-  FrameId dedicated = policy == AllocPolicy::kTry ? TryAllocPageTable(allocator)
-                                                  : AllocPageTable(allocator);
-  if (dedicated == kInvalidFrame) {
-    // kTry only: nothing has been mutated; the caller unwinds or degrades.
-    return kInvalidFrame;
-  }
   uint64_t* src = allocator.TableEntries(shared);
   uint64_t* dst = allocator.TableEntries(dedicated);
   // Collect first, then take every reference in two batch calls (huge-page refcounts and
@@ -180,6 +194,11 @@ FrameId DedicatePmdTable(AddressSpace& as, Vaddr pud_span_base, uint64_t* pud_sl
       entry = protected_entry;
     }
     StoreEntry(&dst[i], entry);
+    if (entry.IsHuge() && as.rmap() != nullptr) {
+      // The copied PMD leaf is a brand-new mapping of the huge page (matching the IncRef
+      // above); PTE-table pointers are not leaves and add no reverse-map entries.
+      as.rmap()->Add(entry.frame(), &dst[i], /*huge=*/true);
+    }
   }
   StoreEntry(pud_slot, Pte::Make(dedicated, kPtePresent | kPteWritable | kPteUser |
                                                 (pud.flags() & kPteAccessed)));
@@ -223,6 +242,15 @@ FrameId DedicatePteTable(AddressSpace& as, Vaddr chunk_base, uint64_t* pmd_slot,
   ODF_DCHECK(pmd.IsPresent() && !pmd.IsHuge());
   FrameId shared = pmd.frame();
 
+  // Allocate the private table BEFORE taking the split lock (see DedicatePmdTable: no lock
+  // may be held at a quota-wait point). The fixup path below frees the spare.
+  FrameId dedicated = policy == AllocPolicy::kTry ? TryAllocPageTable(allocator)
+                                                  : AllocPageTable(allocator);
+  if (dedicated == kInvalidFrame) {
+    // kTry only: nothing has been mutated; the caller unwinds or degrades.
+    return kInvalidFrame;
+  }
+
   debug::MutexGuard guard(PtSplitLock(shared), g_pt_split_lock_class);
   PageMeta& shared_meta = allocator.GetMeta(shared);
   uint32_t share = shared_meta.pt_share_count.load(std::memory_order_acquire);
@@ -231,6 +259,7 @@ FrameId DedicatePteTable(AddressSpace& as, Vaddr chunk_base, uint64_t* pmd_slot,
     // The other sharers went away while we were faulting: the table is already ours.
     // Re-enable the hierarchical write permission and keep it (paper §3.4: "both the
     // previously shared table and the new table become dedicated").
+    allocator.DecRef(dedicated);
     StoreEntry(pmd_slot, pmd.WithFlag(kPteWritable));
     as.tlb().InvalidateRange(chunk_base, chunk_base + kPteTableSpan);
     ++as.stats().pte_table_fixups;
@@ -239,12 +268,6 @@ FrameId DedicatePteTable(AddressSpace& as, Vaddr chunk_base, uint64_t* pmd_slot,
     return shared;
   }
 
-  FrameId dedicated = policy == AllocPolicy::kTry ? TryAllocPageTable(allocator)
-                                                  : AllocPageTable(allocator);
-  if (dedicated == kInvalidFrame) {
-    // kTry only: nothing has been mutated; the caller unwinds or degrades.
-    return kInvalidFrame;
-  }
   uint64_t* src = allocator.TableEntries(shared);
   uint64_t* dst = allocator.TableEntries(dedicated);
   // This is the deferred cost the paper measures in Table 1: one metadata lookup per entry,
@@ -284,6 +307,12 @@ FrameId DedicatePteTable(AddressSpace& as, Vaddr chunk_base, uint64_t* pmd_slot,
       entry = protected_entry;
     }
     StoreEntry(&dst[i], entry);
+    if (as.rmap() != nullptr) {
+      // Each copied PTE is a new mapping of the page, mirroring the IncRef above. The
+      // reverse map keys by the frame id AS STORED in the entry (a split-huge tail
+      // registers under head+i), so entry.frame() is correct even for compound frames.
+      as.rmap()->Add(entry.frame(), &dst[i]);
+    }
   }
   // Repoint this address space's PMD entry at the private copy, restoring write permission
   // at the PMD level, and drop our reference to the shared table.
@@ -347,7 +376,7 @@ void ZapRange(AddressSpace& as, Vaddr start, Vaddr end) {
                               RangeHasLiveVma(as, covered_hi, pud_end);
         if (!remainder_live) {
           StoreEntry(pud_slot, Pte());
-          DropPmdTableReference(allocator, as.swap_space(), pud.frame());
+          DropPmdTableReference(allocator, as.swap_space(), as.rmap(), pud.frame());
           as.tlb().InvalidateRange(pud_base, pud_end);
           // Skip the rest of this PUD span (the loop increment adds one chunk).
           chunk_base = std::min(pud_end, end) - kPteTableSpan;
@@ -370,6 +399,9 @@ void ZapRange(AddressSpace& as, Vaddr start, Vaddr end) {
       // Huge mappings are unmapped at 2 MiB granularity (enforced by AddressSpace::Unmap).
       ODF_CHECK(lo == chunk_base && hi == chunk_end)
           << "partial unmap of a huge mapping is not supported";
+      if (as.rmap() != nullptr) {
+        as.rmap()->Remove(pmd.frame(), pmd_slot, /*huge=*/true);
+      }
       PutMappedPage(allocator, pmd, /*huge=*/true);
       StoreEntry(pmd_slot, Pte());
       as.tlb().InvalidateRange(lo, hi);
@@ -388,7 +420,7 @@ void ZapRange(AddressSpace& as, Vaddr start, Vaddr end) {
                                             RangeHasLiveVma(as, hi, chunk_end));
       if (!remainder_live) {
         StoreEntry(pmd_slot, Pte());
-        DropPteTableReference(allocator, as.swap_space(), table);
+        DropPteTableReference(allocator, as.swap_space(), as.rmap(), table);
         as.tlb().InvalidateRange(chunk_base, chunk_end);
         continue;
       }
@@ -398,7 +430,7 @@ void ZapRange(AddressSpace& as, Vaddr start, Vaddr end) {
     if (full_chunk) {
       StoreEntry(pmd_slot, Pte());
       // Last ref: puts every mapped page and swap slot.
-      DropPteTableReference(allocator, as.swap_space(), table);
+      DropPteTableReference(allocator, as.swap_space(), as.rmap(), table);
       as.tlb().InvalidateRange(chunk_base, chunk_end);
       continue;
     }
@@ -411,6 +443,9 @@ void ZapRange(AddressSpace& as, Vaddr start, Vaddr end) {
       Pte entry = LoadEntry(slot);
       if (entry.IsPresent()) {
         FrameId frame = entry.frame();
+        if (as.rmap() != nullptr) {
+          as.rmap()->Remove(frame, slot);
+        }
         heads[mapped++] = ResolveCompoundHead(allocator.GetMeta(frame), frame);
         StoreEntry(slot, Pte());
       } else if (entry.IsSwap()) {
@@ -422,7 +457,7 @@ void ZapRange(AddressSpace& as, Vaddr start, Vaddr end) {
     allocator.DecRefBatch(std::span<const FrameId>(heads.data(), mapped));
     if (TableIsEmpty(allocator, table)) {
       StoreEntry(pmd_slot, Pte());
-      DropPteTableReference(allocator, as.swap_space(), table);
+      DropPteTableReference(allocator, as.swap_space(), as.rmap(), table);
     }
     as.tlb().InvalidateRange(lo, hi);
   }
@@ -476,6 +511,9 @@ void MovePageRange(AddressSpace& as, Vaddr old_start, Vaddr new_start, uint64_t 
     ODF_DCHECK(!LoadEntry(dst_slot).IsPresent()) << "mremap destination already mapped";
     StoreEntry(dst_slot, entry);
     StoreEntry(src_slot, Pte());
+    if (entry.IsPresent() && as.rmap() != nullptr) {
+      as.rmap()->Move(entry.frame(), src_slot, dst_slot);
+    }
   }
   as.tlb().InvalidateRange(old_start, old_start + length);
   as.tlb().InvalidateRange(new_start, new_start + length);
@@ -533,8 +571,8 @@ void ProtectRange(AddressSpace& as, Vaddr start, Vaddr end, uint32_t prot) {
 
 namespace {
 
-void FreeTableRecursive(FrameAllocator& allocator, SwapSpace* swap, FrameId table,
-                        PtLevel level) {
+void FreeTableRecursive(FrameAllocator& allocator, SwapSpace* swap,
+                        reclaim::RmapRegistry* rmap, FrameId table, PtLevel level) {
   uint64_t* entries = allocator.TableEntries(table);
   for (uint64_t i = 0; i < kEntriesPerTable; ++i) {
     Pte entry = LoadEntry(&entries[i]);
@@ -544,11 +582,11 @@ void FreeTableRecursive(FrameAllocator& allocator, SwapSpace* swap, FrameId tabl
     if (level == PtLevel::kPud) {
       // PMD tables may be shared (§4 extension) or hold leftover leaf state; dropping the
       // reference handles both (the last dropper releases huge pages and PTE tables).
-      DropPmdTableReference(allocator, swap, entry.frame());
+      DropPmdTableReference(allocator, swap, rmap, entry.frame());
       StoreEntry(&entries[i], Pte());
       continue;
     }
-    FreeTableRecursive(allocator, swap, entry.frame(), NextLevel(level));
+    FreeTableRecursive(allocator, swap, rmap, entry.frame(), NextLevel(level));
     StoreEntry(&entries[i], Pte());
   }
   allocator.DecRef(table);
@@ -557,7 +595,7 @@ void FreeTableRecursive(FrameAllocator& allocator, SwapSpace* swap, FrameId tabl
 }  // namespace
 
 void FreePageTables(AddressSpace& as) {
-  FreeTableRecursive(as.allocator(), as.swap_space(), as.pgd(), PtLevel::kPgd);
+  FreeTableRecursive(as.allocator(), as.swap_space(), as.rmap(), as.pgd(), PtLevel::kPgd);
 }
 
 }  // namespace odf

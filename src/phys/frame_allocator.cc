@@ -99,6 +99,13 @@ FrameId FrameAllocator::PopFreeLocked() {
 void FrameAllocator::SetFrameLimit(uint64_t frames) {
   debug::MutexGuard guard(mutex_, g_pool_lock_class);
   frame_limit_.store(frames, std::memory_order_relaxed);
+  if (!watermarks_explicit_) {
+    // min_free_kbytes-style scaling; +4 keeps tiny test pools from a zero floor.
+    uint64_t min = frames == 0 ? 0 : frames / 64 + 4;
+    wm_min_.store(min, std::memory_order_relaxed);
+    wm_low_.store(min * 2, std::memory_order_relaxed);
+    wm_high_.store(min * 3, std::memory_order_relaxed);
+  }
 }
 
 uint64_t FrameAllocator::frame_limit() const {
@@ -110,7 +117,62 @@ void FrameAllocator::SetReclaimCallback(ReclaimCallback callback) {
   reclaim_callback_ = std::move(callback);
 }
 
+void FrameAllocator::SetWatermarks(Watermarks wm) {
+  debug::MutexGuard guard(mutex_, g_pool_lock_class);
+  wm_min_.store(wm.min, std::memory_order_relaxed);
+  wm_low_.store(wm.low, std::memory_order_relaxed);
+  wm_high_.store(wm.high, std::memory_order_relaxed);
+  watermarks_explicit_ = true;
+}
+
+FrameAllocator::Watermarks FrameAllocator::watermarks() const {
+  return Watermarks{wm_min_.load(std::memory_order_relaxed),
+                    wm_low_.load(std::memory_order_relaxed),
+                    wm_high_.load(std::memory_order_relaxed)};
+}
+
+uint64_t FrameAllocator::FreeFrames() const {
+  uint64_t limit = frame_limit_.load(std::memory_order_relaxed);
+  if (limit == 0) {
+    return UINT64_MAX;
+  }
+  uint64_t allocated = stats_.allocated_frames.load(std::memory_order_relaxed);
+  return allocated >= limit ? 0 : limit - allocated;
+}
+
+void FrameAllocator::SetPressureCallback(PressureCallback callback) {
+  bool armed = callback != nullptr;
+  {
+    debug::MutexGuard guard(mutex_, g_pool_lock_class);
+    pressure_callback_ = std::move(callback);
+  }
+  pressure_armed_.store(armed, std::memory_order_release);
+}
+
+void FrameAllocator::MaybeWakeReclaim(uint64_t want) {
+  // Fast path: one relaxed load when no daemon is listening (the common case in tests).
+  if (!pressure_armed_.load(std::memory_order_acquire)) {
+    return;
+  }
+  uint64_t free = FreeFrames();
+  uint64_t low = wm_low_.load(std::memory_order_relaxed);
+  if (free == UINT64_MAX || free >= low + want) {
+    return;
+  }
+  PressureCallback callback;
+  {
+    debug::MutexGuard guard(mutex_, g_pool_lock_class);
+    callback = pressure_callback_;
+  }
+  if (callback) {
+    callback();
+  }
+}
+
 bool FrameAllocator::TryWaitForQuota(uint64_t frames) {
+  // Nudge kswapd first — even when this allocation fits, crossing LOW should start the
+  // background daemon so later allocations find headroom (the wakeup_kswapd analog).
+  MaybeWakeReclaim(frames);
   // Like the kernel putting the faulting process to sleep while it frees memory (§4): run
   // reclaim rounds until the allocation fits, or report OOM when no progress is possible.
   for (int attempt = 0; attempt < 16; ++attempt) {

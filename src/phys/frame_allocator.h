@@ -163,6 +163,33 @@ class FrameAllocator {
   using ReclaimCallback = std::function<uint64_t(uint64_t want)>;
   void SetReclaimCallback(ReclaimCallback callback);
 
+  // --- Watermarks and background reclaim (src/reclaim, docs/reclaim.md) ---
+  //
+  // The zone-watermark analog. While a frame limit is armed, allocations compare the free
+  // count against LOW on their way through the quota gate: below LOW the pressure callback
+  // (kswapd's Wake) fires, and the daemon reclaims until free frames recover to HIGH. MIN
+  // is advisory — the depth at which direct reclaim is expected to be doing the work.
+  struct Watermarks {
+    uint64_t min = 0;
+    uint64_t low = 0;
+    uint64_t high = 0;
+  };
+
+  // Overrides the derived defaults (SetFrameLimit sets min = frames/64 + 4, low = 2*min,
+  // high = 3*min, mirroring the kernel's min_free_kbytes scaling).
+  void SetWatermarks(Watermarks wm);
+  Watermarks watermarks() const;
+
+  // Frames still allocatable under the current limit (limit - allocated, saturating at 0);
+  // UINT64_MAX while unlimited.
+  uint64_t FreeFrames() const;
+
+  // Cheap, non-blocking notification hook invoked (outside the allocator lock) when an
+  // allocation observes free < low. Distinct from the reclaim callback: this one only
+  // nudges a daemon, it must not reclaim inline or take heavy locks.
+  using PressureCallback = std::function<void()>;
+  void SetPressureCallback(PressureCallback callback);
+
   // Internal: returns `cache`'s frames to the shared free list. Called (under the cache
   // registry lock) when a thread exits with cached frames; see src/phys/per_cpu_cache.h.
   void DrainCacheToPool(phys_internal::PerCpuCache& cache);
@@ -221,9 +248,19 @@ class FrameAllocator {
   // Never-reused identity for the per-thread cache table (see per_cpu_cache.h).
   const uint64_t id_;
 
+  // Wakes the pressure callback when `want` more frames would leave free below LOW.
+  void MaybeWakeReclaim(uint64_t want);
+
   mutable std::mutex mutex_;
   std::atomic<uint64_t> frame_limit_{0};
+  std::atomic<uint64_t> wm_min_{0};
+  std::atomic<uint64_t> wm_low_{0};
+  std::atomic<uint64_t> wm_high_{0};
+  // Explicit SetWatermarks pins the values; otherwise SetFrameLimit re-derives them.
+  bool watermarks_explicit_ = false;  // Under mutex_.
   ReclaimCallback reclaim_callback_;
+  PressureCallback pressure_callback_;
+  std::atomic<bool> pressure_armed_{false};
   std::vector<std::unique_ptr<PageMeta[]>> chunks_;  // Ownership; indexing goes via the spine.
   std::array<std::atomic<PageMeta*>, kMaxChunks> chunk_table_{};
   std::vector<FrameId> free_list_;

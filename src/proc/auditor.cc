@@ -82,6 +82,8 @@ void WalkPmdTables(AuditState& state) {
         state.result->reachable_frames.insert(entry.frame());
         ++state.page_refs[entry.frame()];
         ++state.result->leaf_entries_checked;
+        state.result->leaf_slots.emplace(&entries[i],
+                                         std::make_pair(entry.frame(), true));
         continue;
       }
       CheckTableFrame(state, entry.frame(), "PTE-table");
@@ -119,6 +121,7 @@ void WalkPteTables(AuditState& state) {
       state.result->reachable_frames.insert(ResolveCompoundHead(meta, frame));
       ++state.page_refs[ResolveCompoundHead(meta, frame)];
       ++state.result->leaf_entries_checked;
+      state.result->leaf_slots.emplace(&entries[i], std::make_pair(frame, false));
     }
   }
 }

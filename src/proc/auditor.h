@@ -16,7 +16,9 @@
 #define ODF_SRC_PROC_AUDITOR_H_
 
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "src/proc/kernel.h"
@@ -34,6 +36,12 @@ struct AuditResult {
   // frames. odf::debug::VerifyKernel diffs this against the allocator's full PageMeta
   // array — an allocated frame absent from this set is a leak.
   std::unordered_set<FrameId> reachable_frames;
+
+  // Every PRESENT leaf slot the walk found — a PTE, or a huge PMD entry — mapped to the
+  // frame id exactly as stored in it and whether it is huge. Shared tables contribute each
+  // slot ONCE (the walk visits distinct tables), which is precisely the granularity the
+  // rmap registry records; VerifyKernel cross-checks the two for an exact bijection.
+  std::unordered_map<const uint64_t*, std::pair<FrameId, bool>> leaf_slots;
 
   bool ok() const { return violations.empty(); }
   std::string Describe() const;

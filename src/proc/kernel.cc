@@ -5,7 +5,8 @@
 
 #include "src/debug/lockdep.h"
 #include "src/debug/verify.h"
-#include "src/mm/reclaim.h"
+#include "src/reclaim/mm_gate.h"
+#include "src/reclaim/shrink.h"
 #include "src/trace/metrics.h"
 #include "src/trace/trace.h"
 #include "src/util/log.h"
@@ -22,11 +23,49 @@ debug::LockClass g_table_lock_class("Kernel::table_mutex_");
 
 thread_local Process* Kernel::active_process_ = nullptr;
 
-Kernel::Kernel() : fs_(&allocator_) {
+Kernel::Kernel() : fs_(&allocator_), rmap_(&allocator_) {
+  rmap_.AttachLru(&lru_);
   allocator_.SetReclaimCallback([this](uint64_t want) { return ReclaimMemory(want); });
 }
 
 void Kernel::SetMemoryLimitFrames(uint64_t frames) { allocator_.SetFrameLimit(frames); }
+
+reclaim::ShrinkContext Kernel::MakeShrinkContext() {
+  reclaim::ShrinkContext ctx;
+  ctx.allocator = &allocator_;
+  ctx.swap = &swap_;
+  ctx.rmap = &rmap_;
+  ctx.lru = &lru_;
+  // Coarse shootdown: the shrinker rewrote leaf entries (possibly in tables shared across
+  // processes), so every TLB is stale. Runs while the caller still holds the MmGate
+  // exclusively, before any mutator resumes.
+  ctx.flush_tlbs = [this] {
+    debug::MutexGuard guard(table_mutex_, g_table_lock_class);
+    for (auto& [pid, process] : processes_) {
+      process->address_space().tlb().FlushAll();
+    }
+  };
+  return ctx;
+}
+
+void Kernel::StartKswapd() {
+  if (kswapd_ != nullptr) {
+    return;
+  }
+  kswapd_ = std::make_unique<reclaim::Kswapd>(MakeShrinkContext());
+  kswapd_->Start();
+  reclaim::Kswapd* daemon = kswapd_.get();
+  allocator_.SetPressureCallback([daemon] { daemon->Wake(); });
+}
+
+void Kernel::StopKswapd() {
+  if (kswapd_ == nullptr) {
+    return;
+  }
+  allocator_.SetPressureCallback(nullptr);
+  kswapd_->Stop();
+  kswapd_.reset();
+}
 
 uint64_t Kernel::ReclaimMemory(uint64_t want) {
   // Reclaim mutates page tables and frees frames; it usually runs nested inside the
@@ -34,9 +73,31 @@ uint64_t Kernel::ReclaimMemory(uint64_t want) {
   // is reentrant so standing alone is fine too.
   debug::MutationScope mutation;
   CountVm(VmCounter::k_reclaim_runs);
+  CountVm(VmCounter::k_direct_reclaim);
   ODF_TRACE(reclaim_begin, /*pid=*/0, want);
-  // Snapshot the running processes (reclaim may be invoked from an allocation deep inside
-  // one of them; the table lock is not held there).
+  uint64_t freed = 0;
+  {
+    // Upgrade to the exclusive gate: this thread is typically a mutator mid-operation
+    // (its shared hold is released for the duration and restored on exit; see mm_gate.h).
+    reclaim::MmGate::ExclusiveScope gate;
+    reclaim::ShrinkContext ctx = MakeShrinkContext();
+    freed = reclaim::ReclaimPages(ctx, want);
+  }
+  if (freed > 0) {
+    ODF_TRACE(reclaim_end, /*pid=*/0, want, freed);
+    return freed;
+  }
+  // The OOM killer is a last resort for genuine exhaustion only. A direct ReclaimMemory
+  // call (or an allocation retried under fault injection) can arrive here with nothing on
+  // the LRU but plenty of free frames — that is not an OOM.
+  uint64_t free_frames = allocator_.FreeFrames();
+  if (free_frames >= want) {
+    ODF_TRACE(reclaim_end, /*pid=*/0, want, /*freed=*/0);
+    return 0;
+  }
+  // Nothing reclaimable: OOM-kill the largest running process (by mapped bytes), like the
+  // kernel's last resort. Its teardown releases frames. Runs OUTSIDE the exclusive gate:
+  // Exit re-enters the mutator path (shared gate) and must not self-deadlock.
   std::vector<Process*> candidates;
   {
     debug::MutexGuard guard(table_mutex_, g_table_lock_class);
@@ -46,23 +107,6 @@ uint64_t Kernel::ReclaimMemory(uint64_t want) {
       }
     }
   }
-  uint64_t freed = 0;
-  // Two clock passes: the first clears accessed bits (second chance), the second collects
-  // the pages that stayed cold.
-  for (int pass = 0; pass < 2 && freed < want; ++pass) {
-    for (Process* process : candidates) {
-      if (freed >= want) {
-        break;
-      }
-      freed += ClockReclaimAddressSpace(process->address_space(), swap_, want - freed);
-    }
-  }
-  if (freed > 0) {
-    ODF_TRACE(reclaim_end, /*pid=*/0, want, freed);
-    return freed;
-  }
-  // Nothing reclaimable: OOM-kill the largest running process (by mapped bytes), like the
-  // kernel's last resort. Its teardown releases frames.
   Process* victim = nullptr;
   uint64_t victim_bytes = 0;
   for (Process* process : candidates) {
@@ -93,7 +137,10 @@ uint64_t Kernel::ReclaimMemory(uint64_t want) {
 }
 
 Kernel::~Kernel() {
+  // The daemon holds a ShrinkContext referencing this kernel; stop it before teardown.
+  StopKswapd();
   debug::MutationScope mutation;
+  reclaim::MmGate::SharedScope gate;
   // Tear down in pid order; address spaces release their frames as they go.
   debug::MutexGuard guard(table_mutex_, g_table_lock_class);
   processes_.clear();
@@ -101,7 +148,8 @@ Kernel::~Kernel() {
 
 Process& Kernel::CreateProcess() {
   debug::MutationScope mutation;
-  auto as = std::make_unique<AddressSpace>(&allocator_, &swap_);
+  reclaim::MmGate::SharedScope gate;  // Mutator: excludes the shrinker (mm_gate.h).
+  auto as = std::make_unique<AddressSpace>(&allocator_, &swap_, &rmap_);
   debug::MutexGuard guard(table_mutex_, g_table_lock_class);
   Pid pid = next_pid_++;
   auto process = std::make_unique<Process>(this, pid, /*parent=*/0, std::move(as));
@@ -126,9 +174,10 @@ Process* Kernel::TryFork(Process& parent, ForkMode mode, ForkProfile* profile) {
   // below); the lambda keeps the early rollback return inside the scope.
   Process* forked = [&]() -> Process* {
     debug::MutationScope mutation;
+    reclaim::MmGate::SharedScope gate;  // Mutator: excludes the shrinker (mm_gate.h).
     ODF_CHECK(parent.state() == ProcessState::kRunning);
     ActiveProcessScope immune(&parent);  // The parent must survive its own fork's allocations.
-    auto child_as = std::make_unique<AddressSpace>(&allocator_, &swap_);
+    auto child_as = std::make_unique<AddressSpace>(&allocator_, &swap_, &rmap_);
     if (!CopyAddressSpace(parent.address_space(), *child_as, mode, profile, &fork_counters_)) {
       // Transactional rollback: the half-built child holds real references (page refcounts,
       // table share counts, swap-slot refs), all reachable through its own page tables.
@@ -159,6 +208,7 @@ Process* Kernel::TryFork(Process& parent, ForkMode mode, ForkProfile* profile) {
 void Kernel::Exit(Process& process, int code) {
   {
     debug::MutationScope mutation;
+    reclaim::MmGate::SharedScope gate;  // Mutator: excludes the shrinker (mm_gate.h).
     ODF_CHECK(process.state() == ProcessState::kRunning)
         << "double exit of pid " << process.pid();
     process.exit_code_ = code;

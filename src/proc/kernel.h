@@ -23,6 +23,9 @@
 #include "src/mm/swap.h"
 #include "src/phys/frame_allocator.h"
 #include "src/proc/process.h"
+#include "src/reclaim/kswapd.h"
+#include "src/reclaim/lru.h"
+#include "src/reclaim/rmap.h"
 
 namespace odf {
 
@@ -80,9 +83,19 @@ class Kernel {
   // killer. 0 removes the limit.
   void SetMemoryLimitFrames(uint64_t frames);
 
-  // Clock-reclaims up to `want` frames across all running processes; falls back to killing
-  // the largest process when nothing is reclaimable. Returns frames freed (0 => hard OOM).
+  // Direct reclaim: shrinks the LRU lists via reverse-map unmapping (src/reclaim); falls
+  // back to killing the largest process when nothing is reclaimable. Returns frames freed
+  // (0 => hard OOM). Runs as the allocator's reclaim callback from any allocating thread.
   uint64_t ReclaimMemory(uint64_t want);
+
+  // Starts/stops the background reclaim daemon (docs/reclaim.md). Not started by
+  // SetMemoryLimitFrames: tests that want deterministic synchronous reclaim leave it off.
+  void StartKswapd();
+  void StopKswapd();
+
+  reclaim::RmapRegistry& rmap() { return rmap_; }
+  reclaim::PageLru& lru() { return lru_; }
+  reclaim::Kswapd* kswapd() { return kswapd_.get(); }
 
   uint64_t oom_kills() const { return oom_kills_.load(std::memory_order_relaxed); }
 
@@ -111,9 +124,17 @@ class Kernel {
  private:
   static thread_local Process* active_process_;
 
+  // Builds the ShrinkContext handed to kswapd and direct reclaim (flush-all-TLBs closure).
+  reclaim::ShrinkContext MakeShrinkContext();
+
   FrameAllocator allocator_;
   SwapSpace swap_;
   MemFilesystem fs_;
+  // Reclaim state is declared before processes_ so it outlives process teardown (address
+  // spaces unregister their rmap entries as they die).
+  reclaim::RmapRegistry rmap_;
+  reclaim::PageLru lru_;
+  std::unique_ptr<reclaim::Kswapd> kswapd_;
   // Atomic: the OOM killer can run from any thread's allocation (reclaim callback) while
   // another thread reads the count.
   std::atomic<uint64_t> oom_kills_{0};

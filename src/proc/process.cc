@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "src/debug/verify.h"
+#include "src/reclaim/mm_gate.h"
 #include "src/util/log.h"
 
 namespace odf {
@@ -19,6 +20,7 @@ bool Process::AccessMemory(Vaddr va, std::byte* buffer, uint64_t length, AccessT
                            bool set_memory, std::byte memset_value) {
   ODF_CHECK(state_ == ProcessState::kRunning) << "memory access on exited process " << pid_;
   debug::MutationScope mutation;  // Faults allocate frames and rewrite page tables.
+  reclaim::MmGate::SharedScope gate;  // Mutator: excludes the shrinker (mm_gate.h).
   Kernel::ActiveProcessScope immune(this);  // OOM mid-access must pick another victim.
   AddressSpace& as = *as_;
   FrameAllocator& allocator = as.allocator();
@@ -122,12 +124,14 @@ std::string Process::ReadString(Vaddr va, uint64_t max_length) {
 
 Vaddr Process::Mmap(uint64_t length, uint32_t prot, bool huge) {
   debug::MutationScope mutation;
+  reclaim::MmGate::SharedScope gate;
   return as_->MapAnonymous(length, prot, huge);
 }
 
 void Process::Munmap(Vaddr start, uint64_t length) {
   {
     debug::MutationScope mutation;
+    reclaim::MmGate::SharedScope gate;
     as_->Unmap(start, length);
   }
   // Zap is where stale-PTE and table-refcount bugs surface; verify the whole kernel after
@@ -137,11 +141,13 @@ void Process::Munmap(Vaddr start, uint64_t length) {
 
 Vaddr Process::Mremap(Vaddr old_start, uint64_t old_length, uint64_t new_length) {
   debug::MutationScope mutation;
+  reclaim::MmGate::SharedScope gate;
   return as_->Remap(old_start, old_length, new_length);
 }
 
 void Process::MadviseDontNeed(Vaddr start, uint64_t length) {
   debug::MutationScope mutation;
+  reclaim::MmGate::SharedScope gate;
   as_->AdviseDontNeed(start, length);
 }
 

@@ -220,6 +220,41 @@ std::string FormatVmstat(Kernel& kernel) {
   out << "nr_processes " << kernel.ProcessCount() << "\n";
   out << "nr_processes_running " << kernel.RunningProcessCount() << "\n";
   out << "nr_oom_kills " << kernel.oom_kills() << "\n";
+  // Reclaim gauges (docs/reclaim.md): LRU list sizes, rmap totals, kswapd state.
+  out << "nr_free_frames " << kernel.allocator().FreeFrames() << "\n";
+  out << "nr_active_anon " << kernel.lru().ActiveSize() << "\n";
+  out << "nr_inactive_anon " << kernel.lru().InactiveSize() << "\n";
+  out << "nr_workingset_shadows " << kernel.lru().ShadowCount() << "\n";
+  out << "nr_rmap_frames " << kernel.rmap().MappedFrames() << "\n";
+  out << "nr_rmap_locations " << kernel.rmap().TotalLocations() << "\n";
+  out << "kswapd_running " << (kernel.kswapd() != nullptr && kernel.kswapd()->Running() ? 1 : 0)
+      << "\n";
+  return out.str();
+}
+
+std::string FormatMeminfo(Kernel& kernel) {
+  FrameAllocator& allocator = kernel.allocator();
+  FrameAllocatorStats frames = allocator.Stats();
+  FrameAllocator::Watermarks wm = allocator.watermarks();
+  uint64_t limit = allocator.frame_limit();
+  uint64_t free = allocator.FreeFrames();
+  SwapStats swap = kernel.swap_space().Stats();
+  auto kib = [](uint64_t pages) { return pages * (kPageSize / 1024); };
+
+  std::ostringstream out;
+  // An unlimited pool reports the backing total (like a machine with all RAM free).
+  uint64_t total = limit == 0 ? frames.total_frames : limit;
+  out << "MemTotal:       " << kib(total) << " kB\n";
+  out << "MemFree:        " << kib(free == UINT64_MAX ? total - frames.allocated_frames : free)
+      << " kB\n";
+  out << "Active(anon):   " << kib(kernel.lru().ActiveSize()) << " kB\n";
+  out << "Inactive(anon): " << kib(kernel.lru().InactiveSize()) << " kB\n";
+  out << "PageTables:     " << kib(frames.page_table_frames) << " kB\n";
+  out << "SwapTotal:      " << kib(swap.total_slots) << " kB\n";
+  out << "SwapFree:       " << kib(swap.total_slots - swap.slots_in_use) << " kB\n";
+  out << "WatermarkMin:   " << kib(wm.min) << " kB\n";
+  out << "WatermarkLow:   " << kib(wm.low) << " kB\n";
+  out << "WatermarkHigh:  " << kib(wm.high) << " kB\n";
   return out.str();
 }
 

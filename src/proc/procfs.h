@@ -59,6 +59,10 @@ std::string FormatStatusLine(const ProcessMemoryReport& report);
 // for the counter catalog.
 std::string FormatVmstat(Kernel& kernel);
 
+// /proc/meminfo analog: pool totals, LRU list sizes, page-table footprint, swap usage,
+// and the reclaim watermarks (docs/reclaim.md). Values in kB like the real file.
+std::string FormatMeminfo(Kernel& kernel);
+
 // /sys/kernel/debug/failslab analog (docs/robustness.md): read the current fault-injection
 // configuration — seed, per-site arming, call/injection counts.
 std::string FormatFaultInject();

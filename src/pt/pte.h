@@ -86,6 +86,16 @@ inline void StoreEntry(uint64_t* slot, Pte value) {
   std::atomic_ref<uint64_t>(*slot).store(value.raw(), std::memory_order_relaxed);
 }
 
+// Accessed-bit harvest for page aging (the test-and-clear of PTE.A that second-chance /
+// LRU scanning is built on). Atomic against the walker re-setting the bit concurrently;
+// returns true when the bit was set. Clearing A on a present entry is NOT a structural
+// mutation — sharers at worst take a spurious TLB-miss re-walk.
+inline bool TestAndClearAccessed(uint64_t* slot) {
+  uint64_t previous = std::atomic_ref<uint64_t>(*slot).fetch_and(
+      ~static_cast<uint64_t>(kPteAccessed), std::memory_order_relaxed);
+  return (previous & kPteAccessed) != 0;
+}
+
 }  // namespace odf
 
 #endif  // ODF_SRC_PT_PTE_H_

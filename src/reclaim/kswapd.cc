@@ -1,0 +1,106 @@
+#include "src/reclaim/kswapd.h"
+
+#include "src/debug/debug.h"
+#include "src/debug/mutation.h"
+#include "src/reclaim/mm_gate.h"
+#include "src/trace/metrics.h"
+#include "src/trace/trace.h"
+
+namespace odf {
+namespace reclaim {
+
+Kswapd::Kswapd(ShrinkContext ctx) : ctx_(std::move(ctx)) {}
+
+Kswapd::~Kswapd() { Stop(); }
+
+void Kswapd::Start() {
+  if (running_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  {
+    // odf-lint: allow(naked-lock) — condvar protocol; MutexGuard has no lock to lend cv_.wait.
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = false;
+    pending_ = false;
+  }
+  running_.store(true, std::memory_order_relaxed);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void Kswapd::Stop() {
+  if (!running_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  {
+    // odf-lint: allow(naked-lock) — condvar protocol.
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  running_.store(false, std::memory_order_relaxed);
+}
+
+void Kswapd::Wake() {
+  {
+    // odf-lint: allow(naked-lock) — condvar protocol.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pending_ || stop_) {
+      return;  // A wake is already queued (or we are shutting down): nothing to signal.
+    }
+    pending_ = true;
+  }
+  cv_.notify_one();
+}
+
+void Kswapd::Loop() {
+  for (;;) {
+    {
+      // odf-lint: allow(naked-lock) — condvar protocol.
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || pending_; });
+      if (stop_) {
+        return;
+      }
+      pending_ = false;
+    }
+    stats_.wakeups.fetch_add(1, std::memory_order_relaxed);
+    CountVm(VmCounter::k_kswapd_wake);
+    ODF_TRACE(kswapd_wake, 0);
+    Balance();
+    ODF_TRACE(kswapd_sleep, 0);
+  }
+}
+
+void Kswapd::Balance() {
+  FrameAllocator& allocator = *ctx_.allocator;
+  // Balance until free frames recover to HIGH. One gate acquisition per round keeps
+  // exclusive holds short: mutators (and the auto-verifier) interleave between rounds.
+  for (int round = 0; round < 256; ++round) {
+    uint64_t limit = allocator.frame_limit();
+    if (limit == 0) {
+      return;
+    }
+    FrameAllocator::Watermarks wm = allocator.watermarks();
+    uint64_t free = allocator.FreeFrames();
+    if (free >= wm.high) {
+      return;
+    }
+    uint64_t freed;
+    {
+      debug::MutationScope mutation_scope;
+      MmGate::ExclusiveScope gate;
+      freed = ReclaimPages(ctx_, wm.high - free);
+    }
+    stats_.balance_rounds.fetch_add(1, std::memory_order_relaxed);
+    stats_.pages_freed.fetch_add(freed, std::memory_order_relaxed);
+    if (freed == 0) {
+      return;  // Nothing reclaimable: sleep; direct reclaim / the OOM killer take over.
+    }
+  }
+}
+
+}  // namespace reclaim
+}  // namespace odf

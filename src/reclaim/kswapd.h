@@ -1,0 +1,69 @@
+// Kswapd — the background reclaim daemon (one per Kernel, like one kswapd per node).
+//
+// The FrameAllocator's pressure callback (SetPressureCallback) calls Wake() whenever an
+// allocation finds free frames below the LOW watermark; the daemon then runs balance
+// rounds — each one taking the MmGate exclusively and calling ReclaimPages — until free
+// frames recover to the HIGH watermark, and goes back to sleep. Mutators never wait for
+// kswapd: a quota-blocked allocation falls into direct reclaim (Kernel::ReclaimMemory)
+// regardless, exactly like the kernel's direct-reclaim-vs-kswapd split. Wake() is cheap
+// and callable from any allocation context (an atomic flag plus a condvar notify).
+//
+// Lifecycle: not started automatically — Kernel::StartKswapd() arms it (tests that want
+// deterministic, synchronous reclaim simply never start it); Stop()/the destructor join
+// the thread. docs/reclaim.md covers watermark tuning.
+#ifndef ODF_SRC_RECLAIM_KSWAPD_H_
+#define ODF_SRC_RECLAIM_KSWAPD_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "src/reclaim/shrink.h"
+
+namespace odf {
+namespace reclaim {
+
+class Kswapd {
+ public:
+  struct Stats {
+    std::atomic<uint64_t> wakeups{0};
+    std::atomic<uint64_t> balance_rounds{0};
+    std::atomic<uint64_t> pages_freed{0};
+  };
+
+  explicit Kswapd(ShrinkContext ctx);
+  ~Kswapd();
+
+  Kswapd(const Kswapd&) = delete;
+  Kswapd& operator=(const Kswapd&) = delete;
+
+  void Start();
+  void Stop();
+  bool Running() const { return running_.load(std::memory_order_relaxed); }
+
+  // Wakes the daemon (idempotent while a wake is already pending). Safe from any thread,
+  // including inside an allocation's quota path — no locks beyond the daemon's own.
+  void Wake();
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void Loop();
+  void Balance();
+
+  ShrinkContext ctx_;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;     // Under mu_.
+  bool pending_ = false;  // Under mu_.
+  std::atomic<bool> running_{false};
+  Stats stats_;
+};
+
+}  // namespace reclaim
+}  // namespace odf
+
+#endif  // ODF_SRC_RECLAIM_KSWAPD_H_

@@ -1,0 +1,149 @@
+#include "src/reclaim/lru.h"
+
+#include <algorithm>
+
+#include "src/debug/debug.h"
+#include "src/debug/lockdep.h"
+#include "src/trace/metrics.h"
+#include "src/trace/trace.h"
+
+namespace odf {
+namespace reclaim {
+
+namespace {
+
+// Shadow entries for slots that never refault (the page was unmapped instead) would
+// otherwise accumulate forever; past this many the table is dropped wholesale. Losing old
+// shadows only costs refault *detection*, never correctness.
+constexpr size_t kMaxShadows = 1u << 18;
+
+debug::LockClass g_lru_lock_class("PageLru::mu_");
+
+}  // namespace
+
+PageLru::PageLru() = default;
+PageLru::~PageLru() = default;
+
+void PageLru::InsertLocked(FrameId frame, bool active) {
+  auto [it, inserted] = index_.try_emplace(frame);
+  if (!inserted) {
+    return;
+  }
+  std::list<FrameId>& list = active ? active_ : inactive_;
+  list.push_front(frame);
+  it->second.active = active;
+  it->second.where = list.begin();
+}
+
+void PageLru::EraseLocked(FrameId frame) {
+  auto it = index_.find(frame);
+  if (it == index_.end()) {
+    return;
+  }
+  (it->second.active ? active_ : inactive_).erase(it->second.where);
+  index_.erase(it);
+}
+
+void PageLru::Insert(FrameId frame, bool active) {
+  debug::MutexGuard guard(mu_, g_lru_lock_class);
+  InsertLocked(frame, active);
+}
+
+void PageLru::Erase(FrameId frame) {
+  debug::MutexGuard guard(mu_, g_lru_lock_class);
+  EraseLocked(frame);
+}
+
+void PageLru::Activate(FrameId frame) {
+  debug::MutexGuard guard(mu_, g_lru_lock_class);
+  auto it = index_.find(frame);
+  if (it == index_.end()) {
+    return;
+  }
+  (it->second.active ? active_ : inactive_).erase(it->second.where);
+  active_.push_front(frame);
+  it->second.active = true;
+  it->second.where = active_.begin();
+}
+
+size_t PageLru::TakeInactive(size_t max, std::vector<FrameId>* out) {
+  debug::MutexGuard guard(mu_, g_lru_lock_class);
+  size_t taken = 0;
+  while (taken < max && !inactive_.empty()) {
+    FrameId frame = inactive_.back();
+    inactive_.pop_back();
+    index_.erase(frame);
+    out->push_back(frame);
+    ++taken;
+  }
+  return taken;
+}
+
+size_t PageLru::TakeActive(size_t max, std::vector<FrameId>* out) {
+  debug::MutexGuard guard(mu_, g_lru_lock_class);
+  size_t taken = 0;
+  while (taken < max && !active_.empty()) {
+    FrameId frame = active_.back();
+    active_.pop_back();
+    index_.erase(frame);
+    out->push_back(frame);
+    ++taken;
+  }
+  return taken;
+}
+
+void PageLru::PutBack(FrameId frame, bool active) {
+  debug::MutexGuard guard(mu_, g_lru_lock_class);
+  InsertLocked(frame, active);
+}
+
+size_t PageLru::ActiveSize() const {
+  debug::MutexGuard guard(mu_, g_lru_lock_class);
+  return active_.size();
+}
+
+size_t PageLru::InactiveSize() const {
+  debug::MutexGuard guard(mu_, g_lru_lock_class);
+  return inactive_.size();
+}
+
+size_t PageLru::Size() const {
+  debug::MutexGuard guard(mu_, g_lru_lock_class);
+  return index_.size();
+}
+
+void PageLru::RecordEviction(uint64_t slot) {
+  debug::MutexGuard guard(mu_, g_lru_lock_class);
+  if (shadows_.size() >= kMaxShadows) {
+    shadows_.clear();
+  }
+  shadows_[slot] = ++eviction_epoch_;
+}
+
+bool PageLru::NoteRefault(uint64_t slot) {
+  debug::MutexGuard guard(mu_, g_lru_lock_class);
+  auto it = shadows_.find(slot);
+  if (it == shadows_.end()) {
+    return false;
+  }
+  uint64_t distance = eviction_epoch_ - it->second;
+  shadows_.erase(it);
+  // The workingset test: fewer evictions since this page left than the LRU can hold means
+  // the page would still have been resident with a perfect-LRU — it was evicted out of its
+  // workingset. The floor keeps detection alive when the lists are nearly empty.
+  uint64_t horizon = std::max<uint64_t>(index_.size(), 64);
+  if (distance > horizon) {
+    return false;
+  }
+  CountVm(VmCounter::k_pgrefault);
+  ODF_TRACE(workingset_refault, 0, slot, distance);
+  return true;
+}
+
+uint64_t PageLru::ShadowCount() const {
+  debug::MutexGuard guard(mu_, g_lru_lock_class);
+  return shadows_.size();
+}
+
+}  // namespace reclaim
+}  // namespace odf

@@ -1,0 +1,95 @@
+// PageLru — active/inactive page aging lists plus workingset (refault) shadows.
+//
+// The LRU tracks order-0 anonymous frames that are candidates for eviction. Frames enter
+// the INACTIVE list when their first reverse mapping is registered (RmapRegistry::Add) and
+// leave when the last mapping is removed. The shrinker (shrink.h) pops candidates from the
+// inactive tail, gives referenced pages a second chance by re-activating them, and ages
+// the active tail back to inactive when the inactive list runs short — the kswapd
+// active/inactive balancing loop in miniature.
+//
+// Workingset detection mirrors the kernel's shadow entries: every eviction stamps the swap
+// slot with the current eviction epoch. When the slot refaults, the distance (evictions
+// since) is compared to the LRU size; a "recent" refault means the page was evicted while
+// still in its workingset, so it re-enters the ACTIVE list and pgrefault is counted.
+//
+// Thread-safety: all operations take the internal mutex (a leaf lock; RmapRegistry shard
+// locks may be held while calling in — see docs/debugging.md). List order is only
+// meaningful to the shrinker, which runs under the MmGate exclusively.
+#ifndef ODF_SRC_RECLAIM_LRU_H_
+#define ODF_SRC_RECLAIM_LRU_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/phys/page_meta.h"
+
+namespace odf {
+namespace reclaim {
+
+class PageLru {
+ public:
+  PageLru();
+  ~PageLru();
+
+  PageLru(const PageLru&) = delete;
+  PageLru& operator=(const PageLru&) = delete;
+
+  // Inserts at the head of the chosen list. No-op when already tracked.
+  void Insert(FrameId frame, bool active);
+
+  // Drops the frame from whichever list holds it. No-op when absent.
+  void Erase(FrameId frame);
+
+  // Moves the frame to the active head (referenced / refaulted). No-op when absent.
+  void Activate(FrameId frame);
+
+  // Pops up to `max` frames off the inactive tail (coldest first) into `out`.
+  // The frames are detached; callers re-insert survivors with PutBack.
+  size_t TakeInactive(size_t max, std::vector<FrameId>* out);
+
+  // Pops up to `max` frames off the active tail (aging scan).
+  size_t TakeActive(size_t max, std::vector<FrameId>* out);
+
+  // Re-inserts a detached frame at the head of the chosen list.
+  void PutBack(FrameId frame, bool active);
+
+  size_t ActiveSize() const;
+  size_t InactiveSize() const;
+  size_t Size() const;
+
+  // --- Workingset shadows ---
+
+  // Stamps `slot` with the current eviction epoch (called once per evicted page).
+  void RecordEviction(uint64_t slot);
+
+  // Consumes the shadow for `slot` on swap-in. Returns true when the refault distance is
+  // within the current LRU size — the page was evicted out of its workingset and should
+  // re-enter the active list. Counts pgrefault and emits workingset_refault itself.
+  bool NoteRefault(uint64_t slot);
+
+  uint64_t ShadowCount() const;
+
+ private:
+  struct Node {
+    bool active = false;
+    std::list<FrameId>::iterator where;
+  };
+
+  void EraseLocked(FrameId frame);
+  void InsertLocked(FrameId frame, bool active);
+
+  mutable std::mutex mu_;
+  std::list<FrameId> active_;    // Head = most recently activated.
+  std::list<FrameId> inactive_;  // Head = most recently deactivated; tail = eviction next.
+  std::unordered_map<FrameId, Node> index_;
+  std::unordered_map<uint64_t, uint64_t> shadows_;  // swap slot -> eviction epoch
+  uint64_t eviction_epoch_ = 0;
+};
+
+}  // namespace reclaim
+}  // namespace odf
+
+#endif  // ODF_SRC_RECLAIM_LRU_H_

@@ -1,0 +1,71 @@
+#include "src/reclaim/mm_gate.h"
+
+#include "src/debug/debug.h"
+
+namespace odf {
+namespace reclaim {
+
+thread_local int MmGate::tls_shared_depth_ = 0;
+thread_local int MmGate::tls_exclusive_depth_ = 0;
+
+MmGate& MmGate::Global() {
+  static MmGate gate;
+  return gate;
+}
+
+bool MmGate::ThreadHoldsExclusive() { return tls_exclusive_depth_ > 0; }
+
+int MmGate::ThreadSharedDepth() { return tls_shared_depth_; }
+
+MmGate::SharedScope::SharedScope() {
+  if (tls_exclusive_depth_ > 0) {
+    // The evictor re-entering a mutator path (OOM kill -> Exit): exclusive subsumes
+    // shared. Counted as a shared hold so the destructor stays symmetric, but the
+    // shared_mutex itself is untouched — lock_shared here would self-deadlock.
+    ++tls_shared_depth_;
+    return;
+  }
+  if (tls_shared_depth_++ == 0) {
+    // odf-lint: allow(naked-lock) — shared_mutex; lockdep's MutexGuard wraps std::mutex only.
+    Global().mu_.lock_shared();
+  }
+}
+
+MmGate::SharedScope::~SharedScope() {
+  ODF_DCHECK(tls_shared_depth_ > 0) << "unbalanced MmGate::SharedScope";
+  if (--tls_shared_depth_ == 0 && tls_exclusive_depth_ == 0) {
+    Global().mu_.unlock_shared();
+  }
+}
+
+MmGate::ExclusiveScope::ExclusiveScope() {
+  if (tls_exclusive_depth_++ > 0) {
+    return;  // Reentrant: already exclusive.
+  }
+  // Upgrade: drop this thread's shared holds so the exclusive acquisition cannot deadlock
+  // against itself. Other threads' shared holds still gate us, which is the point.
+  restored_shared_ = tls_shared_depth_;
+  if (restored_shared_ > 0) {
+    tls_shared_depth_ = 0;
+    Global().mu_.unlock_shared();
+  }
+  // odf-lint: allow(naked-lock) — shared_mutex; lockdep's MutexGuard wraps std::mutex only.
+  Global().mu_.lock();
+}
+
+MmGate::ExclusiveScope::~ExclusiveScope() {
+  ODF_DCHECK(tls_exclusive_depth_ > 0) << "unbalanced MmGate::ExclusiveScope";
+  if (--tls_exclusive_depth_ > 0) {
+    return;
+  }
+  // odf-lint: allow(naked-lock) — shared_mutex release; MutexGuard wraps std::mutex only.
+  Global().mu_.unlock();
+  if (restored_shared_ > 0) {
+    // odf-lint: allow(naked-lock) — restoring the caller's shared holds after the upgrade.
+    Global().mu_.lock_shared();
+    tls_shared_depth_ = restored_shared_;
+  }
+}
+
+}  // namespace reclaim
+}  // namespace odf

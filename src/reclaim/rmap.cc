@@ -1,0 +1,188 @@
+#include "src/reclaim/rmap.h"
+
+#include <algorithm>
+
+#include "src/debug/debug.h"
+#include "src/debug/lockdep.h"
+#include "src/fi/fault_inject.h"
+#include "src/reclaim/lru.h"
+
+namespace odf {
+namespace reclaim {
+
+namespace {
+
+// All shards share one class, like lockdep keying lock instances by type. Shard locks are
+// taken before the LRU lock (Add/Remove drive list membership while holding the shard).
+debug::LockClass g_rmap_shard_lock_class("RmapRegistry::Shard::mu");
+
+}  // namespace
+
+struct RmapRegistry::Shard {
+  mutable std::mutex mu;
+  std::unordered_map<FrameId, FrameEntry> frames;
+};
+
+RmapRegistry::RmapRegistry(FrameAllocator* allocator)
+    : allocator_(allocator), shards_(new Shard[kShards]) {}
+
+RmapRegistry::~RmapRegistry() = default;
+
+void RmapRegistry::AttachLru(PageLru* lru) { lru_ = lru; }
+
+RmapRegistry::Shard& RmapRegistry::ShardFor(FrameId frame) const {
+  return shards_[frame % kShards];
+}
+
+bool RmapRegistry::LruEligible(FrameId frame, bool huge) const {
+  if (huge) {
+    return false;  // Huge mappings are evicted only after a split (not implemented).
+  }
+  const PageMeta& meta = allocator_->GetMeta(frame);
+  // Only order-0 private anonymous frames age on the LRU: file pages belong to the page
+  // cache (refcount includes a cache reference, so the evictability test never passes for
+  // them anyway) and compound frames cannot be freed one PTE at a time.
+  return (meta.flags & kPageFlagAnon) != 0 && !meta.IsCompound() && !meta.IsPageTable();
+}
+
+void RmapRegistry::Add(FrameId frame, uint64_t* slot, bool huge) {
+  // The allocation-failure analog: rmap metadata could not be allocated, so this frame's
+  // reverse map is incomplete — mark it unreclaimable. Consulted outside the shard lock
+  // (the injector takes its own).
+  bool unstable = fi::ShouldInject(FiSite::k_rmap_alloc);
+  Shard& shard = ShardFor(frame);
+  debug::MutexGuard guard(shard.mu, g_rmap_shard_lock_class);
+  FrameEntry& entry = shard.frames[frame];
+  ODF_DCHECK(std::none_of(entry.locations.begin(), entry.locations.end(),
+                          [&](const RmapLocation& l) { return l.slot == slot; }))
+      << "duplicate rmap location for frame " << frame;
+  entry.locations.push_back(RmapLocation{slot, huge});
+  if (unstable) {
+    entry.unstable = true;
+  }
+  if (entry.locations.size() == 1 && lru_ != nullptr && LruEligible(frame, huge)) {
+    lru_->Insert(frame, /*active=*/false);
+  }
+}
+
+void RmapRegistry::Remove(FrameId frame, uint64_t* slot, bool huge) {
+  (void)huge;
+  Shard& shard = ShardFor(frame);
+  debug::MutexGuard guard(shard.mu, g_rmap_shard_lock_class);
+  auto it = shard.frames.find(frame);
+  ODF_DCHECK(it != shard.frames.end()) << "rmap remove of untracked frame " << frame;
+  if (it == shard.frames.end()) {
+    return;
+  }
+  std::vector<RmapLocation>& locations = it->second.locations;
+  auto loc = std::find_if(locations.begin(), locations.end(),
+                          [&](const RmapLocation& l) { return l.slot == slot; });
+  ODF_DCHECK(loc != locations.end())
+      << "rmap remove of unregistered slot for frame " << frame;
+  if (loc == locations.end()) {
+    return;
+  }
+  *loc = locations.back();
+  locations.pop_back();
+  if (locations.empty()) {
+    shard.frames.erase(it);
+    if (lru_ != nullptr) {
+      lru_->Erase(frame);
+    }
+  }
+}
+
+void RmapRegistry::RemoveAll(FrameId frame) {
+  Shard& shard = ShardFor(frame);
+  debug::MutexGuard guard(shard.mu, g_rmap_shard_lock_class);
+  if (shard.frames.erase(frame) > 0 && lru_ != nullptr) {
+    lru_->Erase(frame);
+  }
+}
+
+void RmapRegistry::Move(FrameId frame, uint64_t* from, uint64_t* to) {
+  Shard& shard = ShardFor(frame);
+  debug::MutexGuard guard(shard.mu, g_rmap_shard_lock_class);
+  auto it = shard.frames.find(frame);
+  ODF_DCHECK(it != shard.frames.end()) << "rmap move of untracked frame " << frame;
+  if (it == shard.frames.end()) {
+    return;
+  }
+  for (RmapLocation& location : it->second.locations) {
+    if (location.slot == from) {
+      location.slot = to;
+      return;
+    }
+  }
+  ODF_DCHECK(false) << "rmap move of unregistered slot for frame " << frame;
+}
+
+size_t RmapRegistry::LocationCount(FrameId frame) const {
+  Shard& shard = ShardFor(frame);
+  debug::MutexGuard guard(shard.mu, g_rmap_shard_lock_class);
+  auto it = shard.frames.find(frame);
+  return it == shard.frames.end() ? 0 : it->second.locations.size();
+}
+
+bool RmapRegistry::Contains(FrameId frame, const uint64_t* slot, bool huge) const {
+  Shard& shard = ShardFor(frame);
+  debug::MutexGuard guard(shard.mu, g_rmap_shard_lock_class);
+  auto it = shard.frames.find(frame);
+  if (it == shard.frames.end()) {
+    return false;
+  }
+  return std::any_of(it->second.locations.begin(), it->second.locations.end(),
+                     [&](const RmapLocation& l) { return l.slot == slot && l.huge == huge; });
+}
+
+bool RmapRegistry::IsUnstable(FrameId frame) const {
+  Shard& shard = ShardFor(frame);
+  debug::MutexGuard guard(shard.mu, g_rmap_shard_lock_class);
+  auto it = shard.frames.find(frame);
+  return it != shard.frames.end() && it->second.unstable;
+}
+
+void RmapRegistry::Snapshot(FrameId frame, std::vector<RmapLocation>* out) const {
+  Shard& shard = ShardFor(frame);
+  debug::MutexGuard guard(shard.mu, g_rmap_shard_lock_class);
+  auto it = shard.frames.find(frame);
+  if (it == shard.frames.end()) {
+    return;
+  }
+  out->insert(out->end(), it->second.locations.begin(), it->second.locations.end());
+}
+
+uint64_t RmapRegistry::TotalLocations() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < kShards; ++i) {
+    debug::MutexGuard guard(shards_[i].mu, g_rmap_shard_lock_class);
+    for (const auto& [frame, entry] : shards_[i].frames) {
+      total += entry.locations.size();
+    }
+  }
+  return total;
+}
+
+uint64_t RmapRegistry::MappedFrames() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < kShards; ++i) {
+    debug::MutexGuard guard(shards_[i].mu, g_rmap_shard_lock_class);
+    total += shards_[i].frames.size();
+  }
+  return total;
+}
+
+void RmapRegistry::ForEachLocationInShard(
+    size_t shard_index,
+    const std::function<void(FrameId, const uint64_t*, bool)>& fn) const {
+  Shard& shard = shards_[shard_index];
+  debug::MutexGuard guard(shard.mu, g_rmap_shard_lock_class);
+  for (const auto& [frame, entry] : shard.frames) {
+    for (const RmapLocation& location : entry.locations) {
+      fn(frame, location.slot, location.huge);
+    }
+  }
+}
+
+}  // namespace reclaim
+}  // namespace odf

@@ -1,0 +1,121 @@
+// RmapRegistry — per-frame reverse mappings (the anon_vma / rmap walk analog).
+//
+// Every PRESENT leaf entry — a PTE, or a huge PMD entry — is registered here when it is
+// installed and unregistered when it is cleared, by the fault handler, the COW break
+// paths, the range operations, and classic fork's entry copies. Reclaim uses the registry
+// to find and rewrite every mapping of a frame (try_to_unmap) and the verifier
+// cross-checks it against a full page-table walk (docs/reclaim.md "Rmap invariants").
+//
+// Granularity under on-demand-fork (the whole point): a slot in a SHARED PTE table is ONE
+// location here even though it maps the frame into every sharing process. The fan-out is
+// carried by the table's pt_share_count, mirroring how a shared table holds page
+// references on behalf of all sharers (paper §3.6). A consequence the shrinker relies on:
+// for an anonymous frame, refcount == location count exactly when every reference is a
+// mapping — the evictability test needs no process walk.
+//
+// Frames are keyed by the id EXACTLY as stored in the entry: tail frames of a split huge
+// page register under their own ids (head+i), huge PMD leaves under the head with
+// huge=true. Slot pointers stay valid while the table frame lives; Drop*TableReference
+// removes locations before freeing a table.
+#ifndef ODF_SRC_RECLAIM_RMAP_H_
+#define ODF_SRC_RECLAIM_RMAP_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/phys/frame_allocator.h"
+
+namespace odf {
+namespace reclaim {
+
+class PageLru;
+
+// One reverse mapping: the leaf slot holding a present entry that references the frame.
+struct RmapLocation {
+  uint64_t* slot = nullptr;
+  bool huge = false;
+};
+
+class RmapRegistry {
+ public:
+  explicit RmapRegistry(FrameAllocator* allocator);
+  ~RmapRegistry();
+
+  RmapRegistry(const RmapRegistry&) = delete;
+  RmapRegistry& operator=(const RmapRegistry&) = delete;
+
+  // LRU driven from Add/Remove: a frame enters the inactive list with its first location
+  // and leaves with its last (anonymous order-0 frames only).
+  void AttachLru(PageLru* lru);
+  PageLru* lru() const { return lru_; }
+  FrameAllocator& allocator() const { return *allocator_; }
+
+  // Registers one mapping of `frame` (the id exactly as stored in the entry). Consults
+  // fault-injection site rmap_alloc: an injected failure marks the frame rmap-unstable —
+  // sticky, and the shrinker refuses to evict it (the accounting stays exact; only
+  // reclaimability is lost, which is what a failed rmap allocation costs the kernel too).
+  void Add(FrameId frame, uint64_t* slot, bool huge = false);
+
+  // Unregisters one mapping. The (frame, slot) pair must have been Added.
+  void Remove(FrameId frame, uint64_t* slot, bool huge = false);
+
+  // Unregisters every mapping of `frame` (eviction: the caller already rewrote the slots).
+  void RemoveAll(FrameId frame);
+
+  // Repoints one mapping (mremap's entry move).
+  void Move(FrameId frame, uint64_t* from, uint64_t* to);
+
+  size_t LocationCount(FrameId frame) const;
+  bool Contains(FrameId frame, const uint64_t* slot, bool huge) const;
+  bool IsUnstable(FrameId frame) const;
+
+  // Copies `frame`'s locations into `out` (appended). A snapshot is only actionable while
+  // the caller holds the MmGate exclusively — otherwise slots may be rewritten under it.
+  void Snapshot(FrameId frame, std::vector<RmapLocation>* out) const;
+
+  // Totals across all shards (verify / meminfo).
+  uint64_t TotalLocations() const;
+  uint64_t MappedFrames() const;
+
+  // Calls fn(frame, slot, huge) for every location. Callers must hold the MmGate
+  // exclusively (the verifier does); shard locks are taken one at a time.
+  template <typename Fn>
+  void ForEachLocation(Fn&& fn) const {
+    for (size_t i = 0; i < kShards; ++i) {
+      ForEachLocationInShard(i, [&](FrameId frame, const uint64_t* slot, bool huge) {
+        fn(frame, slot, huge);
+      });
+    }
+  }
+
+ private:
+  struct FrameEntry {
+    // Mappings of one frame. Almost always a handful (sharers that COW-broke); linear
+    // scans beat any indexed structure at this size.
+    std::vector<RmapLocation> locations;
+    bool unstable = false;
+  };
+
+  struct Shard;
+
+  static constexpr size_t kShards = 64;
+
+  Shard& ShardFor(FrameId frame) const;
+  void ForEachLocationInShard(
+      size_t shard_index,
+      const std::function<void(FrameId, const uint64_t*, bool)>& fn) const;
+  bool LruEligible(FrameId frame, bool huge) const;
+
+  FrameAllocator* allocator_;
+  PageLru* lru_ = nullptr;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace reclaim
+}  // namespace odf
+
+#endif  // ODF_SRC_RECLAIM_RMAP_H_

@@ -1,0 +1,210 @@
+#include "src/reclaim/shrink.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/debug/debug.h"
+#include "src/fi/fault_inject.h"
+#include "src/pt/pte.h"
+#include "src/reclaim/mm_gate.h"
+#include "src/trace/metrics.h"
+#include "src/trace/trace.h"
+
+namespace odf {
+namespace reclaim {
+
+namespace {
+
+constexpr size_t kScanBatch = 64;
+
+// An inactive-tail candidate the shrinker cannot or should not evict right now goes back
+// to the ACTIVE head: putting it back inactive would make the very next TakeInactive spin
+// on it, and a frame that dodged eviction has earned another aging round anyway.
+void Rotate(ShrinkContext& ctx, FrameId frame) { ctx.lru->PutBack(frame, /*active=*/true); }
+
+}  // namespace
+
+uint64_t AgeActiveList(ShrinkContext& ctx, uint64_t scan, bool* tlb_dirty,
+                       uint64_t* scanned_out) {
+  std::vector<FrameId> batch;
+  std::vector<RmapLocation> locations;
+  ctx.lru->TakeActive(scan, &batch);
+  if (scanned_out != nullptr) {
+    *scanned_out = batch.size();
+  }
+  uint64_t demoted = 0;
+  for (FrameId frame : batch) {
+    locations.clear();
+    ctx.rmap->Snapshot(frame, &locations);
+    if (locations.empty()) {
+      continue;  // Last mapping went away while the frame was detached.
+    }
+    bool referenced = false;
+    for (const RmapLocation& location : locations) {
+      if (TestAndClearAccessed(location.slot)) {
+        referenced = true;
+        *tlb_dirty = true;
+      }
+    }
+    if (referenced) {
+      ctx.lru->PutBack(frame, /*active=*/true);
+    } else {
+      ctx.lru->PutBack(frame, /*active=*/false);
+      ++demoted;
+      CountVm(VmCounter::k_pgdeactivate);
+    }
+  }
+  return demoted;
+}
+
+uint64_t ShrinkInactiveList(ShrinkContext& ctx, uint64_t want, uint64_t scan,
+                            bool* tlb_dirty, uint64_t* scanned_out) {
+  ODF_DCHECK(MmGate::ThreadHoldsExclusive()) << "shrink without the MmGate held exclusive";
+  FrameAllocator& allocator = *ctx.allocator;
+  std::vector<FrameId> batch;
+  std::vector<RmapLocation> locations;
+  uint64_t freed = 0;
+  uint64_t scanned = 0;
+  while (freed < want && scanned < scan) {
+    batch.clear();
+    size_t take = static_cast<size_t>(std::min<uint64_t>(scan - scanned, kScanBatch));
+    if (ctx.lru->TakeInactive(take, &batch) == 0) {
+      break;
+    }
+    size_t processed = 0;
+    for (FrameId frame : batch) {
+      if (freed >= want) {
+        break;  // Unprocessed frames are reattached below; Take detached them.
+      }
+      ++processed;
+      ++scanned;
+      CountVm(VmCounter::k_pgscan);
+      locations.clear();
+      ctx.rmap->Snapshot(frame, &locations);
+      if (locations.empty()) {
+        continue;  // Unmapped while detached; the frame is no longer ours to manage.
+      }
+      PageMeta& meta = allocator.GetMeta(frame);
+      // LRU admission (LruEligible) only lets order-0 anon frames in; re-check
+      // defensively, since eviction of anything else would corrupt accounting.
+      if (meta.IsCompound() || meta.IsPageTable() || (meta.flags & kPageFlagAnon) == 0) {
+        ODF_DCHECK(false) << "non-anon frame " << frame << " on the LRU";
+        Rotate(ctx, frame);
+        continue;
+      }
+      if (ctx.rmap->IsUnstable(frame)) {
+        Rotate(ctx, frame);  // Injected rmap_alloc failure: reverse map not trustworthy.
+        continue;
+      }
+      // Evictable only when every reference is a mapping we are about to clear. A shared
+      // PTE table holds ONE reference on behalf of all sharers (§3.6), so this holds for
+      // frames reached through shared tables too. Extra references mean someone else
+      // (a mid-rollback fork, a test) pins the frame — not ours to take.
+      if (meta.refcount.load(std::memory_order_relaxed) != locations.size()) {
+        Rotate(ctx, frame);
+        continue;
+      }
+      // Second chance: referenced since it was deactivated.
+      bool referenced = false;
+      for (const RmapLocation& location : locations) {
+        if (TestAndClearAccessed(location.slot)) {
+          referenced = true;
+          *tlb_dirty = true;
+        }
+      }
+      if (referenced) {
+        Rotate(ctx, frame);
+        CountVm(VmCounter::k_pgactivate);
+        continue;
+      }
+      // Writeback failure injection (reclaim_writeback): the page stays resident.
+      if (fi::ShouldInject(FiSite::k_reclaim_writeback)) {
+        Rotate(ctx, frame);
+        continue;
+      }
+      std::byte* data = allocator.PeekData(frame);
+      if (data != nullptr) {
+        SwapSlot slot = ctx.swap->TryWriteOut(data);
+        if (slot == kInvalidSwapSlot) {
+          Rotate(ctx, frame);  // Swap full or IO error: keep the page resident.
+          continue;
+        }
+        // Broadcast the swap entry into every mapping. The slot carries one reference per
+        // mapping (TryWriteOut returned it with one), exactly mirroring the frame
+        // references being dropped below — sharers that later diverge (DedicatePteTable)
+        // IncRef the slot per copied swap PTE, and each swap-in fault DecRefs it.
+        for (size_t i = 1; i < locations.size(); ++i) {
+          ctx.swap->IncRef(slot);
+        }
+        for (const RmapLocation& location : locations) {
+          StoreEntry(location.slot, Pte::MakeSwap(slot));
+        }
+        ctx.lru->RecordEviction(slot);
+        CountVm(VmCounter::k_pgswapout);
+        ODF_TRACE(page_swap_out, 0, frame);
+      } else {
+        // Never materialised: the content is logical zero, so dropping the mappings
+        // loses nothing — the next fault demand-zeroes the page again. No swap slot.
+        for (const RmapLocation& location : locations) {
+          StoreEntry(location.slot, Pte());
+        }
+      }
+      ODF_TRACE(rmap_unmap, 0, frame, locations.size());
+      ctx.rmap->RemoveAll(frame);
+      // One reference per cleared mapping; the last one frees the frame (the
+      // refcount == locations.size() test above guarantees it).
+      for (size_t i = 0; i < locations.size(); ++i) {
+        allocator.DecRef(frame);
+      }
+      ++freed;
+      *tlb_dirty = true;
+      CountVm(VmCounter::k_pgsteal);
+    }
+    // An early stop (want satisfied) leaves the batch tail detached from the LRU; those
+    // frames were never looked at, so they go back where they came from.
+    for (size_t i = processed; i < batch.size(); ++i) {
+      ctx.lru->PutBack(batch[i], /*active=*/false);
+    }
+  }
+  if (scanned_out != nullptr) {
+    *scanned_out = scanned;
+  }
+  return freed;
+}
+
+uint64_t ReclaimPages(ShrinkContext& ctx, uint64_t want) {
+  ODF_DCHECK(MmGate::ThreadHoldsExclusive()) << "reclaim without the MmGate held exclusive";
+  bool tlb_dirty = false;
+  uint64_t freed = 0;
+  // Alternate aging and shrinking. The first passes over freshly-faulted pages mostly
+  // harvest accessed bits (everything looks referenced and gets its second chance); the
+  // demotions those passes produce are what the later passes evict. Scan pressure
+  // escalates each round (the priority analog of Linux's shrink loop) so a working set
+  // that is entirely referenced still converges: once a round covers the whole inactive
+  // list, every accessed bit is clear and the next aging pass demotes the cold tail.
+  for (int round = 0; round < 16 && freed < want; ++round) {
+    uint64_t need = want - freed;
+    uint64_t scan = std::max<uint64_t>(need * 2, kScanBatch) << std::min(round, 10);
+    uint64_t demoted = 0;
+    uint64_t aged = 0;
+    if (ctx.lru->InactiveSize() < scan) {
+      demoted = AgeActiveList(ctx, scan, &tlb_dirty, &aged);
+    }
+    uint64_t scanned = 0;
+    uint64_t got = ShrinkInactiveList(ctx, need, scan, &tlb_dirty, &scanned);
+    freed += got;
+    if (got == 0 && demoted == 0 && scanned == 0 && aged == 0) {
+      break;  // Total stall: both lists are empty or drained. Caller falls back (OOM).
+    }
+  }
+  if (tlb_dirty && ctx.flush_tlbs) {
+    // One coarse flush per reclaim round, BEFORE any mutator can run again (the caller
+    // still holds the gate): stale translations to freed frames or cleared accessed bits
+    // must not survive into the next memory operation.
+    ctx.flush_tlbs();
+  }
+  return freed;
+}
+
+}  // namespace reclaim
+}  // namespace odf

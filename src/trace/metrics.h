@@ -65,7 +65,14 @@ namespace odf {
   X(pcp_miss)                    \
   X(pcp_refill)                  \
   X(pcp_drain)                   \
-  X(batch_free)
+  X(batch_free)                  \
+  X(pgscan)                      \
+  X(pgsteal)                     \
+  X(pgrefault)                   \
+  X(pgactivate)                  \
+  X(pgdeactivate)                \
+  X(kswapd_wake)                 \
+  X(direct_reclaim)
 
 enum class VmCounter : uint32_t {
 #define ODF_VM_ENUM_MEMBER(name) k_##name,

@@ -73,7 +73,11 @@ namespace odf {
   X(pcp_miss)                   \
   X(pcp_refill)                 \
   X(pcp_drain)                  \
-  X(batch_free)
+  X(batch_free)                 \
+  X(kswapd_wake)                \
+  X(kswapd_sleep)               \
+  X(rmap_unmap)                 \
+  X(workingset_refault)
 
 enum class TraceEventId : uint16_t {
 #define ODF_TRACE_ENUM_MEMBER(name) k_##name,

@@ -1,0 +1,371 @@
+// The odf::reclaim subsystem end to end (ctest labels: reclaim, concurrency):
+// reverse-map bookkeeping under both fork flavours, LRU second-chance aging,
+// workingset refault detection, watermark-driven kswapd balancing, and the
+// acceptance workload from docs/reclaim.md — a working set twice the frame pool
+// that completes through reclaim alone, byte-checked, with zero OOM kills.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/debug/verify.h"
+#include "src/fi/fault_inject.h"
+#include "src/proc/procfs.h"
+#include "src/reclaim/kswapd.h"
+#include "src/reclaim/lru.h"
+#include "src/reclaim/rmap.h"
+#include "src/trace/metrics.h"
+#include "tests/test_util.h"
+
+namespace odf {
+namespace {
+
+// The built-in vmstat counters are process-global, so every assertion works on deltas.
+class CounterDelta {
+ public:
+  explicit CounterDelta(VmCounter counter)
+      : counter_(counter), start_(ReadVm(counter)) {}
+  uint64_t Get() const { return ReadVm(counter_) - start_; }
+
+ private:
+  VmCounter counter_;
+  uint64_t start_;
+};
+
+uint64_t VmstatValue(const std::string& vmstat, const std::string& name) {
+  std::istringstream in(vmstat);
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t space = line.find(' ');
+    if (space != std::string::npos && line.substr(0, space) == name) {
+      return std::stoull(line.substr(space + 1));
+    }
+  }
+  ADD_FAILURE() << "vmstat has no line for " << name;
+  return 0;
+}
+
+void ExpectVerifies(Kernel& kernel) {
+  debug::VerifyResult result = debug::VerifyKernel(kernel);
+  EXPECT_TRUE(result.ok()) << result.Describe();
+}
+
+// --- Rmap bookkeeping ---
+
+TEST(RmapTest, TracksLeafInstallAndClear) {
+  Kernel kernel;
+  Process& p = kernel.CreateProcess();
+  reclaim::RmapRegistry& rmap = kernel.rmap();
+  ASSERT_EQ(rmap.TotalLocations(), 0u);
+
+  Vaddr va = p.Mmap(8 * kPageSize, kProtRead | kProtWrite);
+  FillPattern(p, va, 8 * kPageSize, 1);
+  EXPECT_EQ(rmap.TotalLocations(), 8u);
+  EXPECT_EQ(rmap.MappedFrames(), 8u);
+  EXPECT_EQ(kernel.lru().Size(), 8u) << "anonymous order-0 frames join the LRU";
+  ExpectVerifies(kernel);
+
+  p.Munmap(va, 8 * kPageSize);
+  EXPECT_EQ(rmap.TotalLocations(), 0u);
+  EXPECT_EQ(kernel.lru().Size(), 0u);
+  ExpectVerifies(kernel);
+}
+
+TEST(RmapTest, HugePagesAreMappedButNotLruManaged) {
+  Kernel kernel;
+  Process& p = kernel.CreateProcess();
+  Vaddr va = p.Mmap(kHugePageSize, kProtRead | kProtWrite, /*huge=*/true);
+  WriteByte(p, va, std::byte{0x5a});
+  EXPECT_EQ(kernel.rmap().TotalLocations(), 1u) << "one huge PMD entry, one location";
+  EXPECT_EQ(kernel.lru().Size(), 0u) << "compound pages are not reclaim candidates";
+  ExpectVerifies(kernel);
+}
+
+TEST(RmapTest, SharedPteTableIsOneLocationPerSlot) {
+  Kernel kernel;
+  Process& p = kernel.CreateProcess();
+  Vaddr va = p.Mmap(8 * kPageSize, kProtRead | kProtWrite);
+  FillPattern(p, va, 8 * kPageSize, 2);
+  ASSERT_EQ(kernel.rmap().TotalLocations(), 8u);
+
+  // On-demand fork shares the PTE table: the same 8 slots now map the frames into both
+  // processes, so the registry must NOT grow — the fan-out lives in pt_share_count (§3.6).
+  Process& odf_child = kernel.Fork(p, ForkMode::kOnDemand);
+  EXPECT_EQ(kernel.rmap().TotalLocations(), 8u)
+      << "a shared table contributes one location per slot, not one per sharer";
+
+  // A write through the shared table COW-breaks it: the child gets a private copy whose 8
+  // present entries (7 still-shared frames + 1 fresh COW frame) all register.
+  WriteByte(odf_child, va, std::byte{0x11});
+  EXPECT_EQ(kernel.rmap().TotalLocations(), 16u);
+  ExpectVerifies(kernel);
+
+  // Classic fork copies every present leaf entry into its own private table: +8.
+  Process& classic_child = kernel.Fork(p, ForkMode::kClassic);
+  EXPECT_EQ(kernel.rmap().TotalLocations(), 24u);
+  ExpectVerifies(kernel);
+
+  kernel.Exit(classic_child, 0);
+  kernel.Exit(odf_child, 0);
+  EXPECT_EQ(kernel.rmap().TotalLocations(), 8u) << "teardown unregisters exactly";
+  ExpectVerifies(kernel);
+}
+
+// --- LRU aging and workingset shadows (direct unit coverage) ---
+
+TEST(LruTest, InactiveTailIsColdestAndSecondChanceReinserts) {
+  reclaim::PageLru lru;
+  lru.Insert(1, /*active=*/false);
+  lru.Insert(2, /*active=*/false);
+  lru.Insert(3, /*active=*/false);
+  EXPECT_EQ(lru.InactiveSize(), 3u);
+
+  std::vector<FrameId> batch;
+  ASSERT_EQ(lru.TakeInactive(2, &batch), 2u);
+  EXPECT_EQ(batch[0], 1u) << "tail of the inactive list is the first inserted (coldest)";
+  EXPECT_EQ(batch[1], 2u);
+
+  lru.PutBack(batch[0], /*active=*/true);  // Referenced: promoted.
+  lru.PutBack(batch[1], /*active=*/false);
+  EXPECT_EQ(lru.ActiveSize(), 1u);
+  EXPECT_EQ(lru.InactiveSize(), 2u);
+
+  lru.Activate(3);
+  EXPECT_EQ(lru.ActiveSize(), 2u);
+  lru.Erase(3);
+  EXPECT_EQ(lru.Size(), 2u);
+}
+
+TEST(LruTest, RefaultWithinHorizonCountsAndConsumesShadow) {
+  reclaim::PageLru lru;
+  CounterDelta refaults(VmCounter::k_pgrefault);
+  lru.RecordEviction(/*slot=*/7);
+  EXPECT_EQ(lru.ShadowCount(), 1u);
+  EXPECT_TRUE(lru.NoteRefault(7)) << "distance 0 is always within the workingset";
+  EXPECT_EQ(refaults.Get(), 1u);
+  EXPECT_EQ(lru.ShadowCount(), 0u) << "a shadow is consumed by its refault";
+  EXPECT_FALSE(lru.NoteRefault(7)) << "no shadow, no refault";
+  EXPECT_FALSE(lru.NoteRefault(99)) << "never-evicted slots are not refaults";
+}
+
+// --- Direct reclaim through the kernel entry point ---
+
+TEST(ReclaimTest, DirectReclaimEvictsColdPagesAndFaultsBackByteIdentical) {
+  Kernel kernel;
+  Process& p = kernel.CreateProcess();
+  Vaddr va = p.Mmap(64 * kPageSize, kProtRead | kProtWrite);
+  FillPattern(p, va, 64 * kPageSize, 3);
+
+  CounterDelta scanned(VmCounter::k_pgscan);
+  CounterDelta stolen(VmCounter::k_pgsteal);
+  uint64_t freed = kernel.ReclaimMemory(16);
+  EXPECT_GE(freed, 16u) << "aging rounds must defeat the freshly-set accessed bits";
+  EXPECT_GT(scanned.Get(), 0u);
+  EXPECT_GE(stolen.Get(), freed);
+  EXPECT_GT(kernel.swap_space().Stats().writes, 0u);
+  ExpectVerifies(kernel);
+
+  // Every page faults back byte-identical, and recent evictions count as refaults.
+  CounterDelta refaults(VmCounter::k_pgrefault);
+  ExpectPattern(p, va, 64 * kPageSize, 3);
+  EXPECT_GT(refaults.Get(), 0u) << "immediate re-touch is inside the workingset horizon";
+  ExpectVerifies(kernel);
+}
+
+// The headline satellite: evict a frame that is mapped through an on-demand-SHARED PTE
+// table, then make every forked child fault it back. The data must round-trip
+// byte-identical through the swap device and the verifier must find the table share
+// counts exactly balanced afterwards.
+TEST(ReclaimTest, SharedTableEvictionFaultsBackInAllChildren) {
+  constexpr int kChildren = 4;
+  constexpr uint64_t kBytes = 32 * kPageSize;
+  Kernel kernel;
+  Process& parent = kernel.CreateProcess();
+  Vaddr va = parent.Mmap(kBytes, kProtRead | kProtWrite);
+  FillPattern(parent, va, kBytes, 4);
+
+  std::vector<Process*> children;
+  for (int i = 0; i < kChildren; ++i) {
+    children.push_back(&kernel.Fork(parent, ForkMode::kOnDemand));
+  }
+  ASSERT_EQ(kernel.rmap().TotalLocations(), kBytes / kPageSize)
+      << "all children share the parent's leaf slots";
+
+  CounterDelta stolen(VmCounter::k_pgsteal);
+  uint64_t freed = kernel.ReclaimMemory(kBytes / kPageSize);
+  EXPECT_GT(freed, 0u) << "pages under shared tables must be evictable via the rmap";
+  EXPECT_GT(kernel.swap_space().Stats().writes, 0u);
+  ExpectVerifies(kernel);
+
+  // Children first (their faults go through the shared-table paths), parent last.
+  for (Process* child : children) {
+    ExpectPattern(*child, va, kBytes, 4);
+  }
+  ExpectPattern(parent, va, kBytes, 4);
+  EXPECT_GT(stolen.Get(), 0u);
+  ExpectVerifies(kernel);  // Walk/rmap bijection AND pt_share_count balance.
+
+  for (Process* child : children) {
+    kernel.Exit(*child, 0);
+  }
+  ExpectVerifies(kernel);
+}
+
+TEST(ReclaimTest, RmapAllocFailureMakesFrameUnevictableNotLost) {
+#if !ODF_FAULT_INJECT_COMPILED
+  GTEST_SKIP() << "fault-injection hooks compiled out (ODF_FAULT_INJECT=OFF)";
+#endif
+  Kernel kernel;
+  Process& p = kernel.CreateProcess();
+  Vaddr va = p.Mmap(kPageSize, kProtRead | kProtWrite);
+  {
+    // The rmap entry for the faulted-in page fails to allocate: the mapping still
+    // registers (accounting stays exact) but the frame goes sticky-unstable.
+    fi::ScopedInjection inject(FiSite::k_rmap_alloc,
+                               FiSiteConfig{.probability = 1.0, .times = 1});
+    WriteByte(p, va, std::byte{0x77});
+  }
+  ExpectVerifies(kernel);  // An injected rmap failure must not unbalance the registry.
+
+  uint64_t swap_writes_before = kernel.swap_space().Stats().writes;
+  kernel.ReclaimMemory(1);
+  kernel.ReclaimMemory(1);  // Second pass: the accessed-bit second chance is spent.
+  EXPECT_EQ(kernel.swap_space().Stats().writes, swap_writes_before)
+      << "the shrinker must refuse rmap-unstable frames";
+  EXPECT_EQ(ReadByte(p, va), std::byte{0x77});
+  ExpectVerifies(kernel);
+}
+
+// --- Watermarks and the background daemon ---
+
+TEST(WatermarkTest, DerivedDefaultsScaleWithTheLimitAndExplicitValuesPin) {
+  Kernel kernel;
+  kernel.SetMemoryLimitFrames(640);
+  FrameAllocator::Watermarks wm = kernel.allocator().watermarks();
+  EXPECT_EQ(wm.min, 640 / 64 + 4);
+  EXPECT_EQ(wm.low, 2 * wm.min);
+  EXPECT_EQ(wm.high, 3 * wm.min);
+
+  kernel.allocator().SetWatermarks({.min = 5, .low = 11, .high = 23});
+  kernel.SetMemoryLimitFrames(1280);  // Explicit values survive a limit change.
+  wm = kernel.allocator().watermarks();
+  EXPECT_EQ(wm.min, 5u);
+  EXPECT_EQ(wm.low, 11u);
+  EXPECT_EQ(wm.high, 23u);
+}
+
+TEST(KswapdTest, PressureBelowLowWatermarkWakesDaemonWhichBalancesToHigh) {
+  constexpr uint64_t kLimit = 512;
+  Kernel kernel;
+  kernel.SetMemoryLimitFrames(kLimit);
+  kernel.StartKswapd();
+  ASSERT_NE(kernel.kswapd(), nullptr);
+  ASSERT_TRUE(kernel.kswapd()->Running());
+
+  CounterDelta wakes(VmCounter::k_kswapd_wake);
+  Process& p = kernel.CreateProcess();
+  constexpr uint64_t kPages = 500;  // Deep past LOW (24 for this limit).
+  Vaddr va = p.Mmap(kPages * kPageSize, kProtRead | kProtWrite);
+  FillPattern(p, va, kPages * kPageSize, 5);
+
+  // The allocations crossed the LOW watermark, so the pressure callback must have fired;
+  // the daemon then reclaims in the background until free frames recover to HIGH.
+  uint64_t high = kernel.allocator().watermarks().high;
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while ((kernel.allocator().FreeFrames() < high ||
+          kernel.kswapd()->stats().wakeups.load() == 0) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(kernel.kswapd()->stats().wakeups.load(), 0u);
+  EXPECT_GT(wakes.Get(), 0u);
+  EXPECT_GE(kernel.allocator().FreeFrames(), high)
+      << "kswapd balances until the high watermark";
+  EXPECT_GT(kernel.kswapd()->stats().pages_freed.load(), 0u);
+
+  // The evicted pages come back byte-identical while the daemon keeps running.
+  ExpectPattern(p, va, kPages * kPageSize, 5);
+  kernel.StopKswapd();
+  EXPECT_EQ(kernel.kswapd(), nullptr);
+  ExpectVerifies(kernel);
+}
+
+// --- The docs/reclaim.md acceptance workload ---
+
+// A frame pool HALF the size of the working set: before src/reclaim this configuration
+// died in the OOM killer; now it must complete through reclaim with every byte intact.
+TEST(ReclaimAcceptanceTest, PoolAtHalfTheWorkingSetCompletesWithZeroCorruption) {
+  constexpr uint64_t kWorkingSetPages = 512;
+  constexpr uint64_t kPoolFrames = 300;  // ~50% of pages + tables.
+  Kernel kernel;
+  kernel.SetMemoryLimitFrames(kPoolFrames);
+
+  CounterDelta scanned(VmCounter::k_pgscan);
+  CounterDelta stolen(VmCounter::k_pgsteal);
+  CounterDelta refaults(VmCounter::k_pgrefault);
+  CounterDelta direct(VmCounter::k_direct_reclaim);
+
+  Process& p = kernel.CreateProcess();
+  Vaddr va = p.Mmap(kWorkingSetPages * kPageSize, kProtRead | kProtWrite);
+  // Two full passes: the fill forces eviction of its own tail, the verify refaults
+  // everything back in (and evicts again to make room while doing so).
+  FillPattern(p, va, kWorkingSetPages * kPageSize, 6);
+  ExpectPattern(p, va, kWorkingSetPages * kPageSize, 6);
+
+  EXPECT_EQ(kernel.oom_kills(), 0u) << "reclaim must carry this load without killing";
+  EXPECT_GT(scanned.Get(), 0u);
+  EXPECT_GT(stolen.Get(), 0u);
+  EXPECT_GT(refaults.Get(), 0u);
+  EXPECT_GT(direct.Get(), 0u);
+  ExpectVerifies(kernel);
+
+  std::string vmstat = FormatVmstat(kernel);
+  EXPECT_GT(VmstatValue(vmstat, "pgscan"), 0u);
+  EXPECT_GT(VmstatValue(vmstat, "pgsteal"), 0u);
+  EXPECT_GT(VmstatValue(vmstat, "pgrefault"), 0u);
+}
+
+// The same over-committed workload with the daemon running: mutator faults race kswapd's
+// balance rounds (this is the TSan-interesting configuration).
+TEST(ReclaimAcceptanceTest, OverCommittedWorkloadCompletesWithKswapdRunning) {
+  constexpr uint64_t kWorkingSetPages = 512;
+  Kernel kernel;
+  kernel.SetMemoryLimitFrames(300);
+  kernel.StartKswapd();
+
+  Process& p = kernel.CreateProcess();
+  Vaddr va = p.Mmap(kWorkingSetPages * kPageSize, kProtRead | kProtWrite);
+  FillPattern(p, va, kWorkingSetPages * kPageSize, 7);
+  ExpectPattern(p, va, kWorkingSetPages * kPageSize, 7);
+
+  EXPECT_EQ(kernel.oom_kills(), 0u);
+  kernel.StopKswapd();
+  ExpectVerifies(kernel);
+}
+
+// --- Observability surfaces (docs/observability.md, docs/reclaim.md) ---
+
+TEST(ReclaimProcfsTest, MeminfoReportsPoolLruAndWatermarks) {
+  Kernel kernel;
+  kernel.SetMemoryLimitFrames(1024);
+  Process& p = kernel.CreateProcess();
+  Vaddr va = p.Mmap(16 * kPageSize, kProtRead | kProtWrite);
+  FillPattern(p, va, 16 * kPageSize, 8);
+
+  std::string meminfo = FormatMeminfo(kernel);
+  EXPECT_NE(meminfo.find("MemTotal:"), std::string::npos) << meminfo;
+  EXPECT_NE(meminfo.find("Inactive(anon):"), std::string::npos) << meminfo;
+  EXPECT_NE(meminfo.find("WatermarkLow:"), std::string::npos) << meminfo;
+
+  std::string vmstat = FormatVmstat(kernel);
+  EXPECT_EQ(VmstatValue(vmstat, "nr_rmap_locations"), 16u);
+  EXPECT_EQ(VmstatValue(vmstat, "nr_inactive_anon") + VmstatValue(vmstat, "nr_active_anon"),
+            16u);
+  EXPECT_EQ(VmstatValue(vmstat, "kswapd_running"), 0u);
+}
+
+}  // namespace
+}  // namespace odf

@@ -50,14 +50,22 @@ struct TortureTally {
 
 class TortureDriver {
  public:
-  explicit TortureDriver(uint64_t seed) : rng_(seed) {
+  // `frame_limit` sets the pool size; `start_kswapd` arms the background reclaim daemon
+  // (which makes the run nondeterministic — only the single-threaded default
+  // configuration feeds the same-seed replay gate).
+  explicit TortureDriver(uint64_t seed, uint64_t frame_limit = kFrameLimit,
+                        bool start_kswapd = false)
+      : rng_(seed) {
     // The pattern fill runs before arming: the torture loop needs a known-good baseline to
     // verify rollbacks against, so its writes must not themselves be failed.
     FaultInjector::Global().Reset(seed);
     root_ = &kernel_.CreateProcess();
     region_ = root_->Mmap(kRootRegionBytes, kProtRead | kProtWrite);
     FillPattern(*root_, region_, kRootRegionBytes, kPatternSeed);
-    kernel_.SetMemoryLimitFrames(kFrameLimit);
+    kernel_.SetMemoryLimitFrames(frame_limit);
+    if (start_kswapd) {
+      kernel_.StartKswapd();
+    }
     ArmAll();
   }
 
@@ -110,6 +118,10 @@ class TortureDriver {
     fi.Arm(FiSite::k_compound_alloc, FiSiteConfig{.probability = 0.5});
     fi.Arm(FiSite::k_swap_out, FiSiteConfig{.probability = 0.05});
     fi.Arm(FiSite::k_swap_in, FiSiteConfig{.probability = 0.02});
+    // An rmap_alloc failure makes the frame sticky-unevictable for the rest of the run,
+    // so keep it rare — a high rate would pin the pool and starve the pressure variant.
+    fi.Arm(FiSite::k_rmap_alloc, FiSiteConfig{.probability = 0.002});
+    fi.Arm(FiSite::k_reclaim_writeback, FiSiteConfig{.probability = 0.05});
   }
 
   // Arm() restarts per-site counters, so fold the window that is about to be lost into the
@@ -303,6 +315,32 @@ TEST(TortureTest, RandomizedForkFaultReclaimUnderInjection) {
     ASSERT_NO_FATAL_FAILURE(driver.Run(&replay));
   }
   EXPECT_EQ(first, replay) << "same-seed torture runs diverged; determinism broken";
+  FaultInjector::Global().Reset();
+}
+
+// The memory-pressure variant (docs/reclaim.md): the pool shrinks to half the default —
+// tight enough that the root's pattern region alone overcommits it — and kswapd runs
+// concurrently with the op mix, so LRU aging, rmap-walk eviction, direct reclaim, and the
+// background daemon all fight over the same frames while faults are being injected. The
+// daemon makes the schedule nondeterministic, so there is no replay gate here; the
+// invariants are survival ones: the root is never OOM-picked, its pattern stays
+// byte-identical, reclaim demonstrably ran, and nothing leaks.
+TEST(TortureTest, MemoryPressureWithKswapdUnderInjection) {
+#if !ODF_FAULT_INJECT_COMPILED
+  GTEST_SKIP() << "fault-injection hooks compiled out (ODF_FAULT_INJECT=OFF)";
+#endif
+  uint64_t seed = TortureSeed() ^ 0x9e3779b97f4a7c15ULL;
+  SCOPED_TRACE(::testing::Message() << "ODF_TORTURE_SEED=" << seed);
+
+  uint64_t pgsteal_before = ReadVm(VmCounter::k_pgsteal);
+  TortureTally tally;
+  {
+    TortureDriver driver(seed, kFrameLimit / 2, /*start_kswapd=*/true);
+    ASSERT_NO_FATAL_FAILURE(driver.Run(&tally));
+  }
+  EXPECT_GT(tally.forks_attempted, 1000u);
+  EXPECT_GT(ReadVm(VmCounter::k_pgsteal) - pgsteal_before, 0u)
+      << "a half-sized pool must force actual evictions";
   FaultInjector::Global().Reset();
 }
 
