@@ -19,6 +19,7 @@
 #include "src/proc/kernel.h"
 #include "src/trace/json.h"
 #include "src/trace/metrics.h"
+#include "src/trace/trace.h"
 #include "src/util/log.h"
 #include "src/util/stats.h"
 #include "src/util/stopwatch.h"
@@ -194,6 +195,17 @@ inline void WriteBenchJson(const std::string& name, const BenchConfig& config,
     json.Key(counter).Value(value);
   }
   json.EndObject();
+  // Per-ring append/overwrite accounting: a wrapped trace ring silently loses events, so
+  // any trace-derived number in the sections above must be read next to these counts.
+  json.Key("trace_rings").BeginArray();
+  for (const auto& ring : trace::Tracer::Global().CollectRingStats()) {
+    json.BeginObject();
+    json.Key("tid").Value(static_cast<uint64_t>(ring.tid));
+    json.Key("appended").Value(ring.appended);
+    json.Key("overwritten").Value(ring.overwritten);
+    json.EndObject();
+  }
+  json.EndArray();
   json.EndObject();
   out << "\n";
   std::printf("[bench] wrote %s\n", path.c_str());

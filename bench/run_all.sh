@@ -36,12 +36,24 @@ done
 
 echo
 echo "Running ${#benches[@]} benchmarks (ODF_BENCH_FAST=${ODF_BENCH_FAST}); JSON -> ${out_dir}"
+failures=()
 for bench in "${benches[@]}"; do
   echo
   echo ">>> ${bench}"
-  "./build/bench/${bench}"
+  # Run every bench even after a failure, but never report a green sweep with a crashed
+  # bench in it: collect and propagate the failures at the end.
+  if ! "./build/bench/${bench}"; then
+    echo "!!! ${bench} exited nonzero" >&2
+    failures+=("${bench}")
+  fi
 done
 
 echo
 echo "Done. Sidecars:"
 ls -1 "${out_dir}"/BENCH_*.json
+
+if ((${#failures[@]})); then
+  echo
+  echo "FAILED benches: ${failures[*]}" >&2
+  exit 1
+fi

@@ -58,6 +58,33 @@ if [[ -z "$ONLY" || "$ONLY" == "default" ]]; then
   fi
 fi
 
+# Flight recorder + deterministic replay (docs/replay.md): the labeled suite, then the
+# end-to-end determinism gate — record a mixed fork/fault/reclaim workload, replay it
+# against a fresh kernel, and fail on any divergence in op outcomes, final memory digests,
+# refcounts, or vmstat counters.
+if [[ -z "$ONLY" || "$ONLY" == "default" ]]; then
+  note "replay label (default preset)"
+  if ! ctest --test-dir build -L replay --output-on-failure; then
+    FAILURES+=("replay label")
+  fi
+  note "replay determinism gate (odf-replay selftest)"
+  if ! ./build/src/replay/odf-replay selftest build/odf-replay-selftest.odflog; then
+    FAILURES+=("replay selftest")
+  fi
+fi
+
+# The recorder must stay fully compileable-out: -DODF_REPLAY=OFF folds every OpScope to
+# nothing, and the tree (library, benches, tests) still builds. Build-only — the runtime
+# suites run with the recorder compiled in above.
+if [[ -z "$ONLY" || "$ONLY" == "replay-off" ]]; then
+  note "replay-off: configure + build (-DODF_REPLAY=OFF)"
+  if ! cmake -B build-replay-off -DCMAKE_BUILD_TYPE=RelWithDebInfo -DODF_REPLAY=OFF >/dev/null; then
+    FAILURES+=("replay-off: configure")
+  elif ! cmake --build build-replay-off -j "$JOBS"; then
+    FAILURES+=("replay-off: build")
+  fi
+fi
+
 run_preset asan-ubsan
 run_preset tsan
 run_preset fault-inject

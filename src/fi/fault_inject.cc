@@ -51,7 +51,24 @@ double HashToUnitDouble(uint64_t seed, FiSite site, uint64_t call) {
   return static_cast<double>(h >> 11) * 0x1.0p-53;
 }
 
+std::atomic<DecisionHook> g_decision_hook{nullptr};
+std::atomic<ConfigHook> g_config_hook{nullptr};
+
+void FireConfigHook(FiSite site, const FiSiteConfig* config) {
+  if (ConfigHook hook = g_config_hook.load(std::memory_order_acquire)) {
+    hook(site, config);
+  }
+}
+
 }  // namespace
+
+void SetDecisionHook(DecisionHook hook) {
+  g_decision_hook.store(hook, std::memory_order_release);
+}
+
+void SetConfigHook(ConfigHook hook) {
+  g_config_hook.store(hook, std::memory_order_release);
+}
 
 FaultInjector& FaultInjector::Global() {
   static FaultInjector* injector = new FaultInjector();
@@ -67,28 +84,40 @@ void FaultInjector::RefreshArmedFlagLocked() {
 }
 
 void FaultInjector::Arm(FiSite site, const FiSiteConfig& config) {
-  std::lock_guard<std::mutex> guard(mutex_);
-  Site& s = sites_[static_cast<size_t>(site)];
-  s.config = config;
-  s.armed = true;
-  s.calls = 0;
-  s.injected = 0;
-  RefreshArmedFlagLocked();
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    Site& s = sites_[static_cast<size_t>(site)];
+    s.config = config;
+    s.armed = true;
+    s.pinned = false;
+    s.pinned_verdicts.clear();
+    s.calls = 0;
+    s.injected = 0;
+    RefreshArmedFlagLocked();
+  }
+  FireConfigHook(site, &config);
 }
 
 void FaultInjector::Disarm(FiSite site) {
-  std::lock_guard<std::mutex> guard(mutex_);
-  sites_[static_cast<size_t>(site)].armed = false;
-  RefreshArmedFlagLocked();
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    sites_[static_cast<size_t>(site)].armed = false;
+    RefreshArmedFlagLocked();
+  }
+  FireConfigHook(site, nullptr);
 }
 
 void FaultInjector::Reset(uint64_t seed) {
-  std::lock_guard<std::mutex> guard(mutex_);
-  for (Site& site : sites_) {
-    site = Site{};
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    for (Site& site : sites_) {
+      site = Site{};
+    }
+    seed_ = seed;
+    pinned_overflow_ = 0;
+    RefreshArmedFlagLocked();
   }
-  seed_ = seed;
-  RefreshArmedFlagLocked();
+  FireConfigHook(FiSite::kCount, nullptr);
 }
 
 void FaultInjector::SetSeed(uint64_t seed) {
@@ -103,6 +132,7 @@ uint64_t FaultInjector::seed() const {
 
 bool FaultInjector::ShouldFail(FiSite site) {
   uint64_t call = 0;
+  bool verdict = false;
   {
     std::lock_guard<std::mutex> guard(mutex_);
     Site& s = sites_[static_cast<size_t>(site)];
@@ -110,29 +140,67 @@ bool FaultInjector::ShouldFail(FiSite site) {
       return false;
     }
     call = ++s.calls;
-    const FiSiteConfig& c = s.config;
-    bool fail = false;
-    if (c.nth != 0 && call == c.nth) {
-      fail = true;
+    if (s.pinned) {
+      // Replay mode: the verdict comes from the recorded schedule, not the config.
+      if (call <= s.pinned_verdicts.size()) {
+        verdict = s.pinned_verdicts[call - 1];
+      } else {
+        ++pinned_overflow_;
+      }
+    } else {
+      const FiSiteConfig& c = s.config;
+      bool fail = (c.nth != 0 && call == c.nth);
+      if (!fail && c.interval != 0 && call % c.interval == 0) {
+        fail = true;
+      }
+      if (!fail && c.probability > 0.0 &&
+          HashToUnitDouble(seed_, site, call) < c.probability) {
+        fail = true;
+      }
+      verdict = fail && !(c.times >= 0 && s.injected >= static_cast<uint64_t>(c.times));
     }
-    if (!fail && c.interval != 0 && call % c.interval == 0) {
-      fail = true;
+    if (verdict) {
+      ++s.injected;
     }
-    if (!fail && c.probability > 0.0 &&
-        HashToUnitDouble(seed_, site, call) < c.probability) {
-      fail = true;
-    }
-    if (!fail) {
-      return false;
-    }
-    if (c.times >= 0 && s.injected >= static_cast<uint64_t>(c.times)) {
-      return false;
-    }
-    ++s.injected;
   }
-  CountVm(VmCounter::k_fi_injected);
-  ODF_TRACE(fi_inject, /*pid=*/0, static_cast<uint64_t>(site), call);
-  return true;
+  // Hook and trace fire outside the lock; the hook sees every armed call, injected or not,
+  // so a recorded schedule pins the full verdict sequence.
+  if (DecisionHook hook = g_decision_hook.load(std::memory_order_acquire)) {
+    hook(site, call, verdict);
+  }
+  if (verdict) {
+    CountVm(VmCounter::k_fi_injected);
+    ODF_TRACE(fi_inject, /*pid=*/0, static_cast<uint64_t>(site), call);
+  }
+  return verdict;
+}
+
+void FaultInjector::PinForReplay(FiSite site, std::vector<bool> verdicts) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  Site& s = sites_[static_cast<size_t>(site)];
+  s.config = FiSiteConfig{};
+  s.armed = true;
+  s.pinned = true;
+  s.calls = 0;
+  s.injected = 0;
+  s.pinned_verdicts = std::move(verdicts);
+  RefreshArmedFlagLocked();
+}
+
+void FaultInjector::UnpinAll() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  for (Site& site : sites_) {
+    if (site.pinned) {
+      site = Site{};
+    }
+  }
+  pinned_overflow_ = 0;
+  RefreshArmedFlagLocked();
+}
+
+uint64_t FaultInjector::PinnedOverflow() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return pinned_overflow_;
 }
 
 bool FaultInjector::IsArmed(FiSite site) const {
@@ -170,6 +238,8 @@ std::string FaultInjector::FormatStatus() const {
     out << FiSiteName(static_cast<FiSite>(i)) << " ";
     if (!s.armed) {
       out << "off";
+    } else if (s.pinned) {
+      out << "pinned schedule_len " << s.pinned_verdicts.size();
     } else {
       out << "probability " << s.config.probability << " nth " << s.config.nth << " interval "
           << s.config.interval << " times " << s.config.times;

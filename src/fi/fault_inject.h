@@ -29,6 +29,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 // Set by the build (src/fi/CMakeLists.txt); default to compiled-in for out-of-build users.
 #ifndef ODF_FAULT_INJECT_COMPILED
@@ -83,6 +84,21 @@ namespace fi {
 // a single relaxed load (the static_key analog).
 inline std::atomic<bool> g_fi_armed{false};
 
+// Observer invoked (outside the injector lock) for every armed-site decision, with the
+// 1-based per-site call index and the final verdict. The replay flight recorder installs one
+// to log the schedule; replay then pins it back via PinForReplay. The hook must not call
+// back into the injector.
+using DecisionHook = void (*)(FiSite site, uint64_t call, bool verdict);
+void SetDecisionHook(DecisionHook hook);
+
+// Observer invoked (outside the injector lock) when the injection schedule itself changes:
+// Arm fires (site, &config), Disarm fires (site, nullptr), and Reset fires
+// (FiSite::kCount, nullptr). The flight recorder logs these as schedule ops so replay can
+// reproduce per-site call indices, which restart at every arming. Same no-reentry rule as
+// DecisionHook.
+using ConfigHook = void (*)(FiSite site, const FiSiteConfig* config);
+void SetConfigHook(ConfigHook hook);
+
 class FaultInjector {
  public:
   static constexpr uint64_t kDefaultSeed = 0x0df0df0dULL;
@@ -130,20 +146,35 @@ class FaultInjector {
   // precede any applied token.
   bool Configure(std::string_view spec, std::string* error = nullptr);
 
+  // Replay mode: arms `site` with a fixed verdict schedule indexed by per-site call number
+  // (verdicts[i] is the verdict of call i+1), overriding probability/nth/interval. Calls past
+  // the end of the schedule return false and bump PinnedOverflow() — the replay engine treats
+  // a nonzero overflow as divergence. Counters restart at zero, as with Arm.
+  void PinForReplay(FiSite site, std::vector<bool> verdicts);
+
+  // Disarms every pinned site and zeroes the overflow count; sites armed via Arm survive.
+  void UnpinAll();
+
+  // Decisions demanded past the end of a pinned schedule since the last UnpinAll/Reset.
+  uint64_t PinnedOverflow() const;
+
  private:
   FaultInjector() = default;
 
   struct Site {
     FiSiteConfig config;
     bool armed = false;
+    bool pinned = false;
     uint64_t calls = 0;
     uint64_t injected = 0;
+    std::vector<bool> pinned_verdicts;
   };
 
   void RefreshArmedFlagLocked();
 
   mutable std::mutex mutex_;
   uint64_t seed_ = kDefaultSeed;
+  uint64_t pinned_overflow_ = 0;
   std::array<Site, kFiSiteCount> sites_;
 };
 

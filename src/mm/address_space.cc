@@ -7,6 +7,7 @@
 
 #include "src/mm/range_ops.h"
 #include "src/reclaim/rmap.h"
+#include "src/replay/recorder.h"
 #include "src/util/log.h"
 
 namespace odf {
@@ -265,6 +266,11 @@ void AddressSpace::Mincore(Vaddr start, uint64_t length, std::vector<uint8_t>* o
 }
 
 void AddressSpace::PopulateRange(Vaddr start, uint64_t length) {
+  replay::OpScope op(OpKind::k_populate, owner_pid_);
+  op.Arg(start).Arg(length);
+  if (owner_pid_ == 0) {
+    op.Cancel();  // Not reached through a Process: not a schedule entry.
+  }
   Vaddr end = start + length;
   VmArea* vma = FindVma(start);
   ODF_CHECK(vma != nullptr && end <= vma->end) << "populate range must be inside one VMA";

@@ -118,6 +118,15 @@ bool DataCowFault(AddressSpace& as, VmArea& vma, Vaddr va, uint64_t* slot) {
   if (copy == kInvalidFrame) {
     return false;
   }
+  if (LoadEntry(slot).raw() != entry.raw()) {
+    // TryAllocate under a frame limit runs direct reclaim inline, and reclaim may have
+    // evicted this very page through the rmap while we held the pre-allocation snapshot
+    // (frame id, refcount, rmap registration — all stale now). Real kernels hold the page
+    // locked across the copy; we drop the unused frame and re-translate instead: a
+    // swapped-out page takes the swap-in path on the next round of the fault loop.
+    allocator.DecRef(copy);
+    return true;
+  }
   const std::byte* src = allocator.PeekData(frame);
   if (src != nullptr) {
     std::byte* dst = allocator.MaterializeData(copy, /*zero=*/false);
@@ -182,6 +191,12 @@ bool SplitHugeMapping(AddressSpace& as, Vaddr chunk_base, uint64_t* pmd_slot) {
   if (table == kInvalidFrame) {
     return false;
   }
+  if (LoadEntry(pmd_slot).raw() != entry.raw()) {
+    // Direct reclaim inside the table allocation changed the mapping under us (see
+    // DataCowFault); drop the spare table and let the fault loop re-translate.
+    allocator.DecRef(table);
+    return true;
+  }
   constexpr FrameId kCompoundFrames = 1u << kHugePageOrder;
   // Each 4 KiB entry takes its own reference on the compound (tails resolve to the head):
   // +512 for the new entries, -1 below for the huge PMD entry being replaced.
@@ -233,6 +248,12 @@ bool HugeCowFault(AddressSpace& as, Vaddr chunk_base, uint64_t* pmd_slot) {
   FrameId copy = allocator.TryAllocateCompound(kPageFlagAnon);
   if (copy == kInvalidFrame) {
     return SplitHugeMapping(as, chunk_base, pmd_slot);
+  }
+  if (LoadEntry(pmd_slot).raw() != entry.raw()) {
+    // Direct reclaim inside the compound allocation changed the mapping under us (see
+    // DataCowFault); drop the unused compound and let the fault loop re-translate.
+    allocator.DecRef(copy);
+    return true;
   }
   const std::byte* src = allocator.PeekData(head);
   if (src != nullptr) {

@@ -108,6 +108,11 @@ SwapStats SwapSpace::Stats() const {
   return stats_;
 }
 
+const std::byte* SwapSpace::PeekSlot(SwapSlot slot) const {
+  debug::MutexGuard guard(mutex_, g_swap_lock_class);
+  return slot < slots_.size() ? slots_[slot].data.get() : nullptr;
+}
+
 bool SwapSpace::AllFree() const {
   debug::MutexGuard guard(mutex_, g_swap_lock_class);
   return stats_.slots_in_use == 0;

@@ -65,6 +65,11 @@ class SwapSpace {
   SwapStats Stats() const;
   bool AllFree() const;
 
+  // Content view for the replay digest (src/replay): the slot's buffer (kPageSize bytes),
+  // or nullptr when its logical content is all-zero. No device-read accounting. The pointer
+  // stays valid while the slot keeps a reference; callers run quiescently.
+  const std::byte* PeekSlot(SwapSlot slot) const;
+
  private:
   struct Slot {
     std::unique_ptr<std::byte[]> data;  // Null == all-zero content.

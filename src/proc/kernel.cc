@@ -7,6 +7,7 @@
 #include "src/debug/verify.h"
 #include "src/reclaim/mm_gate.h"
 #include "src/reclaim/shrink.h"
+#include "src/replay/recorder.h"
 #include "src/trace/metrics.h"
 #include "src/trace/trace.h"
 #include "src/util/log.h"
@@ -28,7 +29,17 @@ Kernel::Kernel() : fs_(&allocator_), rmap_(&allocator_) {
   allocator_.SetReclaimCallback([this](uint64_t want) { return ReclaimMemory(want); });
 }
 
-void Kernel::SetMemoryLimitFrames(uint64_t frames) { allocator_.SetFrameLimit(frames); }
+void Kernel::SetMemoryLimitFrames(uint64_t frames) {
+  replay::OpScope op(OpKind::k_set_memory_limit, 0);
+  op.Arg(frames);
+  allocator_.SetFrameLimit(frames);
+}
+
+void Kernel::set_default_fork_mode(ForkMode mode) {
+  replay::OpScope op(OpKind::k_set_default_fork_mode, 0);
+  op.Arg(static_cast<uint64_t>(mode));
+  default_fork_mode_ = mode;
+}
 
 reclaim::ShrinkContext Kernel::MakeShrinkContext() {
   reclaim::ShrinkContext ctx;
@@ -49,6 +60,7 @@ reclaim::ShrinkContext Kernel::MakeShrinkContext() {
 }
 
 void Kernel::StartKswapd() {
+  replay::OpScope op(OpKind::k_start_kswapd, 0);
   if (kswapd_ != nullptr) {
     return;
   }
@@ -59,6 +71,7 @@ void Kernel::StartKswapd() {
 }
 
 void Kernel::StopKswapd() {
+  replay::OpScope op(OpKind::k_stop_kswapd, 0);
   if (kswapd_ == nullptr) {
     return;
   }
@@ -68,6 +81,10 @@ void Kernel::StopKswapd() {
 }
 
 uint64_t Kernel::ReclaimMemory(uint64_t want) {
+  // Recorded only when called directly (depth 0); reclaim triggered from inside another
+  // op's allocation is nested and re-executes naturally on replay.
+  replay::OpScope op(OpKind::k_reclaim, 0);
+  op.Arg(want);
   // Reclaim mutates page tables and frees frames; it usually runs nested inside the
   // allocation that triggered it (whose own MutationScope is already open), but the scope
   // is reentrant so standing alone is fine too.
@@ -85,6 +102,7 @@ uint64_t Kernel::ReclaimMemory(uint64_t want) {
   }
   if (freed > 0) {
     ODF_TRACE(reclaim_end, /*pid=*/0, want, freed);
+    op.Result(freed);
     return freed;
   }
   // The OOM killer is a last resort for genuine exhaustion only. A direct ReclaimMemory
@@ -133,6 +151,7 @@ uint64_t Kernel::ReclaimMemory(uint64_t want) {
   uint64_t after = allocator_.Stats().allocated_frames;
   uint64_t reclaimed = before > after ? before - after : 0;
   ODF_TRACE(reclaim_end, /*pid=*/0, want, reclaimed);
+  op.Result(reclaimed);
   return reclaimed;
 }
 
@@ -147,22 +166,29 @@ Kernel::~Kernel() {
 }
 
 Process& Kernel::CreateProcess() {
+  replay::OpScope op(OpKind::k_create_process, 0);
   debug::MutationScope mutation;
   reclaim::MmGate::SharedScope gate;  // Mutator: excludes the shrinker (mm_gate.h).
   auto as = std::make_unique<AddressSpace>(&allocator_, &swap_, &rmap_);
   debug::MutexGuard guard(table_mutex_, g_table_lock_class);
   Pid pid = next_pid_++;
   auto process = std::make_unique<Process>(this, pid, /*parent=*/0, std::move(as));
-  process->set_fork_mode(default_fork_mode_);
+  process->fork_mode_ = default_fork_mode_;
   Process& ref = *process;
   processes_.emplace(pid, std::move(process));
   CountVm(VmCounter::k_proc_created);
   ODF_TRACE(proc_create, pid, /*parent=*/0);
+  op.Result(static_cast<uint64_t>(pid));
   return ref;
 }
 
 Process& Kernel::Fork(Process& parent, ForkMode mode, ForkProfile* profile) {
+  replay::OpScope op(OpKind::k_fork, parent.pid());
+  op.Arg(static_cast<uint64_t>(mode));
   Process* child = TryFork(parent, mode, profile);
+  if (child != nullptr) {
+    op.Result(static_cast<uint64_t>(child->pid()));
+  }
   ODF_CHECK(child != nullptr) << "fork of pid " << parent.pid()
                               << " failed: out of simulated memory (NOFAIL Fork; use "
                                  "TryFork for recoverable ENOMEM)";
@@ -170,6 +196,8 @@ Process& Kernel::Fork(Process& parent, ForkMode mode, ForkProfile* profile) {
 }
 
 Process* Kernel::TryFork(Process& parent, ForkMode mode, ForkProfile* profile) {
+  replay::OpScope op(OpKind::k_try_fork, parent.pid());
+  op.Arg(static_cast<uint64_t>(mode));
   // The fork body runs inside a MutationScope (closed before the post-fork verifier hook
   // below); the lambda keeps the early rollback return inside the scope.
   Process* forked = [&]() -> Process* {
@@ -192,7 +220,7 @@ Process* Kernel::TryFork(Process& parent, ForkMode mode, ForkProfile* profile) {
     debug::MutexGuard guard(table_mutex_, g_table_lock_class);
     Pid pid = next_pid_++;
     auto child = std::make_unique<Process>(this, pid, parent.pid(), std::move(child_as));
-    child->set_fork_mode(parent.fork_mode());
+    child->fork_mode_ = parent.fork_mode();
     parent.children_.push_back(pid);
     Process& ref = *child;
     processes_.emplace(pid, std::move(child));
@@ -202,10 +230,13 @@ Process* Kernel::TryFork(Process& parent, ForkMode mode, ForkProfile* profile) {
   }();
   // Rollbacks are verified too: a failed fork must leave the kernel exactly as it was.
   debug::AutoVerifyKernel(*this, "fork");
+  op.Result(forked != nullptr ? static_cast<uint64_t>(forked->pid()) : 0);
   return forked;
 }
 
 void Kernel::Exit(Process& process, int code) {
+  replay::OpScope op(OpKind::k_exit, process.pid());
+  op.Arg(static_cast<uint64_t>(static_cast<int64_t>(code)));
   {
     debug::MutationScope mutation;
     reclaim::MmGate::SharedScope gate;  // Mutator: excludes the shrinker (mm_gate.h).
@@ -223,6 +254,7 @@ void Kernel::Exit(Process& process, int code) {
 }
 
 Pid Kernel::Wait(Process& parent) {
+  replay::OpScope op(OpKind::k_wait, parent.pid());
   debug::MutationScope mutation;  // Reaping destroys the zombie's remaining state.
   debug::MutexGuard guard(table_mutex_, g_table_lock_class);
   for (auto it = parent.children_.begin(); it != parent.children_.end(); ++it) {
@@ -232,6 +264,7 @@ Pid Kernel::Wait(Process& parent) {
       processes_.erase(found);
       parent.children_.erase(it);
       ODF_TRACE(proc_reap, pid, static_cast<uint64_t>(parent.pid()));
+      op.Result(static_cast<uint64_t>(pid) + 1);  // Reaped pid + 1; 0 == none.
       return pid;
     }
   }

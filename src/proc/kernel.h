@@ -67,8 +67,9 @@ class Kernel {
 
   Process* FindProcess(Pid pid);
 
-  // Global default fork mode applied to newly created processes.
-  void set_default_fork_mode(ForkMode mode) { default_fork_mode_ = mode; }
+  // Global default fork mode applied to newly created processes. Out-of-line: it is a
+  // recordable schedule entry (replay::OpScope).
+  void set_default_fork_mode(ForkMode mode);
   ForkMode default_fork_mode() const { return default_fork_mode_; }
 
   FrameAllocator& allocator() { return allocator_; }

@@ -7,6 +7,7 @@
 
 #include "src/debug/verify.h"
 #include "src/reclaim/mm_gate.h"
+#include "src/replay/recorder.h"
 #include "src/util/log.h"
 
 namespace odf {
@@ -68,18 +69,41 @@ bool Process::AccessMemory(Vaddr va, std::byte* buffer, uint64_t length, AccessT
 }
 
 bool Process::WriteMemory(Vaddr va, std::span<const std::byte> data) {
+  replay::OpScope op(OpKind::k_write, pid_);
+  op.Arg(va).Arg(data.size()).Payload(data);
   // The buffer is only read on the write path; the const_cast never results in mutation.
-  return AccessMemory(va, const_cast<std::byte*>(data.data()), data.size(), AccessType::kWrite,
-                      /*set_memory=*/false, std::byte{0});
+  bool ok = AccessMemory(va, const_cast<std::byte*>(data.data()), data.size(),
+                         AccessType::kWrite, /*set_memory=*/false, std::byte{0});
+  op.Status(static_cast<uint64_t>(last_fault_result_)).Result(ok ? 1 : 0);
+  return ok;
 }
 
 bool Process::ReadMemory(Vaddr va, std::span<std::byte> out) {
-  return AccessMemory(va, out.data(), out.size(), AccessType::kRead, /*set_memory=*/false,
-                      std::byte{0});
+  replay::OpScope op(OpKind::k_read, pid_);
+  op.Arg(va).Arg(out.size());
+  bool ok = AccessMemory(va, out.data(), out.size(), AccessType::kRead, /*set_memory=*/false,
+                         std::byte{0});
+  op.Status(static_cast<uint64_t>(last_fault_result_));
+  if (op.active()) {
+    // The recorded outcome of a read is a digest of the bytes it returned: replay verifies
+    // the replayed kernel serves the same data, not just the same verdict.
+    op.Result(ok ? replay::Fnv1aBytes(out.data(), out.size()) : 0);
+  }
+  return ok;
 }
 
 bool Process::MemsetMemory(Vaddr va, std::byte value, uint64_t length) {
-  return AccessMemory(va, nullptr, length, AccessType::kWrite, /*set_memory=*/true, value);
+  replay::OpScope op(OpKind::k_memset, pid_);
+  op.Arg(va).Arg(static_cast<uint64_t>(value)).Arg(length);
+  bool ok = AccessMemory(va, nullptr, length, AccessType::kWrite, /*set_memory=*/true, value);
+  op.Status(static_cast<uint64_t>(last_fault_result_)).Result(ok ? 1 : 0);
+  return ok;
+}
+
+void Process::set_fork_mode(ForkMode mode) {
+  replay::OpScope op(OpKind::k_set_fork_mode, pid_);
+  op.Arg(static_cast<uint64_t>(mode));
+  fork_mode_ = mode;
 }
 
 uint64_t Process::LoadU64(Vaddr va) {
@@ -123,12 +147,18 @@ std::string Process::ReadString(Vaddr va, uint64_t max_length) {
 }
 
 Vaddr Process::Mmap(uint64_t length, uint32_t prot, bool huge) {
+  replay::OpScope op(OpKind::k_mmap, pid_);
+  op.Arg(length).Arg(prot).Arg(huge ? 1 : 0);
   debug::MutationScope mutation;
   reclaim::MmGate::SharedScope gate;
-  return as_->MapAnonymous(length, prot, huge);
+  Vaddr va = as_->MapAnonymous(length, prot, huge);
+  op.Result(va);
+  return va;
 }
 
 void Process::Munmap(Vaddr start, uint64_t length) {
+  replay::OpScope op(OpKind::k_munmap, pid_);
+  op.Arg(start).Arg(length);
   {
     debug::MutationScope mutation;
     reclaim::MmGate::SharedScope gate;
@@ -140,27 +170,37 @@ void Process::Munmap(Vaddr start, uint64_t length) {
 }
 
 Vaddr Process::Mremap(Vaddr old_start, uint64_t old_length, uint64_t new_length) {
+  replay::OpScope op(OpKind::k_mremap, pid_);
+  op.Arg(old_start).Arg(old_length).Arg(new_length);
   debug::MutationScope mutation;
   reclaim::MmGate::SharedScope gate;
-  return as_->Remap(old_start, old_length, new_length);
+  Vaddr va = as_->Remap(old_start, old_length, new_length);
+  op.Result(va);
+  return va;
 }
 
 void Process::MadviseDontNeed(Vaddr start, uint64_t length) {
+  replay::OpScope op(OpKind::k_madvise_dontneed, pid_);
+  op.Arg(start).Arg(length);
   debug::MutationScope mutation;
   reclaim::MmGate::SharedScope gate;
   as_->AdviseDontNeed(start, length);
 }
 
 bool Process::TouchRange(Vaddr va, uint64_t length, AccessType access) {
+  replay::OpScope op(OpKind::k_touch, pid_);
+  op.Arg(va).Arg(length).Arg(static_cast<uint64_t>(access));
   for (Vaddr current = PageAlignDown(va); current < va + length; current += kPageSize) {
     std::byte scratch{1};
     bool ok = access == AccessType::kWrite
                   ? WriteMemory(current, std::span(&scratch, 1))
                   : ReadMemory(current, std::span(&scratch, 1));
     if (!ok) {
+      op.Status(static_cast<uint64_t>(last_fault_result_));
       return false;
     }
   }
+  op.Result(1);
   return true;
 }
 

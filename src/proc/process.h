@@ -42,7 +42,8 @@ class Process {
   // Per-process fork-mode configuration — the procfs knob from §4 ("Flexibility"): lets an
   // unmodified application be switched to on-demand-fork without code changes.
   ForkMode fork_mode() const { return fork_mode_; }
-  void set_fork_mode(ForkMode mode) { fork_mode_ = mode; }
+  // Out-of-line: it is a recordable schedule entry (replay::OpScope).
+  void set_fork_mode(ForkMode mode);
 
   // --- Memory access through the software MMU. Returns false when the access cannot be
   // completed; last_fault_result() distinguishes SEGV (illegal access) from the recoverable

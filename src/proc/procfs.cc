@@ -10,6 +10,7 @@
 #include "src/fi/fault_inject.h"
 #include "src/mm/range_ops.h"
 #include "src/proc/kernel.h"
+#include "src/replay/recorder.h"
 #include "src/trace/metrics.h"
 #include "src/util/log.h"
 
@@ -262,6 +263,12 @@ std::string FormatFaultInject() { return fi::FaultInjector::Global().FormatStatu
 
 bool ConfigureFaultInject(const std::string& spec, std::string* error) {
   return fi::FaultInjector::Global().Configure(spec, error);
+}
+
+std::string FormatReplay() { return replay::Recorder::Global().FormatStatus(); }
+
+bool ConfigureReplay(const std::string& spec, std::string* error) {
+  return replay::Recorder::Global().Configure(spec, error);
 }
 
 std::string FormatDebugVm() {

@@ -72,6 +72,15 @@ std::string FormatFaultInject();
 // Returns true on success; on parse error returns false and fills *error.
 bool ConfigureFaultInject(const std::string& spec, std::string* error);
 
+// /sys/kernel/debug/replay analog (docs/replay.md): the flight recorder's status — mode,
+// retained bytes, per-thread stream accounting, drop counts.
+std::string FormatReplay();
+
+// Write side of the recorder knob: whitespace-separated commands like
+// "start mode=blackbox budget=4194304" or "stop" or "dump=/tmp/crash.odflog".
+// Returns true on success; on parse error returns false and fills *error.
+bool ConfigureReplay(const std::string& spec, std::string* error);
+
 // /sys/kernel/debug/debug_vm analog (docs/debugging.md): whether the odf::debug invariant
 // checkers are compiled in, plus check/poison/lockdep/verifier counters. All lines render
 // in every build; the counters just stay zero with -DODF_DEBUG_VM=OFF.

@@ -1,0 +1,320 @@
+// odf-replay: flight-recorder log inspector + replay driver (docs/replay.md).
+//
+//   odf-replay inspect <log>                       summary: meta, counts, final state
+//   odf-replay dump <log> [filters]                ftrace-style record listing
+//   odf-replay replay <log> [--until SEQ] [...]    re-execute and cross-check
+//   odf-replay selftest [path]                     record+replay a mixed workload (CI gate)
+//
+// Dump filters: --pid N, --op NAME, --event NAME, --va LO:HI (hex ok), --events-only,
+// --ops-only. Replay flags: --until SEQ, --no-pin, --no-final, --no-verifier.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/debug/verify.h"
+#include "src/fi/fault_inject.h"
+#include "src/proc/kernel.h"
+#include "src/proc/process.h"
+#include "src/replay/log.h"
+#include "src/replay/recorder.h"
+#include "src/replay/replayer.h"
+#include "src/trace/trace.h"
+
+namespace {
+
+using namespace odf;  // NOLINT: single-file CLI tool.
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: odf-replay <command> [args]\n"
+               "  inspect <log>                      log summary\n"
+               "  dump <log> [--pid N] [--op NAME] [--event NAME] [--va LO:HI]\n"
+               "             [--ops-only] [--events-only]\n"
+               "  replay <log> [--until SEQ] [--no-pin] [--no-final] [--no-verifier]\n"
+               "  selftest [path]                    record + replay a mixed workload\n");
+  return 2;
+}
+
+bool LoadLog(const char* path, replay::ReplayLog* log) {
+  std::string error;
+  if (!replay::ReadLogFile(path, log, &error)) {
+    std::fprintf(stderr, "odf-replay: %s: %s\n", path, error.c_str());
+    return false;
+  }
+  return true;
+}
+
+int Inspect(const replay::ReplayLog& log) {
+  std::printf("mode            %s\n",
+              replay::RecorderModeName(static_cast<replay::RecorderMode>(log.mode)));
+  std::printf("fi_seed         %" PRIu64 "\n", log.fi_seed);
+  std::printf("finalized       %s\n", log.finalized ? "yes" : "no");
+  std::printf("replayable      %s\n", log.Complete() ? "yes" : "no");
+  std::printf("ops             %zu (dropped %" PRIu64 ")\n", log.ops.size(), log.ops_dropped);
+  std::printf("fi_decisions    %zu (dropped %" PRIu64 ")\n", log.fi_decisions.size(),
+              log.fi_dropped);
+  std::printf("trace_events    %zu (dropped %" PRIu64 ")\n", log.events.size(),
+              log.events_dropped);
+  for (const replay::RingStatRecord& ring : log.ring_stats) {
+    std::printf("ring tid=%u      appended %" PRIu64 " overwritten %" PRIu64 "\n", ring.tid,
+                ring.appended, ring.overwritten);
+  }
+  for (const replay::FinalProcessRecord& p : log.final_processes) {
+    std::printf("final pid=%d     vmas %" PRIu64 " present %" PRIu64 " swap %" PRIu64
+                " content %016" PRIx64 " refs %016" PRIx64 "\n",
+                p.pid, p.vma_count, p.present_pages, p.swap_pages, p.content_digest,
+                p.ref_digest);
+  }
+  if (log.final_alloc.has_value()) {
+    std::printf("final alloc     frames %" PRIu64 " tables %" PRIu64 " swap_slots %" PRIu64
+                "\n",
+                log.final_alloc->allocated_frames, log.final_alloc->page_table_frames,
+                log.final_alloc->swap_slots_in_use);
+  }
+  return 0;
+}
+
+struct DumpFilter {
+  int64_t pid = -1;           // -1 = any.
+  std::string op;             // Empty = any.
+  std::string event;          // Empty = any.
+  uint64_t va_lo = 0, va_hi = ~uint64_t{0};
+  bool ops = true;
+  bool events = true;
+};
+
+// The recorded ops carry a VA in arg 0 for every memory op; mapping ops cover
+// [result/arg0, +length). Match generously: any arg or the result inside the window.
+bool OpInVaRange(const replay::OpRecord& op, uint64_t lo, uint64_t hi) {
+  if (lo == 0 && hi == ~uint64_t{0}) {
+    return true;
+  }
+  for (uint64_t a : op.args) {
+    if (a >= lo && a < hi) {
+      return true;
+    }
+  }
+  return op.result >= lo && op.result < hi;
+}
+
+int Dump(const replay::ReplayLog& log, const DumpFilter& filter) {
+  if (filter.ops) {
+    for (const replay::OpRecord& op : log.ops) {
+      if (filter.pid >= 0 && op.pid != filter.pid) {
+        continue;
+      }
+      if (!filter.op.empty() && filter.op != OpKindName(op.kind)) {
+        continue;
+      }
+      if (!OpInVaRange(op, filter.va_lo, filter.va_hi)) {
+        continue;
+      }
+      std::printf("[%6" PRIu64 "] %8" PRIu64 ".%06" PRIu64 " tid=%-2u pid=%-3d %s(", op.seq,
+                  op.ts_ns / 1000000000, (op.ts_ns % 1000000000) / 1000, op.tid, op.pid,
+                  OpKindName(op.kind));
+      for (size_t i = 0; i < op.args.size(); ++i) {
+        std::printf("%s0x%" PRIx64, i == 0 ? "" : ", ", op.args[i]);
+      }
+      std::printf(") -> 0x%" PRIx64, op.result);
+      if (op.status != 0) {
+        std::printf(" status=%" PRIu64, op.status);
+      }
+      if (!op.payload.empty()) {
+        std::printf(" payload=%zuB", op.payload.size());
+      }
+      std::printf("\n");
+    }
+  }
+  if (filter.events) {
+    for (const replay::LogTraceEvent& event : log.events) {
+      if (filter.pid >= 0 && event.pid != filter.pid) {
+        continue;
+      }
+      const char* name = TraceEventName(static_cast<TraceEventId>(event.id));
+      if (!filter.event.empty() && filter.event != name) {
+        continue;
+      }
+      bool in_range = (filter.va_lo == 0 && filter.va_hi == ~uint64_t{0}) ||
+                      (event.a0 >= filter.va_lo && event.a0 < filter.va_hi);
+      if (!in_range) {
+        continue;
+      }
+      std::printf("  event  %8" PRIu64 ".%06" PRIu64 " tid=%-2u pid=%-3d %s 0x%" PRIx64
+                  " 0x%" PRIx64 " 0x%" PRIx64 "\n",
+                  event.ts_ns / 1000000000, (event.ts_ns % 1000000000) / 1000, event.tid,
+                  event.pid, name, event.a0, event.a1, event.a2);
+    }
+  }
+  return 0;
+}
+
+bool ParseVaRange(const char* spec, uint64_t* lo, uint64_t* hi) {
+  const char* colon = std::strchr(spec, ':');
+  if (colon == nullptr) {
+    return false;
+  }
+  char* end = nullptr;
+  *lo = std::strtoull(spec, &end, 0);
+  if (end != colon) {
+    return false;
+  }
+  *hi = std::strtoull(colon + 1, &end, 0);
+  return *end == '\0' && *hi > *lo;
+}
+
+int RunReplay(const char* path, const replay::ReplayOptions& options) {
+  replay::ReplayReport report = replay::ReplayFile(path, options);
+  std::printf("%s", report.Describe().c_str());
+  return report.ok() ? 0 : 1;
+}
+
+// Records a mixed fork/fault/reclaim workload (with fault injection armed), writes the log,
+// replays it, and fails on any divergence. The ci/check.sh determinism gate.
+int Selftest(const std::string& path) {
+  fi::FaultInjector::Global().Reset();
+  replay::RecorderOptions options;
+  options.mode = replay::RecorderMode::kFull;
+  options.force_tracing = true;  // The selftest log doubles as a CLI demo; keep it annotated.
+  if (!replay::Recorder::Global().Start(options)) {
+    std::fprintf(stderr, "odf-replay: selftest: recorder already running\n");
+    return 1;
+  }
+
+  {
+    Kernel kernel;
+    Process& parent = kernel.CreateProcess();
+    constexpr uint64_t kPages = 96;
+    Vaddr buf = parent.Mmap(kPages * kPageSize, kProtRead | kProtWrite);
+    std::vector<std::byte> page(kPageSize);
+    for (uint64_t i = 0; i < kPages; ++i) {
+      for (uint64_t j = 0; j < kPageSize; ++j) {
+        page[j] = static_cast<std::byte>((i * 13 + j) & 0xff);
+      }
+      parent.WriteMemory(buf + i * kPageSize, page);
+    }
+
+    // Memory pressure: cap RAM so the child's COW copies push cold pages to swap.
+    kernel.SetMemoryLimitFrames(160);
+
+    Process* child = kernel.TryFork(parent, ForkMode::kOnDemand);
+    if (child != nullptr) {
+      for (uint64_t i = 0; i < kPages; i += 2) {
+        child->MemsetMemory(buf + i * kPageSize, static_cast<std::byte>(i & 0xff),
+                            kPageSize);
+      }
+    }
+
+    // Deterministic fault injection: every 7th frame allocation fails (at most 5 times);
+    // the recorded verdicts are pinned on replay.
+    FiSiteConfig config;
+    config.interval = 7;
+    config.times = 5;
+    fi::FaultInjector::Global().Arm(FiSite::k_frame_alloc, config);
+    for (uint64_t i = 1; i < kPages; i += 2) {
+      parent.TouchRange(buf + i * kPageSize, kPageSize, AccessType::kWrite);
+    }
+    fi::FaultInjector::Global().Disarm(FiSite::k_frame_alloc);
+
+    kernel.ReclaimMemory(16);
+    if (child != nullptr) {
+      kernel.Exit(*child, 0);
+      kernel.Wait(parent);
+    }
+
+    // A workload that breaks kernel invariants on its own would misattribute the failure
+    // to replay; verify the recording-side kernel before comparing against it.
+    debug::VerifyResult verify = debug::VerifyKernel(kernel);
+    for (const std::string& violation : verify.violations) {
+      std::fprintf(stderr, "odf-replay: selftest: recorded kernel: %s\n", violation.c_str());
+    }
+    if (!verify.violations.empty()) {
+      return 1;
+    }
+
+    std::string error;
+    if (!replay::StopAndWriteLog(kernel, path, &error)) {
+      std::fprintf(stderr, "odf-replay: selftest: write failed: %s\n", error.c_str());
+      return 1;
+    }
+  }
+
+  std::printf("recorded %s\n", path.c_str());
+  int rc = RunReplay(path.c_str(), replay::ReplayOptions{});
+  if (rc == 0) {
+    std::printf("selftest OK\n");
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  std::string command = argv[1];
+
+  if (command == "selftest") {
+    return Selftest(argc >= 3 ? argv[2] : "odf-replay-selftest.odflog");
+  }
+  if (argc < 3) {
+    return Usage();
+  }
+  const char* path = argv[2];
+
+  if (command == "inspect") {
+    replay::ReplayLog log;
+    return LoadLog(path, &log) ? Inspect(log) : 1;
+  }
+  if (command == "dump") {
+    replay::ReplayLog log;
+    if (!LoadLog(path, &log)) {
+      return 1;
+    }
+    DumpFilter filter;
+    for (int i = 3; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--pid" && i + 1 < argc) {
+        filter.pid = std::atoll(argv[++i]);
+      } else if (arg == "--op" && i + 1 < argc) {
+        filter.op = argv[++i];
+      } else if (arg == "--event" && i + 1 < argc) {
+        filter.event = argv[++i];
+      } else if (arg == "--va" && i + 1 < argc) {
+        if (!ParseVaRange(argv[++i], &filter.va_lo, &filter.va_hi)) {
+          std::fprintf(stderr, "odf-replay: bad --va range (want LO:HI)\n");
+          return 2;
+        }
+      } else if (arg == "--ops-only") {
+        filter.events = false;
+      } else if (arg == "--events-only") {
+        filter.ops = false;
+      } else {
+        return Usage();
+      }
+    }
+    return Dump(log, filter);
+  }
+  if (command == "replay") {
+    replay::ReplayOptions options;
+    for (int i = 3; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--until" && i + 1 < argc) {
+        options.until_seq = std::strtoull(argv[++i], nullptr, 0);
+      } else if (arg == "--no-pin") {
+        options.pin_fi = false;
+      } else if (arg == "--no-final") {
+        options.check_final = false;
+      } else if (arg == "--no-verifier") {
+        options.run_verifier = false;
+      } else {
+        return Usage();
+      }
+    }
+    return RunReplay(path, options);
+  }
+  return Usage();
+}

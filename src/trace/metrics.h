@@ -72,7 +72,12 @@ namespace odf {
   X(pgactivate)                  \
   X(pgdeactivate)                \
   X(kswapd_wake)                 \
-  X(direct_reclaim)
+  X(direct_reclaim)              \
+  X(trace_ring_overwrite)        \
+  X(replay_ops_recorded)         \
+  X(replay_events_recorded)      \
+  X(replay_events_dropped)       \
+  X(replay_record_bytes)
 
 enum class VmCounter : uint32_t {
 #define ODF_VM_ENUM_MEMBER(name) k_##name,

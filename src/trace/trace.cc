@@ -70,6 +70,21 @@ std::vector<TraceEvent> TraceRing::Snapshot() const {
   return events;
 }
 
+std::vector<TraceEvent> TraceRing::SnapshotSince(uint64_t from) const {
+  uint64_t head = head_.load(std::memory_order_acquire);
+  uint64_t start = head > kCapacity ? head - kCapacity : 0;
+  start = std::max(start, from);
+  std::vector<TraceEvent> events;
+  if (start >= head) {
+    return events;
+  }
+  events.reserve(static_cast<size_t>(head - start));
+  for (uint64_t i = start; i < head; ++i) {
+    events.push_back(slots_[i & (kCapacity - 1)]);
+  }
+  return events;
+}
+
 Tracer& Tracer::Global() {
   static Tracer* tracer = new Tracer();  // Leaked: emitting threads may outlive static dtors.
   return *tracer;
@@ -102,6 +117,26 @@ std::vector<TraceEvent> Tracer::CollectAll() const {
   std::stable_sort(all.begin(), all.end(),
                    [](const TraceEvent& a, const TraceEvent& b) { return a.ts_ns < b.ts_ns; });
   return all;
+}
+
+std::vector<const TraceRing*> Tracer::Rings() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  std::vector<const TraceRing*> rings;
+  rings.reserve(rings_.size());
+  for (const auto& ring : rings_) {
+    rings.push_back(ring.get());
+  }
+  return rings;
+}
+
+std::vector<Tracer::RingStats> Tracer::CollectRingStats() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  std::vector<RingStats> stats;
+  stats.reserve(rings_.size());
+  for (const auto& ring : rings_) {
+    stats.push_back({ring->tid(), ring->TotalAppended(), ring->OverwrittenCount()});
+  }
+  return stats;
 }
 
 void Tracer::Clear() {

@@ -31,6 +31,8 @@
 #include <string>
 #include <vector>
 
+#include "src/trace/metrics.h"
+
 // Set by the build (src/trace/CMakeLists.txt); default to compiled-in for out-of-build users.
 #ifndef ODF_TRACE_COMPILED
 #define ODF_TRACE_COMPILED 1
@@ -115,6 +117,10 @@ class TraceRing {
 
   void Append(const TraceEvent& event) {
     uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head >= kCapacity) {
+      // The slot being reused still holds an unconsumed event: the ring has wrapped.
+      CountVm(VmCounter::k_trace_ring_overwrite);
+    }
     slots_[head & (kCapacity - 1)] = event;
     head_.store(head + 1, std::memory_order_release);
   }
@@ -122,8 +128,18 @@ class TraceRing {
   // Events still resident (the most recent <= kCapacity), oldest first.
   std::vector<TraceEvent> Snapshot() const;
 
+  // Resident events with append index >= `from` (oldest first). Events older than the
+  // resident window are gone; callers detect the gap via TotalAppended() - kCapacity.
+  std::vector<TraceEvent> SnapshotSince(uint64_t from) const;
+
   // Total events ever appended, including overwritten ones.
   uint64_t TotalAppended() const { return head_.load(std::memory_order_acquire); }
+
+  // Events lost to wraparound since the last Reset (head beyond the resident window).
+  uint64_t OverwrittenCount() const {
+    uint64_t head = head_.load(std::memory_order_acquire);
+    return head > kCapacity ? head - kCapacity : 0;
+  }
 
   uint16_t tid() const { return tid_; }
 
@@ -170,6 +186,18 @@ class Tracer {
 
   // Per-thread snapshots, one vector per registered ring, in registration (tid) order.
   std::vector<std::vector<TraceEvent>> CollectPerThread() const;
+
+  // Stable pointers to every registered ring, in registration (tid) order. Rings are never
+  // freed, so the pointers stay valid; reading them follows the usual snapshot contract.
+  std::vector<const TraceRing*> Rings() const;
+
+  // Per-ring (tid, appended, overwritten) accounting rows, in registration order.
+  struct RingStats {
+    uint16_t tid = 0;
+    uint64_t appended = 0;
+    uint64_t overwritten = 0;
+  };
+  std::vector<RingStats> CollectRingStats() const;
 
   // Drops buffered events by resetting every ring cursor. Rings themselves are never freed
   // (threads hold cached pointers). Only safe while no thread is concurrently emitting.

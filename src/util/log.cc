@@ -10,6 +10,7 @@ namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::mutex g_log_mutex;
+std::atomic<AbortHook> g_abort_hook{nullptr};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -39,6 +40,8 @@ void LogMessage(LogLevel level, const char* file, int line, const std::string& m
   std::fprintf(stderr, "[odf %s %s:%d] %s\n", LevelName(level), file, line, message.c_str());
 }
 
+void SetAbortHook(AbortHook hook) { g_abort_hook.store(hook, std::memory_order_release); }
+
 void FatalCheckFailure(const char* file, int line, const char* condition,
                        const std::string& message) {
   {
@@ -46,6 +49,11 @@ void FatalCheckFailure(const char* file, int line, const char* condition,
     std::fprintf(stderr, "[odf FATAL %s:%d] check failed: %s%s%s\n", file, line, condition,
                  message.empty() ? "" : " — ", message.c_str());
     std::fflush(stderr);
+  }
+  // Fire the abort hook exactly once; a failure inside the hook recursing into another
+  // ODF_CHECK must fall straight through to abort instead of looping.
+  if (AbortHook hook = g_abort_hook.exchange(nullptr, std::memory_order_acq_rel)) {
+    hook();
   }
   std::abort();
 }

@@ -28,6 +28,14 @@ void LogMessage(LogLevel level, const char* file, int line, const std::string& m
 [[noreturn]] void FatalCheckFailure(const char* file, int line, const char* condition,
                                     const std::string& message);
 
+// Hook invoked (at most once, after the failure message is printed) before the abort in
+// FatalCheckFailure. Lets subsystems flush crash state — e.g. the replay flight recorder
+// dumps its black-box log so the aborting schedule can be replayed. The hook must be
+// async-signal-unsafe-tolerant in the sense that it runs on the failing thread with
+// arbitrary locks possibly held, so it must not touch kernel state; pure buffered I/O only.
+using AbortHook = void (*)();
+void SetAbortHook(AbortHook hook);
+
 namespace internal {
 
 // Stream-collecting helper so call sites can write ODF_LOG(kInfo) << "x=" << x;

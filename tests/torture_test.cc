@@ -17,6 +17,7 @@
 
 #include "src/fi/fault_inject.h"
 #include "src/mm/fault.h"
+#include "src/replay/recorder.h"
 #include "src/trace/metrics.h"
 #include "src/util/rng.h"
 #include "tests/test_util.h"
@@ -25,6 +26,43 @@ namespace odf {
 namespace {
 
 using fi::FaultInjector;
+
+#if ODF_REPLAY_COMPILED
+// Every torture test runs under the black-box flight recorder (docs/replay.md): a bounded
+// recording costs a few percent, and a failing run leaves behind a log plus the exact
+// odf-replay command to time-travel through it — strictly more information than the seed
+// alone, because the log pins the fault-injection schedule and op outcomes that led to the
+// failure. Set ODF_TORTURE_RECORD=0 to opt out (e.g. when profiling the suite itself).
+class TortureFlightRecorder : public ::testing::EmptyTestEventListener {
+  void OnTestStart(const ::testing::TestInfo&) override {
+    if (const char* env = std::getenv("ODF_TORTURE_RECORD")) {
+      if (std::atoi(env) == 0) {
+        return;
+      }
+    }
+    replay::RecorderOptions options;
+    options.mode = replay::RecorderMode::kBlackBox;
+    options.force_tracing = true;  // Perf is irrelevant here; keep the dump annotated.
+    replay::Recorder::Global().Start(options);
+  }
+  void OnTestEnd(const ::testing::TestInfo& info) override {
+    replay::Recorder& recorder = replay::Recorder::Global();
+    if (!recorder.recording()) {
+      return;
+    }
+    if (info.result()->Failed()) {
+      // DumpNow prints the log path and the replay command to stderr.
+      recorder.DumpNow();
+    }
+    recorder.Stop();
+  }
+};
+
+const bool g_torture_recorder_registered = [] {
+  ::testing::UnitTest::GetInstance()->listeners().Append(new TortureFlightRecorder);
+  return true;
+}();
+#endif  // ODF_REPLAY_COMPILED
 
 constexpr uint64_t kRootRegionBytes = 2 * kPteTableSpan;  // 4 MiB, 1024 pattern pages.
 constexpr uint64_t kPatternSeed = 0xabcdef;

@@ -3,6 +3,10 @@
 // used by the bench sidecar files.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -243,6 +247,99 @@ TEST_F(TraceTest, JsonWriterEscapesControlCharacters) {
   JsonWriter json(out, /*indent_width=*/0);
   json.Value(std::string_view("line\nbreak\ttab\x01"));
   EXPECT_EQ(out.str(), "\"line\\nbreak\\ttab\\u0001\"");
+}
+
+
+TEST_F(TraceTest, JsonWriterPassesMultiByteUtf8Unescaped) {
+  // WriteEscaped treats bytes >= 0x20 other than '"' and '\\' as passthrough, so UTF-8
+  // multi-byte sequences survive verbatim (JSON strings are UTF-8 by definition).
+  std::ostringstream out;
+  JsonWriter json(out, /*indent_width=*/0);
+  json.Value(std::string_view("caf\xc3\xa9 \xe2\x9c\x93 \xf0\x9f\x90\x99"));
+  EXPECT_EQ(out.str(), "\"caf\xc3\xa9 \xe2\x9c\x93 \xf0\x9f\x90\x99\"");
+}
+
+TEST_F(TraceTest, JsonWriterEscapesEveryC0ControlCharacter) {
+  // Every byte below 0x20 must leave the writer escaped: the named escapes for the
+  // whitespace trio, \uXXXX for the rest (including \b and \f, which this writer does
+  // not special-case).
+  for (int c = 1; c < 0x20; ++c) {
+    std::ostringstream out;
+    JsonWriter json(out, /*indent_width=*/0);
+    char raw[2] = {static_cast<char>(c), '\0'};
+    json.Value(std::string_view(raw, 1));
+    std::string printed = out.str();
+    ASSERT_GE(printed.size(), 4u) << "c=" << c;
+    std::string body = printed.substr(1, printed.size() - 2);  // Strip the quotes.
+    ASSERT_FALSE(body.empty()) << "c=" << c;
+    EXPECT_EQ(body[0], '\\') << "unescaped control char " << c << ": " << printed;
+    if (c == '\n') {
+      EXPECT_EQ(body, "\\n");
+    } else if (c == '\t') {
+      EXPECT_EQ(body, "\\t");
+    } else if (c == '\r') {
+      EXPECT_EQ(body, "\\r");
+    } else {
+      char expected[8];
+      std::snprintf(expected, sizeof(expected), "\\u%04x", c);
+      EXPECT_EQ(body, expected) << "c=" << c;
+    }
+  }
+}
+
+TEST_F(TraceTest, JsonWriterDeepNestingBalances) {
+  constexpr int kDepth = 64;
+  std::ostringstream out;
+  JsonWriter json(out, /*indent_width=*/0);
+  for (int i = 0; i < kDepth; ++i) {
+    json.BeginObject();
+    json.Key("a").BeginArray();
+  }
+  json.Value(static_cast<uint64_t>(1));
+  for (int i = 0; i < kDepth; ++i) {
+    json.EndArray();
+    json.EndObject();
+  }
+  std::string printed = out.str();
+  auto count = [&printed](char c) {
+    size_t n = 0;
+    for (char x : printed) {
+      n += (x == c) ? 1 : 0;
+    }
+    return n;
+  };
+  EXPECT_EQ(count('{'), static_cast<size_t>(kDepth));
+  EXPECT_EQ(count('}'), static_cast<size_t>(kDepth));
+  EXPECT_EQ(count('['), static_cast<size_t>(kDepth));
+  EXPECT_EQ(count(']'), static_cast<size_t>(kDepth));
+  EXPECT_NE(printed.find("[1]"), std::string::npos);
+}
+
+TEST_F(TraceTest, JsonWriterNumericPrecisionRoundTrips) {
+  // Value(double) prints with %.12g; every value a bench sidecar actually emits (counters,
+  // millisecond latencies, ratios) must parse back to the identical double.
+  const double values[] = {0.0,       0.5,   -0.125, 0.1, 1e-9, 1048576.25,
+                           8589934592.0, 3.25e15};
+  for (double value : values) {
+    std::ostringstream out;
+    JsonWriter json(out, /*indent_width=*/0);
+    json.Value(value);
+    std::string printed = out.str();
+    EXPECT_EQ(std::strtod(printed.c_str(), nullptr), value) << printed;
+  }
+}
+
+TEST_F(TraceTest, JsonWriterNonFiniteBecomesNull) {
+  // JSON has no NaN/Infinity literals; the writer degrades them to null rather than
+  // emitting an unparsable document.
+  std::ostringstream out;
+  JsonWriter json(out, /*indent_width=*/0);
+  json.BeginArray();
+  json.Value(std::numeric_limits<double>::quiet_NaN());
+  json.Value(std::numeric_limits<double>::infinity());
+  json.Value(-std::numeric_limits<double>::infinity());
+  json.EndArray();
+  EXPECT_EQ(out.str(), "[null,null,null]");
 }
 
 }  // namespace
