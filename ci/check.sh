@@ -73,6 +73,16 @@ if [[ -z "$ONLY" || "$ONLY" == "default" ]]; then
   fi
 fi
 
+# Memory failure (docs/memory-failure.md): the labeled suite by itself — hard/soft
+# offline, containment through shared ODF tables, quarantine permanence, the poisoned-PTE
+# fault contract — must stay a usable developer entry point like the other labels.
+if [[ -z "$ONLY" || "$ONLY" == "default" ]]; then
+  note "hwpoison label (default preset)"
+  if ! ctest --test-dir build -L hwpoison --output-on-failure; then
+    FAILURES+=("hwpoison label")
+  fi
+fi
+
 # The recorder must stay fully compileable-out: -DODF_REPLAY=OFF folds every OpScope to
 # nothing, and the tree (library, benches, tests) still builds. Build-only — the runtime
 # suites run with the recorder compiled in above.
@@ -82,6 +92,18 @@ if [[ -z "$ONLY" || "$ONLY" == "replay-off" ]]; then
     FAILURES+=("replay-off: configure")
   elif ! cmake --build build-replay-off -j "$JOBS"; then
     FAILURES+=("replay-off: build")
+  fi
+fi
+
+# Memory failure must stay compileable-out the same way: -DODF_MEMORY_FAILURE=OFF makes
+# the offline entry points return kNotSupported and drops the ECC hook, and the tree
+# still builds. Build-only — the runtime suites run with the subsystem compiled in above.
+if [[ -z "$ONLY" || "$ONLY" == "mf-off" ]]; then
+  note "mf-off: configure + build (-DODF_MEMORY_FAILURE=OFF)"
+  if ! cmake -B build-mf-off -DCMAKE_BUILD_TYPE=RelWithDebInfo -DODF_MEMORY_FAILURE=OFF >/dev/null; then
+    FAILURES+=("mf-off: configure")
+  elif ! cmake --build build-mf-off -j "$JOBS"; then
+    FAILURES+=("mf-off: build")
   fi
 fi
 

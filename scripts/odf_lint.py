@@ -40,6 +40,15 @@ offending line or the line above it — always with a reason):
       (other mappings keep referencing the freed frame), the LRU bookkeeping,
       and the workingset shadow recording (docs/reclaim.md).
 
+  hwpoison-flag
+      The poison/quarantine state machine (docs/memory-failure.md) has exactly
+      two mutation surfaces: FrameAllocator::MarkHwPoison may be called from
+      src/phys/ and the src/mf/ offline paths, and QuarantineLocked plus raw
+      writes of kPageFlagHwPoison into PageMeta::flags belong to src/phys/
+      alone. Anywhere else, setting the flag by hand skips the counter
+      bookkeeping, the free-list diversion, and the allocated-vs-free
+      quarantine timing the verifier's bijection checks depend on.
+
 Exit status: 0 when clean, 1 when any finding is reported, 2 on usage error.
 """
 
@@ -82,6 +91,13 @@ TRACE_CALL_RE = re.compile(r"\btrace::Emit\s*\(")
 
 WRITEBACK_RE = re.compile(r"(?:\.|->)TryWriteOut\s*\(")
 
+# hwpoison-flag: MarkHwPoison is the src/mf-facing accessor; QuarantineLocked and raw
+# flag writes are allocator-internal.
+HWPOISON_MARK_RE = re.compile(r"\bMarkHwPoison\s*\(")
+HWPOISON_INTERNAL_RE = re.compile(
+    r"\bQuarantineLocked\s*\(|\bflags\b[^=<>!()]*=[^=].*kPageFlagHwPoison"
+)
+
 # A Try* declaration line in a header: a return type token sequence followed by an
 # UNqualified TryXxx( — qualified names (Foo::TryXxx) are definitions, and `.Try`/`->Try`
 # are calls; neither takes the attribute.
@@ -120,6 +136,7 @@ def lint_file(rel_path, findings):
         for d in LOCK_CHECKED_DIRS
     )
     in_phys = rel_path.startswith("src/phys/")
+    in_mf = rel_path.startswith("src/mf/")
     in_trace = rel_path.startswith("src/trace/")
     in_debug = rel_path.startswith("src/debug/")
     writeback_ok = any(
@@ -176,6 +193,21 @@ def lint_file(rel_path, findings):
                 "direct SwapSpace::TryWriteOut call outside src/reclaim/ — evict "
                 "through the shrinker so rmap, LRU, and workingset state stay "
                 "consistent",
+            )
+
+        if not (in_phys or in_mf) and HWPOISON_MARK_RE.search(code):
+            report(
+                "hwpoison-flag",
+                "MarkHwPoison call outside src/phys/ and src/mf/ — poisoning a "
+                "frame without the offline protocol leaves mappings pointing at "
+                "a quarantine-bound frame",
+            )
+        if not in_phys and HWPOISON_INTERNAL_RE.search(code):
+            report(
+                "hwpoison-flag",
+                "quarantine/poison-flag mutation outside src/phys/ — go through "
+                "FrameAllocator::MarkHwPoison so the counters, free-list "
+                "diversion, and verifier bijection stay consistent",
             )
 
         if is_header and not in_debug:

@@ -41,6 +41,12 @@ void CopyPteSliceFused(FrameAllocator& allocator, SwapSpace* swap,
       ++copied;
       continue;
     }
+    if (entry.IsHwPoison()) {
+      // Fork propagates the poison marker, not the (dead) page: the child's VA is as lost
+      // as the parent's, and markers are refcount-free so there is nothing to IncRef.
+      StoreEntry(&dst[index], entry);
+      continue;
+    }
     if (!entry.IsPresent()) {
       continue;
     }
@@ -91,6 +97,10 @@ void CopyPteSliceProfiled(FrameAllocator& allocator, SwapSpace* swap,
       ODF_CHECK(swap != nullptr);
       swap->IncRef(entry.swap_slot());
       StoreEntry(&dst[index], entry);
+      continue;
+    }
+    if (entry.IsHwPoison()) {
+      StoreEntry(&dst[index], entry);  // Marker copies verbatim; no reference taken.
       continue;
     }
     if (!entry.IsPresent()) {

@@ -30,22 +30,43 @@ void SweepFrameArray(Kernel& kernel, const AuditResult& audit, VerifyResult& res
   auto violation = [&result](FrameId frame, const PageMeta& meta, const std::string& what) {
     result.violations.push_back(what + ": " + internal::DescribePage(meta, frame));
   };
+  uint64_t poisoned_seen = 0;
   for (uint64_t i = 0; i < total; ++i) {
     FrameId frame = static_cast<FrameId>(i);
     const PageMeta& meta = allocator.GetMeta(frame);
     uint32_t refcount = meta.refcount.load(std::memory_order_relaxed);
     uint32_t pt_share = meta.pt_share_count.load(std::memory_order_relaxed);
     ++result.frames_swept;
+    if (meta.IsHwPoisoned()) {
+      // Quarantine bijection (docs/memory-failure.md): a poisoned frame is unmapped (the
+      // offline rewrote every location; the auditor separately rejects present leaves that
+      // reference it), off the LRU (never swap out dead bytes), and — once its last owner
+      // dropped it — parked in quarantine, never re-allocatable. Allocated+poisoned is
+      // legal only as the tail of a still-live split compound or a frame awaiting its
+      // final DecRef; those still must have no mappings.
+      ++poisoned_seen;
+      if (kernel.rmap().LocationCount(frame) != 0) {
+        violation(frame, meta, "hwpoisoned frame still has rmap locations");
+      }
+      if (kernel.lru().Contains(frame)) {
+        violation(frame, meta, "hwpoisoned frame on the LRU");
+      }
+      if (meta.IsPageTable()) {
+        violation(frame, meta, "hwpoisoned page-table frame (offline must refuse these)");
+      }
+    }
     if ((meta.flags & kPageFlagAllocated) == 0) {
       // Free (or per-thread-cached) frame: must be completely inert. Stale IncRef/DecRef
-      // or flag writes against a freed frame show up right here.
+      // or flag writes against a freed frame show up right here. The ONE flag allowed to
+      // survive a free is the sticky hwpoison bit (the frame is in — or headed for — the
+      // quarantine parking lot).
       if (refcount != 0) {
         violation(frame, meta, "free frame has nonzero refcount");
       }
       if (pt_share != 0) {
         violation(frame, meta, "free frame has nonzero pt_share_count");
       }
-      if (meta.flags != 0) {
+      if ((meta.flags & ~kPageFlagHwPoison) != 0) {
         violation(frame, meta, "free frame has stale flags");
       }
       if (Compiled() && meta.reserved != 0 && meta.reserved != kPoisonFreed) {
@@ -106,6 +127,19 @@ void SweepFrameArray(Kernel& kernel, const AuditResult& audit, VerifyResult& res
         violation(frame, meta, "data frame carries a pt_share_count");
       }
     }
+  }
+  // Flag population must match the counters the offline paths maintain (and quarantine can
+  // hold at most the frames that were poisoned).
+  FrameAllocatorStats stats = allocator.Stats();
+  if (stats.hwpoisoned_frames != poisoned_seen) {
+    result.violations.push_back(
+        "hwpoisoned_frames counter " + std::to_string(stats.hwpoisoned_frames) +
+        " != " + std::to_string(poisoned_seen) + " frames carrying the flag");
+  }
+  if (stats.quarantined_frames > stats.hwpoisoned_frames) {
+    result.violations.push_back(
+        "quarantine holds " + std::to_string(stats.quarantined_frames) +
+        " frames but only " + std::to_string(stats.hwpoisoned_frames) + " are poisoned");
   }
 }
 

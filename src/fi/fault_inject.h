@@ -47,7 +47,8 @@ namespace odf {
   X(swap_out)               \
   X(swap_in)                \
   X(rmap_alloc)             \
-  X(reclaim_writeback)
+  X(reclaim_writeback)      \
+  X(mf_ecc)
 
 enum class FiSite : uint32_t {
 #define ODF_FI_ENUM_MEMBER(name) k_##name,

@@ -116,6 +116,18 @@ void MemFile::Truncate(uint64_t new_size) {
   size_ = new_size;
 }
 
+size_t MemFile::ReplaceFrame(FrameId old_frame, FrameId new_frame) {
+  debug::MutexGuard guard(mutex_, g_mem_file_lock_class);
+  size_t replaced = 0;
+  for (auto& [index, frame] : cache_) {
+    if (frame == old_frame) {
+      frame = new_frame;
+      ++replaced;
+    }
+  }
+  return replaced;
+}
+
 uint64_t MemFile::CachedPages() const {
   debug::MutexGuard guard(mutex_, g_mem_file_lock_class);
   return cache_.size();

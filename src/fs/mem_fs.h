@@ -50,6 +50,15 @@ class MemFile {
 
   uint64_t CachedPages() const;
 
+  // Repoints every cached page currently backed by `old_frame` to `new_frame` (page
+  // migration and hard offline of a page-cache frame, src/mf). Reference ownership swaps:
+  // the cache's reference to `old_frame` transfers to the caller (who drops it once the
+  // relocation is complete) and the caller's reference to `new_frame` transfers to the
+  // cache. Returns the number of slots repointed (0 when the frame is not cached here; a
+  // frame backs at most one page of one file, so 1 otherwise). Caller must hold the
+  // exclusive MmGate — faulting mappers must not observe the cache mid-swap.
+  size_t ReplaceFrame(FrameId old_frame, FrameId new_frame);
+
   // Invokes `fn(page_index, frame)` for every cached page (auditing).
   void ForEachCachedPage(const std::function<void(uint64_t, FrameId)>& fn) const;
 

@@ -322,7 +322,10 @@ void AddressSpace::PopulateRange(Vaddr start, uint64_t length) {
       size_t absent = 0;
       for (Vaddr va = chunk; va < chunk_end; va += kPageSize) {
         uint64_t* slot = &entries[TableIndex(va, PtLevel::kPte)];
-        if (!LoadEntry(slot).IsPresent()) {
+        Pte entry = LoadEntry(slot);
+        // Poisoned VAs stay dead: populate must not resurrect a page lost to a memory
+        // error (the touching process gets kHwPoison on access instead).
+        if (!entry.IsPresent() && !entry.IsHwPoison()) {
           slots[absent++] = slot;
         }
       }
@@ -344,7 +347,8 @@ void AddressSpace::PopulateRange(Vaddr start, uint64_t length) {
     }
     for (Vaddr va = chunk; va < chunk_end; va += kPageSize) {
       uint64_t* slot = &entries[TableIndex(va, PtLevel::kPte)];
-      if (LoadEntry(slot).IsPresent()) {
+      Pte existing = LoadEntry(slot);
+      if (existing.IsPresent() || existing.IsHwPoison()) {
         continue;
       }
       uint64_t flags = kPtePresent | kPteUser | kPteAccessed;

@@ -41,6 +41,9 @@ FaultResult FaultOom(AddressSpace& as, Vaddr va) {
 // no frame allocation of its own and cannot fail.
 bool DemandInstall(AddressSpace& as, VmArea& vma, Vaddr va, uint64_t* slot) {
   FrameAllocator& allocator = as.allocator();
+  // Poison markers are filtered by every caller (HandleFault, PopulateRange): installing
+  // over one would resurrect a VA whose data died in a memory error.
+  ODF_DCHECK(!LoadEntry(slot).IsHwPoison());
   const bool tracing = trace::Enabled();
   const uint64_t t0 = tracing ? trace::NowNanos() : 0;
   uint64_t flags = kPtePresent | kPteUser | kPteAccessed;
@@ -176,11 +179,15 @@ bool HugeDemandInstall(AddressSpace& as, VmArea& vma, Vaddr chunk_base, uint64_t
   return true;
 }
 
+}  // namespace
+
 // Fallback when a huge COW cannot allocate a 2 MiB compound: split the mapping into a PTE
 // table whose 512 entries point at the shared compound's tail frames, write-protected, so
 // each 4 KiB page COWs individually (one frame at a time instead of 512 at once). This is
 // the memory-pressure half of the paper's robustness story (§4): a fork-then-write workload
 // keeps making progress page by page even when no contiguous 2 MiB run can be carved.
+// Exported (fault.h) because memory-failure handling reuses it: offlining one 4 KiB subpage
+// of a huge mapping splits the mapping first, then poisons only the dead tail.
 bool SplitHugeMapping(AddressSpace& as, Vaddr chunk_base, uint64_t* pmd_slot) {
   FrameAllocator& allocator = as.allocator();
   Pte entry = LoadEntry(pmd_slot);
@@ -222,6 +229,8 @@ bool SplitHugeMapping(AddressSpace& as, Vaddr chunk_base, uint64_t* pmd_slot) {
             static_cast<uint64_t>(DegradeFlavor::kHugeCowSplit));
   return true;
 }
+
+namespace {
 
 // Write to a present but non-writable huge PMD entry: COW the whole 2 MiB page. This is the
 // 512x fault-amplification cost the paper attributes to huge pages (§2.3, Table 1).
@@ -401,6 +410,14 @@ FaultResult HandleFault(AddressSpace& as, Vaddr va, AccessType access, FrameId* 
       return FaultOom(as, va);
     }
     Pte entry = LoadEntry(slot);
+    if (entry.IsHwPoison()) {
+      // The page at this VA was lost to a memory error: the marker is sticky (no retry can
+      // bring the bytes back) and the verdict is delivered only to processes that actually
+      // touch the dead VA — everyone else keeps running (docs/memory-failure.md).
+      CountVm(VmCounter::k_mf_sigbus);
+      ODF_TRACE(mf_sigbus, as.owner_pid(), va, entry.frame());
+      return FaultResult::kHwPoison;
+    }
     if (entry.IsSwap()) {
       // Swap-in: bring the page back from the swap device into a fresh private frame.
       SwapSpace* swap = as.swap_space();

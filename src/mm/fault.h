@@ -14,14 +14,32 @@ enum class FaultResult {
   kOom,              // A required allocation failed (ENOMEM after reclaim, or injected).
   kSwapIoError,      // Swap-in read failed; the swap slot keeps its reference, retry later.
   kRetryExhausted,   // The fault chain did not converge within the retry budget.
+  kHwPoison,         // The page was lost to a memory error (SIGBUS/BUS_MCEERR_AR analog):
+                     // the PTE is a poison marker and the frame is quarantined. Recoverable
+                     // for the kernel; the data at this VA is gone (docs/memory-failure.md).
 };
 
-// True for the recoverable-error verdicts (kOom / kSwapIoError / kRetryExhausted): the
-// access did not complete, but the address space is consistent and a retry may succeed
-// once memory is freed or injection is disarmed. See docs/robustness.md.
+// True for the verdicts where the access did not complete but the address space is
+// consistent and the process may continue (the "raises a signal, does not panic" class):
+// kOom / kSwapIoError / kRetryExhausted may succeed on retry once memory is freed or
+// injection is disarmed; kHwPoison is sticky for the VA but leaves the kernel and every
+// other mapping intact. See docs/robustness.md.
+//
+// Deliberately an exhaustive switch with no default: adding a FaultResult without deciding
+// its recoverability is a compile error (-Werror=switch), not a silent misclassification.
 inline bool IsRecoverableFault(FaultResult result) {
-  return result == FaultResult::kOom || result == FaultResult::kSwapIoError ||
-         result == FaultResult::kRetryExhausted;
+  switch (result) {
+    case FaultResult::kHandled:
+    case FaultResult::kSegvUnmapped:
+    case FaultResult::kSegvProt:
+      return false;
+    case FaultResult::kOom:
+    case FaultResult::kSwapIoError:
+    case FaultResult::kRetryExhausted:
+    case FaultResult::kHwPoison:
+      return true;
+  }
+  return false;  // Unreachable for in-range enumerators.
 }
 
 // Arg a1 of the fork_degrade_classic tracepoint: which graceful-degradation path fired
@@ -43,6 +61,14 @@ enum class DegradeFlavor : uint64_t {
 // a chain that does not converge yields kRetryExhausted instead of aborting.
 FaultResult HandleFault(AddressSpace& as, Vaddr va, AccessType access,
                         FrameId* frame_out = nullptr);
+
+// Splits a present huge PMD mapping into a PTE table of per-4KiB entries onto the same
+// compound's tail frames (write-protected; each page then COWs individually). Used by the
+// huge-COW degrade path and by memory failure (src/mf), which must take a 2 MiB mapping
+// apart to offline a single dead subpage. Returns false when the one table allocation
+// fails; a concurrent change of *pmd_slot returns true with nothing mutated (the caller's
+// retry loop re-translates). Caller must hold the mutation-side locks of this space.
+bool SplitHugeMapping(AddressSpace& as, Vaddr chunk_base, uint64_t* pmd_slot);
 
 }  // namespace odf
 

@@ -88,6 +88,10 @@ void DropPteTableReference(FrameAllocator& allocator, SwapSpace* swap,
       ODF_CHECK(swap != nullptr) << "swap entry without a swap device";
       swap->DecRef(entry.swap_slot());
       StoreEntry(&entries[i], Pte());
+    } else if (entry.IsHwPoison()) {
+      // Poison markers carry no references (the quarantine pin is the allocator's); the
+      // tombstone simply dies with the table.
+      StoreEntry(&entries[i], Pte());
     }
   }
   allocator.DecRefBatch(std::span<const FrameId>(heads.data(), mapped));
@@ -286,6 +290,12 @@ FrameId DedicatePteTable(AddressSpace& as, Vaddr chunk_base, uint64_t* pmd_slot,
       StoreEntry(&dst[i], entry);
       continue;
     }
+    if (entry.IsHwPoison()) {
+      // Poison markers copy verbatim: the dedicated table remembers the dead VA too, and
+      // markers are refcount-free so there is nothing to IncRef.
+      StoreEntry(&dst[i], entry);
+      continue;
+    }
     if (!entry.IsPresent()) {
       continue;
     }
@@ -451,6 +461,10 @@ void ZapRange(AddressSpace& as, Vaddr start, Vaddr end) {
       } else if (entry.IsSwap()) {
         ODF_CHECK(as.swap_space() != nullptr);
         as.swap_space()->DecRef(entry.swap_slot());
+        StoreEntry(slot, Pte());
+      } else if (entry.IsHwPoison()) {
+        // Unmapping a poisoned VA clears the tombstone; the frame itself stays quarantined
+        // (the allocator holds the poison state, not the entry).
         StoreEntry(slot, Pte());
       }
     }

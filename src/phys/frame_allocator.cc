@@ -88,12 +88,26 @@ void FrameAllocator::AddChunkLocked() {
 }
 
 FrameId FrameAllocator::PopFreeLocked() {
-  if (free_list_.empty()) {
-    AddChunkLocked();
+  for (;;) {
+    if (free_list_.empty()) {
+      AddChunkLocked();
+    }
+    FrameId frame = free_list_.back();
+    free_list_.pop_back();
+    if (MetaRef(frame).IsHwPoisoned()) {
+      // Lazy quarantine: a frame poisoned while it sat on the free list (or while parked
+      // in a per-thread cache that later spilled here) is retired at its next pop instead
+      // of being handed out. Poison-check-on-alloc, at the allocator's chokepoint.
+      QuarantineLocked(frame);
+      continue;
+    }
+    return frame;
   }
-  FrameId frame = free_list_.back();
-  free_list_.pop_back();
-  return frame;
+}
+
+void FrameAllocator::QuarantineLocked(FrameId frame) {
+  quarantine_.push_back(frame);
+  stats_.quarantined_frames.fetch_add(1, std::memory_order_relaxed);
 }
 
 void FrameAllocator::SetFrameLimit(uint64_t frames) {
@@ -216,6 +230,8 @@ void FrameAllocator::InitAllocatedFrame(FrameId frame, uint8_t flags) {
       << "frame gained references while on the free list";
   ODF_VM_BUG_ON_PAGE(meta.pt_share_count.load(std::memory_order_relaxed) != 0, meta, frame)
       << "frame gained table sharers while on the free list";
+  // Backstop behind the pop-path diverts: a poisoned frame must never be handed out again.
+  ODF_VM_BUG_ON_PAGE(meta.IsHwPoisoned(), meta, frame) << "allocating a hwpoisoned frame";
 #if ODF_DEBUG_VM_COMPILED
   debug::internal::g_poison_checks.fetch_add(1, std::memory_order_relaxed);
   ODF_VM_BUG_ON_PAGE(meta.reserved != 0 && meta.reserved != debug::kPoisonFreed, meta, frame)
@@ -292,24 +308,33 @@ FrameId FrameAllocator::AllocateFromCache(uint8_t flags) {
     return kInvalidFrame;  // Frame limit armed: the exact, locked quota path takes over.
   }
   PerCpuCache& cache = CacheForThread(this, id_);
-  if (cache.count == 0) {
-    CountVm(VmCounter::k_pcp_miss);
-    ODF_TRACE(pcp_miss, 0);
-    {
-      debug::MutexGuard guard(mutex_, g_pool_lock_class);
-      for (size_t i = 0; i < PerCpuCache::kBatch; ++i) {
-        cache.slots[cache.count++] = PopFreeLocked();
+  for (;;) {
+    if (cache.count == 0) {
+      CountVm(VmCounter::k_pcp_miss);
+      ODF_TRACE(pcp_miss, 0);
+      {
+        debug::MutexGuard guard(mutex_, g_pool_lock_class);
+        for (size_t i = 0; i < PerCpuCache::kBatch; ++i) {
+          cache.slots[cache.count++] = PopFreeLocked();
+        }
       }
+      CountVm(VmCounter::k_pcp_refill, PerCpuCache::kBatch);
+      ODF_TRACE(pcp_refill, 0, static_cast<uint64_t>(PerCpuCache::kBatch));
+    } else {
+      CountVm(VmCounter::k_pcp_hit);
+      ODF_TRACE(pcp_hit, 0);
     }
-    CountVm(VmCounter::k_pcp_refill, PerCpuCache::kBatch);
-    ODF_TRACE(pcp_refill, 0, static_cast<uint64_t>(PerCpuCache::kBatch));
-  } else {
-    CountVm(VmCounter::k_pcp_hit);
-    ODF_TRACE(pcp_hit, 0);
+    FrameId frame = cache.slots[--cache.count];
+    if (MetaRef(frame).IsHwPoisoned()) {
+      // The frame was poisoned while parked in this thread's cache (the one place the
+      // exclusive-MmGate offline cannot reach). Divert to quarantine and try the next.
+      debug::MutexGuard guard(mutex_, g_pool_lock_class);
+      QuarantineLocked(frame);
+      continue;
+    }
+    InitAllocatedFrame(frame, flags);
+    return frame;
   }
-  FrameId frame = cache.slots[--cache.count];
-  InitAllocatedFrame(frame, flags);
-  return frame;
 }
 
 void FrameAllocator::FreeToCache(FrameId frame) {
@@ -325,6 +350,46 @@ void FrameAllocator::FreeToCache(FrameId frame) {
     }
   }
   cache.slots[cache.count++] = frame;
+}
+
+void FrameAllocator::MarkHwPoison(FrameId frame) {
+  debug::MutexGuard guard(mutex_, g_pool_lock_class);
+  PageMeta& meta = MetaRef(frame);
+  if (meta.IsHwPoisoned()) {
+    return;  // Already retired or retiring; poison is idempotent.
+  }
+  meta.flags = static_cast<uint8_t>(meta.flags | kPageFlagHwPoison);
+  stats_.hwpoisoned_frames.fetch_add(1, std::memory_order_relaxed);
+  if ((meta.flags & kPageFlagAllocated) != 0) {
+    // Allocated frame: quarantine happens when the last reference drops (FreeOneLocked).
+    return;
+  }
+  // The frame is free. If it sits inside a 512-aligned run on the compound free list,
+  // break the run now — AllocateCompoundGranted recycles runs whole and must never build
+  // a huge page around a dead subframe. Frames on the order-0 free list (or parked in a
+  // per-thread cache) are diverted lazily at their next pop instead; both are cheap
+  // because poison events are rare.
+  constexpr FrameId kCompoundFrames = 1u << kHugePageOrder;
+  FrameId run = frame & ~static_cast<FrameId>(kCompoundFrames - 1);
+  for (size_t i = 0; i < compound_free_list_.size(); ++i) {
+    if (compound_free_list_[i] != run) {
+      continue;
+    }
+    compound_free_list_[i] = compound_free_list_.back();
+    compound_free_list_.pop_back();
+    for (FrameId j = 0; j < kCompoundFrames; ++j) {
+      if (run + j == frame) {
+        QuarantineLocked(frame);
+      } else {
+        free_list_.push_back(run + j);
+      }
+    }
+    return;
+  }
+}
+
+bool FrameAllocator::IsHwPoisoned(FrameId frame) const {
+  return MetaRef(frame).IsHwPoisoned();
 }
 
 void FrameAllocator::DrainCacheToPool(phys_internal::PerCpuCache& cache) {
@@ -552,7 +617,8 @@ void FrameAllocator::DecRef(FrameId frame) {
   }
   // Last reference: the acq_rel RMW above ordered every other owner's accesses before this
   // point, so the frame is exclusively ours to tear down — lock-free when cacheable.
-  if (!meta.IsCompoundHead() && CacheEligible()) {
+  // Poisoned frames always take the locked path: they retire to quarantine, never a cache.
+  if (!meta.IsCompoundHead() && !meta.IsHwPoisoned() && CacheEligible()) {
     FreeToCache(frame);
     return;
   }
@@ -611,6 +677,62 @@ void FrameAllocator::FreeOneLocked(FrameId frame) {
     constexpr FrameId kCompoundFrames = 1u << kHugePageOrder;
     ODF_VM_BUG_ON_PAGE(meta.refcount.load(std::memory_order_relaxed) > 1, meta, frame)
         << "freeing a compound that still has owners";
+    bool any_poisoned = false;
+    for (FrameId i = 0; i < kCompoundFrames; ++i) {
+      if (MetaRef(frame + i).IsHwPoisoned()) {
+        any_poisoned = true;
+        break;
+      }
+    }
+    if (any_poisoned) {
+      // A subpage of this compound died to a memory error. The compound cannot be recycled
+      // whole: quarantine the dead subframes (each keeps a private copy of its corrupted
+      // 4 KiB so dumps stay inspectable) and salvage the clean ones onto the order-0 free
+      // list. The 512-aligned run is forfeited — exactly like the kernel refusing to
+      // rebuild a huge page around a PageHWPoison tail.
+      std::byte* data = meta.data.load(std::memory_order_relaxed);
+      for (FrameId i = 0; i < kCompoundFrames; ++i) {
+        PageMeta& sub = MetaRef(frame + i);
+        if (i != 0) {
+          ODF_VM_BUG_ON_PAGE(sub.refcount.load(std::memory_order_relaxed) != 0, sub,
+                             frame + i)
+              << "compound tail gained its own references";
+        }
+        std::byte* page = nullptr;
+        if (sub.IsHwPoisoned() && data != nullptr) {
+          page = new std::byte[kPageSize];
+          std::memcpy(page, data + (static_cast<uint64_t>(i) << kPageShift), kPageSize);
+          stats_.materialized_bytes.fetch_add(kPageSize, std::memory_order_relaxed);
+        }
+        sub.flags = sub.IsHwPoisoned() ? kPageFlagHwPoison : 0;
+        sub.order = 0;
+        sub.compound_head = kInvalidFrame;
+        sub.refcount.store(0, std::memory_order_relaxed);
+        sub.pt_share_count.store(0, std::memory_order_relaxed);
+        sub.data.store(page, std::memory_order_relaxed);
+#if ODF_DEBUG_VM_COMPILED
+        sub.reserved = debug::kPoisonFreed;
+#endif
+        if (sub.IsHwPoisoned()) {
+          QuarantineLocked(frame + i);
+        } else {
+          free_list_.push_back(frame + i);
+        }
+      }
+      if (data != nullptr) {
+        // The poisoned subpages were copied out above; the shared 2 MiB buffer itself can
+        // take the normal poison-on-free treatment before it dies.
+#if ODF_DEBUG_VM_COMPILED
+        std::memset(data, static_cast<int>(debug::kPoisonByte), kHugePageSize);
+        debug::internal::g_poison_writes.fetch_add(1, std::memory_order_relaxed);
+#endif
+        delete[] data;
+        stats_.materialized_bytes.fetch_sub(kHugePageSize, std::memory_order_relaxed);
+      }
+      stats_.allocated_frames.fetch_sub(kCompoundFrames, std::memory_order_relaxed);
+      CountVm(VmCounter::k_frames_freed, kCompoundFrames);
+      return;
+    }
     std::byte* data = meta.data.load(std::memory_order_relaxed);
     if (data != nullptr) {
 #if ODF_DEBUG_VM_COMPILED
@@ -644,6 +766,28 @@ void FrameAllocator::FreeOneLocked(FrameId frame) {
     stats_.allocated_frames.fetch_sub(kCompoundFrames, std::memory_order_relaxed);
     compound_free_list_.push_back(frame);
     CountVm(VmCounter::k_frames_freed, kCompoundFrames);
+    return;
+  }
+  if (meta.IsHwPoisoned()) {
+    // Final free of a poisoned order-0 frame: retire to quarantine. Unlike
+    // ReleaseFrameState this keeps the data buffer exactly as the error left it — the
+    // poison-on-free 0xaa memset would destroy the one artifact worth inspecting in an
+    // ODF_VM_BUG_ON_PAGE dump or a black-box replay log (docs/memory-failure.md).
+    ODF_VM_BUG_ON_PAGE(meta.refcount.load(std::memory_order_relaxed) > 1, meta, frame)
+        << "quarantining a frame that still has owners";
+    if ((meta.flags & kPageFlagPageTable) != 0) {
+      stats_.page_table_frames.fetch_sub(1, std::memory_order_relaxed);
+    }
+    meta.flags = kPageFlagHwPoison;
+    meta.compound_head = kInvalidFrame;
+    meta.refcount.store(0, std::memory_order_relaxed);
+    meta.pt_share_count.store(0, std::memory_order_relaxed);
+#if ODF_DEBUG_VM_COMPILED
+    meta.reserved = debug::kPoisonFreed;
+#endif
+    stats_.allocated_frames.fetch_sub(1, std::memory_order_relaxed);
+    CountVm(VmCounter::k_frames_freed);
+    QuarantineLocked(frame);
     return;
   }
   ReleaseFrameState(meta);
@@ -706,6 +850,8 @@ FrameAllocatorStats FrameAllocator::Stats() const {
   snapshot.allocated_frames = stats_.allocated_frames.load(std::memory_order_relaxed);
   snapshot.materialized_bytes = stats_.materialized_bytes.load(std::memory_order_relaxed);
   snapshot.page_table_frames = stats_.page_table_frames.load(std::memory_order_relaxed);
+  snapshot.hwpoisoned_frames = stats_.hwpoisoned_frames.load(std::memory_order_relaxed);
+  snapshot.quarantined_frames = stats_.quarantined_frames.load(std::memory_order_relaxed);
   return snapshot;
 }
 

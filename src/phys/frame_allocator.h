@@ -38,6 +38,8 @@ struct FrameAllocatorStats {
   uint64_t allocated_frames = 0;  // Currently allocated (counting each tail of a compound).
   uint64_t materialized_bytes = 0;  // Real memory held by frame data buffers.
   uint64_t page_table_frames = 0;
+  uint64_t hwpoisoned_frames = 0;   // Frames carrying kPageFlagHwPoison (mapped or retired).
+  uint64_t quarantined_frames = 0;  // Poisoned frames parked on the quarantine list.
 };
 
 class FrameAllocator {
@@ -190,6 +192,20 @@ class FrameAllocator {
   using PressureCallback = std::function<void()>;
   void SetPressureCallback(PressureCallback callback);
 
+  // --- Memory failure (src/mf, docs/memory-failure.md) ---
+
+  // Marks `frame` as having suffered an uncorrectable memory error (the PageHWPoison
+  // analog). Permanent: the flag is never cleared. A poisoned frame that is currently free
+  // is diverted to the quarantine list (eagerly when reachable, else at its next pop); an
+  // allocated one is quarantined when its last reference drops instead of re-entering the
+  // free list or a per-thread cache. The sole mutator of kPageFlagHwPoison (lint rule
+  // hwpoison-flag); only src/mf calls this, under the exclusive MmGate.
+  void MarkHwPoison(FrameId frame);
+
+  // True when the frame carries kPageFlagHwPoison. Callers needing a stable answer must
+  // hold the exclusive MmGate (the flag is only ever set under it).
+  bool IsHwPoisoned(FrameId frame) const;
+
   // Internal: returns `cache`'s frames to the shared free list. Called (under the cache
   // registry lock) when a thread exits with cached frames; see src/phys/per_cpu_cache.h.
   void DrainCacheToPool(phys_internal::PerCpuCache& cache);
@@ -207,6 +223,8 @@ class FrameAllocator {
     std::atomic<uint64_t> allocated_frames{0};
     std::atomic<uint64_t> materialized_bytes{0};
     std::atomic<uint64_t> page_table_frames{0};
+    std::atomic<uint64_t> hwpoisoned_frames{0};
+    std::atomic<uint64_t> quarantined_frames{0};
   };
 
   // Grows the metadata array by one chunk and pushes its frames onto the free list.
@@ -214,6 +232,8 @@ class FrameAllocator {
   FrameId PopFreeLocked();
   void FreeOneLocked(FrameId frame);
   void FreeBatchLocked(std::span<const FrameId> frames);
+  // Parks a free poisoned frame on the quarantine list (terminal; never popped again).
+  void QuarantineLocked(FrameId frame);
 
   // Cache fast paths. AllocateFromCache returns kInvalidFrame when the cache must stand
   // down (frame limit armed); FreeToCache requires an order-0 non-compound frame whose
@@ -266,6 +286,10 @@ class FrameAllocator {
   std::vector<FrameId> free_list_;
   // Free list of 512-aligned compound candidates (freed compounds are recycled whole).
   std::vector<FrameId> compound_free_list_;
+  // Terminal parking lot for hwpoisoned frames: never popped, never re-entering any free
+  // list. A quarantined frame keeps its data buffer (corrupted contents stay inspectable
+  // in crash dumps and replay logs — the poison-on-free memset is skipped for them).
+  std::vector<FrameId> quarantine_;
   AtomicStats stats_;
 };
 

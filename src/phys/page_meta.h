@@ -36,6 +36,11 @@ enum PageFlag : uint8_t {
   kPageFlagAnon = 1u << 4,          // Backs a private anonymous mapping.
   kPageFlagFile = 1u << 5,          // Owned by the page cache (file-backed).
   kPageFlagZeroFill = 1u << 6,      // Logical content is all-zero; data_ may be null.
+  // The PG_hwpoison analog: the frame took an (injected) uncorrectable memory error. Set
+  // under the exclusive MmGate by src/mf via FrameAllocator::MarkHwPoison — never anywhere
+  // else (scripts/odf_lint.py `hwpoison-flag`). The flag is permanent: a poisoned frame is
+  // quarantined at its final free and never re-enters the allocator (docs/memory-failure.md).
+  kPageFlagHwPoison = 1u << 7,
 };
 
 struct PageMeta {
@@ -69,6 +74,7 @@ struct PageMeta {
   bool IsCompoundHead() const { return (flags & kPageFlagCompoundHead) != 0; }
   bool IsCompoundTail() const { return (flags & kPageFlagCompoundTail) != 0; }
   bool IsCompound() const { return (flags & (kPageFlagCompoundHead | kPageFlagCompoundTail)) != 0; }
+  bool IsHwPoisoned() const { return (flags & kPageFlagHwPoison) != 0; }
 };
 
 // Resolves a frame's compound head the way the kernel's compound_head() does: tail frames

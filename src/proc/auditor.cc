@@ -79,6 +79,17 @@ void WalkPmdTables(AuditState& state) {
         continue;
       }
       if (entry.IsHuge()) {
+        // Memory-failure containment (docs/memory-failure.md): a poisoned subpage must
+        // have had every huge mapping of its compound split away — a surviving 2 MiB
+        // translation would hand out the dead bytes without faulting.
+        for (uint64_t sub = 0; sub < kEntriesPerTable; ++sub) {
+          FrameId tail = entry.frame() + static_cast<FrameId>(sub);
+          if (allocator.GetMeta(tail).IsHwPoisoned()) {
+            state.Violation("huge leaf entry maps compound " +
+                            std::to_string(entry.frame()) +
+                            " containing hwpoisoned subpage " + std::to_string(tail));
+          }
+        }
         state.result->reachable_frames.insert(entry.frame());
         ++state.page_refs[entry.frame()];
         ++state.result->leaf_entries_checked;
@@ -117,6 +128,12 @@ void WalkPteTables(AuditState& state) {
       }
       if (meta.IsPageTable()) {
         state.Violation("leaf entry references a page-table frame " + std::to_string(frame));
+      }
+      if (meta.IsHwPoisoned()) {
+        // Containment: offline replaced every mapping with a non-present marker; a PRESENT
+        // entry still translating to the dead frame means a mapping was missed.
+        state.Violation("present leaf entry references hwpoisoned frame " +
+                        std::to_string(frame));
       }
       state.result->reachable_frames.insert(ResolveCompoundHead(meta, frame));
       ++state.page_refs[ResolveCompoundHead(meta, frame)];

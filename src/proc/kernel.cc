@@ -59,6 +59,75 @@ reclaim::ShrinkContext Kernel::MakeShrinkContext() {
   return ctx;
 }
 
+mf::MfContext Kernel::MakeMfContext() {
+  mf::MfContext ctx;
+  ctx.allocator = &allocator_;
+  ctx.swap = &swap_;
+  ctx.fs = &fs_;
+  ctx.rmap = &rmap_;
+  ctx.lru = &lru_;
+  ctx.flush_tlbs = [this] {
+    debug::MutexGuard guard(table_mutex_, g_table_lock_class);
+    for (auto& [pid, process] : processes_) {
+      process->address_space().tlb().FlushAll();
+    }
+  };
+  ctx.spaces = [this] {
+    debug::MutexGuard guard(table_mutex_, g_table_lock_class);
+    std::vector<AddressSpace*> spaces;
+    for (auto& [pid, process] : processes_) {
+      if (process->state() == ProcessState::kRunning) {
+        spaces.push_back(&process->address_space());
+      }
+    }
+    return spaces;
+  };
+  return ctx;
+}
+
+mf::MfResult Kernel::MemoryFailure(FrameId frame) {
+#if !ODF_MEMORY_FAILURE_COMPILED
+  (void)frame;
+  return mf::MfResult::kNotSupported;
+#else
+  replay::OpScope op(OpKind::k_mf_hard_offline, 0);
+  op.Arg(frame);
+  mf::MfResult result;
+  {
+    debug::MutationScope mutation;
+    // Offline rewrites mappings in tables shared across processes and flushes TLBs — the
+    // evictor side of the gate, exactly like reclaim (upgrades any shared hold this
+    // thread carries, e.g. when the ECC hook fires mid-AccessMemory).
+    reclaim::MmGate::ExclusiveScope gate;
+    mf::MfContext ctx = MakeMfContext();
+    result = mf::HardOffline(ctx, frame);
+  }
+  debug::AutoVerifyKernel(*this, "memory-failure");
+  op.Result(static_cast<uint64_t>(result));
+  return result;
+#endif
+}
+
+mf::MfResult Kernel::SoftOfflinePage(FrameId frame) {
+#if !ODF_MEMORY_FAILURE_COMPILED
+  (void)frame;
+  return mf::MfResult::kNotSupported;
+#else
+  replay::OpScope op(OpKind::k_mf_soft_offline, 0);
+  op.Arg(frame);
+  mf::MfResult result;
+  {
+    debug::MutationScope mutation;
+    reclaim::MmGate::ExclusiveScope gate;
+    mf::MfContext ctx = MakeMfContext();
+    result = mf::SoftOffline(ctx, frame);
+  }
+  debug::AutoVerifyKernel(*this, "soft-offline");
+  op.Result(static_cast<uint64_t>(result));
+  return result;
+#endif
+}
+
 void Kernel::StartKswapd() {
   replay::OpScope op(OpKind::k_start_kswapd, 0);
   if (kswapd_ != nullptr) {

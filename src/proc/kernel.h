@@ -20,6 +20,7 @@
 
 #include "src/core/fork.h"
 #include "src/fs/mem_fs.h"
+#include "src/mf/memory_failure.h"
 #include "src/mm/swap.h"
 #include "src/phys/frame_allocator.h"
 #include "src/proc/process.h"
@@ -98,6 +99,20 @@ class Kernel {
   reclaim::PageLru& lru() { return lru_; }
   reclaim::Kswapd* kswapd() { return kswapd_.get(); }
 
+  // --- Memory failure (src/mf, docs/memory-failure.md) ---
+
+  // Hard offline: an uncorrectable memory error was reported on `frame` (the
+  // memory_failure() / MCE path). Every mapping is replaced with a poison marker — ONE
+  // rewrite per shared-table slot — clean page-cache contents are relocated, and the frame
+  // is quarantined forever. Recorded as a replay op; runs under the exclusive MmGate.
+  // Returns kNotSupported when built with -DODF_MEMORY_FAILURE=OFF.
+  mf::MfResult MemoryFailure(FrameId frame);
+
+  // Soft offline: predictively migrate `frame`'s contents to a fresh frame (zero data
+  // loss) and quarantine the failing one. Transactional — kFailedBusy leaves nothing
+  // mutated. Recorded as a replay op; runs under the exclusive MmGate.
+  mf::MfResult SoftOfflinePage(FrameId frame);
+
   uint64_t oom_kills() const { return oom_kills_.load(std::memory_order_relaxed); }
 
   // RAII marker: the process currently executing a memory operation on this thread. The
@@ -127,6 +142,10 @@ class Kernel {
 
   // Builds the ShrinkContext handed to kswapd and direct reclaim (flush-all-TLBs closure).
   reclaim::ShrinkContext MakeShrinkContext();
+
+  // Builds the context handed to the src/mf offline paths (adds the address-space list
+  // the huge-split pass walks).
+  mf::MfContext MakeMfContext();
 
   FrameAllocator allocator_;
   SwapSpace swap_;

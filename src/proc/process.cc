@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "src/debug/verify.h"
+#include "src/fi/fault_inject.h"
 #include "src/reclaim/mm_gate.h"
 #include "src/replay/recorder.h"
 #include "src/util/log.h"
@@ -46,6 +47,19 @@ bool Process::AccessMemory(Vaddr va, std::byte* buffer, uint64_t length, AccessT
         }
       }
     }
+
+#if ODF_MEMORY_FAILURE_COMPILED
+    // The injected machine check (fi site mf_ecc): the "hardware" reports an uncorrectable
+    // ECC error on the very frame this access resolved to. MemoryFailure upgrades our
+    // shared gate hold to exclusive for the containment work (mm_gate.h), and the access
+    // that consumed the poison is the one that fails — the BUS_MCEERR_AR delivery model.
+    // The fi decision is recorded, so replay re-poisons the same access deterministically.
+    if (fi::ShouldInject(FiSite::k_mf_ecc)) {
+      kernel_->MemoryFailure(frame);
+      last_fault_result_ = FaultResult::kHwPoison;
+      return false;
+    }
+#endif
 
     if (access == AccessType::kWrite) {
       std::byte* dest = allocator.MaterializeData(frame) + in_page;

@@ -251,6 +251,7 @@ std::string FormatMeminfo(Kernel& kernel) {
   out << "Active(anon):   " << kib(kernel.lru().ActiveSize()) << " kB\n";
   out << "Inactive(anon): " << kib(kernel.lru().InactiveSize()) << " kB\n";
   out << "PageTables:     " << kib(frames.page_table_frames) << " kB\n";
+  out << "HardwareCorrupted: " << kib(frames.hwpoisoned_frames) << " kB\n";
   out << "SwapTotal:      " << kib(swap.total_slots) << " kB\n";
   out << "SwapFree:       " << kib(swap.total_slots - swap.slots_in_use) << " kB\n";
   out << "WatermarkMin:   " << kib(wm.min) << " kB\n";
@@ -269,6 +270,21 @@ std::string FormatReplay() { return replay::Recorder::Global().FormatStatus(); }
 
 bool ConfigureReplay(const std::string& spec, std::string* error) {
   return replay::Recorder::Global().Configure(spec, error);
+}
+
+std::string FormatMemoryFailure(Kernel& kernel) {
+  std::ostringstream out;
+  out << "memory_failure_compiled " << (ODF_MEMORY_FAILURE_COMPILED ? 1 : 0) << "\n";
+  out << "mf_hard_offline " << ReadVm(VmCounter::k_mf_hard_offline) << "\n";
+  out << "mf_soft_offline " << ReadVm(VmCounter::k_mf_soft_offline) << "\n";
+  out << "mf_offline_failed " << ReadVm(VmCounter::k_mf_offline_failed) << "\n";
+  out << "mf_migrated_pages " << ReadVm(VmCounter::k_mf_migrated_pages) << "\n";
+  out << "mf_sigbus " << ReadVm(VmCounter::k_mf_sigbus) << "\n";
+  out << "mf_huge_splits " << ReadVm(VmCounter::k_mf_huge_splits) << "\n";
+  FrameAllocatorStats frames = kernel.allocator().Stats();
+  out << "nr_hwpoisoned_frames " << frames.hwpoisoned_frames << "\n";
+  out << "nr_quarantined_frames " << frames.quarantined_frames << "\n";
+  return out.str();
 }
 
 std::string FormatDebugVm() {

@@ -86,6 +86,12 @@ bool ConfigureReplay(const std::string& spec, std::string* error);
 // in every build; the counters just stay zero with -DODF_DEBUG_VM=OFF.
 std::string FormatDebugVm();
 
+// /proc/../memory-failure analog (docs/memory-failure.md): whether src/mf is compiled in,
+// the offline/migration/SIGBUS event counters, and the allocator's poison/quarantine
+// gauges. All lines render in every build; with -DODF_MEMORY_FAILURE=OFF the counters
+// simply stay zero.
+std::string FormatMemoryFailure(Kernel& kernel);
+
 }  // namespace odf
 
 #endif  // ODF_SRC_PROC_PROCFS_H_

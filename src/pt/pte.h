@@ -29,6 +29,11 @@ enum PteBit : uint64_t {
   // Software bit (ignored by the "hardware" walker because present=0): the entry is a swap
   // entry; the frame field holds the swap-slot id instead of a frame id.
   kPteSwap = 1ULL << 9,
+  // Software bit (present=0): hwpoison marker, the is_hwpoison_entry() swap-entry analog.
+  // The frame field keeps the poisoned frame id for diagnostics, but the marker carries NO
+  // reference on it — the quarantine pin is the allocator's (src/mf, docs/memory-failure.md).
+  // Any access faults with FaultResult::kHwPoison (the SIGBUS analog).
+  kPteHwPoison = 1ULL << 10,
 };
 
 inline constexpr uint64_t kPteFrameShift = 12;
@@ -51,12 +56,18 @@ class Pte {
   constexpr bool IsDirty() const { return (raw_ & kPteDirty) != 0; }
   constexpr bool IsHuge() const { return (raw_ & kPteHuge) != 0; }
   constexpr bool IsSwap() const { return !IsPresent() && (raw_ & kPteSwap) != 0; }
+  constexpr bool IsHwPoison() const { return !IsPresent() && (raw_ & kPteHwPoison) != 0; }
   constexpr bool IsNone() const { return raw_ == 0; }
 
   // For swap entries, the frame field carries the swap-slot id.
   constexpr uint64_t swap_slot() const { return raw_ >> kPteFrameShift; }
   static constexpr Pte MakeSwap(uint64_t slot) {
     return Pte((slot << kPteFrameShift) | kPteSwap);
+  }
+
+  // Poison marker: non-present, refcount-free tombstone remembering which frame died here.
+  static constexpr Pte MakeHwPoison(FrameId frame) {
+    return Pte((static_cast<uint64_t>(frame) << kPteFrameShift) | kPteHwPoison);
   }
 
   constexpr FrameId frame() const { return static_cast<FrameId>(raw_ >> kPteFrameShift); }

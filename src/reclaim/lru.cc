@@ -112,6 +112,11 @@ size_t PageLru::Size() const {
   return index_.size();
 }
 
+bool PageLru::Contains(FrameId frame) const {
+  debug::MutexGuard guard(mu_, g_lru_lock_class);
+  return index_.find(frame) != index_.end();
+}
+
 void PageLru::RecordEviction(uint64_t slot) {
   debug::MutexGuard guard(mu_, g_lru_lock_class);
   if (shadows_.size() >= kMaxShadows) {

@@ -60,6 +60,10 @@ class PageLru {
   size_t InactiveSize() const;
   size_t Size() const;
 
+  // True while the frame sits on either list. Used by the verifier's quarantine bijection
+  // (a hwpoisoned frame must never be LRU-resident) and by tests.
+  bool Contains(FrameId frame) const;
+
   // --- Workingset shadows ---
 
   // Stamps `slot` with the current eviction epoch (called once per evicted page).

@@ -96,6 +96,13 @@ uint64_t ShrinkInactiveList(ShrinkContext& ctx, uint64_t want, uint64_t scan,
         Rotate(ctx, frame);  // Injected rmap_alloc failure: reverse map not trustworthy.
         continue;
       }
+      if (meta.IsHwPoisoned()) {
+        // Defensive: memory failure erases its frame from the LRU under the exclusive
+        // gate, so a poisoned frame here means a racing offline detached it between our
+        // Take and this check. Never swap out dead bytes; drop it from the scan (the
+        // offline path owns its lifecycle now).
+        continue;
+      }
       // Evictable only when every reference is a mapping we are about to clear. A shared
       // PTE table holds ONE reference on behalf of all sharers (§3.6), so this holds for
       // frames reached through shared tables too. Extra references mean someone else

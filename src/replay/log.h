@@ -70,7 +70,9 @@ namespace odf {
   X(touch)                    \
   X(fi_arm)                   \
   X(fi_disarm)                \
-  X(fi_reset)
+  X(fi_reset)                 \
+  X(mf_hard_offline)          \
+  X(mf_soft_offline)
 
 enum class OpKind : uint16_t {
 #define ODF_REPLAY_OP_ENUM(name) k_##name,

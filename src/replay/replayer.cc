@@ -448,6 +448,16 @@ ReplayReport Replay(const ReplayLog& log, const ReplayOptions& options) {
       case OpKind::k_fi_reset:
         fi::FaultInjector::Global().Reset(op.Arg(0));
         break;
+      case OpKind::k_mf_hard_offline:
+        state.ExpectU64(op, "mf result", op.result,
+                        static_cast<uint64_t>(
+                            kernel.MemoryFailure(static_cast<FrameId>(op.Arg(0)))));
+        break;
+      case OpKind::k_mf_soft_offline:
+        state.ExpectU64(op, "mf result", op.result,
+                        static_cast<uint64_t>(
+                            kernel.SoftOfflinePage(static_cast<FrameId>(op.Arg(0)))));
+        break;
       case OpKind::kCount:
         state.Diverge(op, "unknown op kind");
         break;

@@ -77,7 +77,13 @@ namespace odf {
   X(replay_ops_recorded)         \
   X(replay_events_recorded)      \
   X(replay_events_dropped)       \
-  X(replay_record_bytes)
+  X(replay_record_bytes)         \
+  X(mf_hard_offline)             \
+  X(mf_soft_offline)             \
+  X(mf_offline_failed)           \
+  X(mf_migrated_pages)           \
+  X(mf_sigbus)                   \
+  X(mf_huge_splits)
 
 enum class VmCounter : uint32_t {
 #define ODF_VM_ENUM_MEMBER(name) k_##name,

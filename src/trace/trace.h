@@ -79,7 +79,10 @@ namespace odf {
   X(kswapd_wake)                \
   X(kswapd_sleep)               \
   X(rmap_unmap)                 \
-  X(workingset_refault)
+  X(workingset_refault)         \
+  X(mf_hard_offline)            \
+  X(mf_soft_offline)            \
+  X(mf_sigbus)
 
 enum class TraceEventId : uint16_t {
 #define ODF_TRACE_ENUM_MEMBER(name) k_##name,

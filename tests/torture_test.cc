@@ -79,6 +79,7 @@ struct TortureTally {
   uint64_t root_reads = 0;
   uint64_t root_read_retries = 0;
   uint64_t huge_touches = 0;
+  uint64_t poison_heals = 0;
   uint64_t oom_kills = 0;
   // (calls, injected) per site, accumulated across re-arm windows.
   std::vector<std::pair<uint64_t, uint64_t>> site_stats;
@@ -92,8 +93,8 @@ class TortureDriver {
   // (which makes the run nondeterministic — only the single-threaded default
   // configuration feeds the same-seed replay gate).
   explicit TortureDriver(uint64_t seed, uint64_t frame_limit = kFrameLimit,
-                        bool start_kswapd = false)
-      : rng_(seed) {
+                        bool start_kswapd = false, bool arm_mf = false)
+      : rng_(seed), arm_mf_(arm_mf) {
     // The pattern fill runs before arming: the torture loop needs a known-good baseline to
     // verify rollbacks against, so its writes must not themselves be failed.
     FaultInjector::Global().Reset(seed);
@@ -160,6 +161,14 @@ class TortureDriver {
     // so keep it rare — a high rate would pin the pool and starve the pressure variant.
     fi.Arm(FiSite::k_rmap_alloc, FiSiteConfig{.probability = 0.002});
     fi.Arm(FiSite::k_reclaim_writeback, FiSiteConfig{.probability = 0.05});
+    if (arm_mf_) {
+      // Injected uncorrectable memory errors (docs/memory-failure.md): each hit hard-
+      // offlines the touched frame mid-access and permanently quarantines it. Arm() calls
+      // restart the per-site call index (and the disarmed verification windows re-arm
+      // constantly), so the probability must be high enough to fire within a window; the
+      // `times` budget caps the quarantine growth so a 12000-op run cannot eat the pool.
+      fi.Arm(FiSite::k_mf_ecc, FiSiteConfig{.probability = 0.01, .times = 2});
+    }
   }
 
   // Arm() restarts per-site counters, so fold the window that is about to be lost into the
@@ -261,7 +270,10 @@ class TortureDriver {
   }
 
   // Root reads re-fault swapped-out pattern pages; injected swap-in/alloc failures are
-  // recoverable, so a bounded retry must converge once the schedule moves on.
+  // recoverable, so a bounded retry must converge once the schedule moves on. An injected
+  // memory error (kHwPoison) is sticky for the VA, not transient: retrying would spin, so
+  // the driver heals — discard the dead page, rewrite its pattern slice — the way a real
+  // SIGBUS handler restores state from a checkpoint, then lets the read converge.
   void DoRootRead(TortureTally* tally) {
     ++tally->root_reads;
     uint64_t page = rng_.NextBelow(kRootRegionBytes / kPageSize);
@@ -275,9 +287,27 @@ class TortureDriver {
         return;
       }
       ASSERT_TRUE(IsRecoverableFault(root_->last_fault_result()));
+      if (root_->last_fault_result() == FaultResult::kHwPoison) {
+        ASSERT_NO_FATAL_FAILURE(HealRootPage(va));
+        ++tally->poison_heals;
+        continue;
+      }
       ++tally->root_read_retries;
     }
     FAIL() << "root read did not converge in 64 attempts (p=0.02 schedule)";
+  }
+
+  // Drops the poison marker at `va` and rewrites that page's slice of the pattern. Runs in
+  // a disarmed window (FillPattern's write must not itself be failed — or poisoned again).
+  void HealRootPage(Vaddr va) {
+    AccumulateSiteStats();
+    FaultInjector& fi = FaultInjector::Global();
+    for (size_t i = 0; i < kFiSiteCount; ++i) {
+      fi.Disarm(static_cast<FiSite>(i));
+    }
+    root_->MadviseDontNeed(va, kPageSize);
+    FillPattern(*root_, va, kPageSize, kPatternSeed);
+    ArmAll();
   }
 
   void DoExitChild() {
@@ -308,6 +338,7 @@ class TortureDriver {
   }
 
   Rng rng_;
+  bool arm_mf_ = false;
   Kernel kernel_;
   Process* root_ = nullptr;
   Vaddr region_ = 0;
@@ -379,6 +410,43 @@ TEST(TortureTest, MemoryPressureWithKswapdUnderInjection) {
   EXPECT_GT(tally.forks_attempted, 1000u);
   EXPECT_GT(ReadVm(VmCounter::k_pgsteal) - pgsteal_before, 0u)
       << "a half-sized pool must force actual evictions";
+  FaultInjector::Global().Reset();
+}
+
+// The memory-failure variant (docs/memory-failure.md): the full op mix with the mf_ecc
+// site armed, so random accesses consume injected uncorrectable memory errors — each one
+// hard-offlines the touched frame mid-access (splitting huge mappings, quarantining the
+// frame forever) while forks, COW, reclaim, and the other seven sites keep firing. The
+// invariants are the robustness gates: zero aborts (every poison surfaces as a typed
+// kHwPoison the driver heals), the root's pattern is byte-identical after healing, the
+// quarantine never leaks back, AllFree() still holds at the end (quarantined frames leave
+// the allocated ledger), and the same seed reproduces the identical run.
+TEST(TortureTest, MemoryFailureInjectionUnderTorture) {
+#if !ODF_FAULT_INJECT_COMPILED || !ODF_MEMORY_FAILURE_COMPILED
+  GTEST_SKIP() << "fault-injection or memory-failure hooks compiled out";
+#endif
+  uint64_t seed = TortureSeed() ^ 0xc0ffeec0ffeeULL;
+  SCOPED_TRACE(::testing::Message() << "ODF_TORTURE_SEED=" << seed);
+
+  uint64_t offlines_before = ReadVm(VmCounter::k_mf_hard_offline);
+  TortureTally first;
+  {
+    TortureDriver driver(seed, kFrameLimit, /*start_kswapd=*/false, /*arm_mf=*/true);
+    ASSERT_NO_FATAL_FAILURE(driver.Run(&first));
+  }
+  EXPECT_GT(ReadVm(VmCounter::k_mf_hard_offline) - offlines_before, 0u)
+      << "the mf_ecc schedule never fired; the variant exercised nothing";
+  EXPECT_GT(first.forks_attempted, 1000u);
+
+  // Same-seed determinism must survive mid-access offline: the poison schedule, the heal
+  // writes, and the quarantine diversions are all pure functions of the seed.
+  FaultInjector::Global().Reset();
+  TortureTally replay;
+  {
+    TortureDriver driver(seed, kFrameLimit, /*start_kswapd=*/false, /*arm_mf=*/true);
+    ASSERT_NO_FATAL_FAILURE(driver.Run(&replay));
+  }
+  EXPECT_EQ(first, replay) << "same-seed mf torture runs diverged; determinism broken";
   FaultInjector::Global().Reset();
 }
 
