@@ -195,6 +195,18 @@ inline void WriteBenchJson(const std::string& name, const BenchConfig& config,
     json.Key(counter).Value(value);
   }
   json.EndObject();
+  // Registered latency histograms (mm_lock_wait et al.): contention summaries so a bench
+  // result can be read next to how hard the MM locks were fought over while it ran.
+  json.Key("histograms").BeginObject();
+  for (const auto& [hist_name, histogram] : MetricsRegistry::Global().Histograms()) {
+    json.Key(hist_name).BeginObject();
+    json.Key("count").Value(histogram->TotalCount());
+    json.Key("p50_us").Value(histogram->PercentileMicros(50));
+    json.Key("p99_us").Value(histogram->PercentileMicros(99));
+    json.Key("mean_us").Value(histogram->MeanMicros());
+    json.EndObject();
+  }
+  json.EndObject();
   // Per-ring append/overwrite accounting: a wrapped trace ring silently loses events, so
   // any trace-derived number in the sections above must be read next to these counts.
   json.Key("trace_rings").BeginArray();

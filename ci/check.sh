@@ -73,6 +73,18 @@ if [[ -z "$ONLY" || "$ONLY" == "default" ]]; then
   fi
 fi
 
+# Lock-sharding smoke (docs/performance.md "Lock sharding & TLB generations"): the fig09b
+# bench in fast mode drives K faulting threads in parallel over disjoint ranges of ONE
+# shared address space — a multi-threaded end-to-end pass through the sharded AS locks,
+# epoch-guarded walks, and TLB generations that the unit suites exercise piecewise. Any
+# refcount/ordering bug on those paths trips an ODF_CHECK/AllFree abort here.
+if [[ -z "$ONLY" || "$ONLY" == "default" ]]; then
+  note "fig09b multi-thread smoke (default preset, ODF_BENCH_FAST=1)"
+  if ! ODF_BENCH_FAST=1 ODF_BENCH_JSON=0 ./build/bench/fig09b_concurrent_faults; then
+    FAILURES+=("fig09b smoke")
+  fi
+fi
+
 # Memory failure (docs/memory-failure.md): the labeled suite by itself — hard/soft
 # offline, containment through shared ODF tables, quarantine permanence, the poisoned-PTE
 # fault contract — must stay a usable developer entry point like the other labels.
@@ -108,6 +120,9 @@ if [[ -z "$ONLY" || "$ONLY" == "mf-off" ]]; then
 fi
 
 run_preset asan-ubsan
+# The tsan preset IS the concurrency-under-TSan gate: its ctest preset filters to the
+# `concurrency` label (frame_cache_test, concurrency_test — the disjoint-fault/overlapping-
+# fork/kswapd stress and the concurrent-replay determinism test ride on that label).
 run_preset tsan
 run_preset fault-inject
 run_preset debug-vm

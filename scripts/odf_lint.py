@@ -40,6 +40,13 @@ offending line or the line above it — always with a reason):
       (other mappings keep referencing the freed frame), the LRU bookkeeping,
       and the workingset shadow recording (docs/reclaim.md).
 
+  table-mutex
+      Kernel::table_mutex_ may only be named inside src/proc/kernel.cc (and its
+      declaration in src/proc/kernel.h). After the lock-sharding refactor it
+      protects exactly the pid -> Process map; any other file reaching for it is
+      re-growing the global MM lock the sharded MmLockTable/MmGate design
+      removed (docs/performance.md "Lock sharding & TLB generations").
+
   hwpoison-flag
       The poison/quarantine state machine (docs/memory-failure.md) has exactly
       two mutation surfaces: FrameAllocator::MarkHwPoison may be called from
@@ -90,6 +97,10 @@ NAKED_LOCK_RE = re.compile(
 TRACE_CALL_RE = re.compile(r"\btrace::Emit\s*\(")
 
 WRITEBACK_RE = re.compile(r"(?:\.|->)TryWriteOut\s*\(")
+
+# table-mutex: the process-table lock stays narrow; only kernel.cc may take it.
+TABLE_MUTEX_RE = re.compile(r"\btable_mutex_\b")
+TABLE_MUTEX_ALLOWED = ("src/proc/kernel.cc", "src/proc/kernel.h")
 
 # hwpoison-flag: MarkHwPoison is the src/mf-facing accessor; QuarantineLocked and raw
 # flag writes are allocator-internal.
@@ -185,6 +196,14 @@ def lint_file(rel_path, findings):
                 "trace-outside-guard",
                 "direct trace::Emit call outside src/trace — use the "
                 "ODF_TRACE macro (compile-guarded and Enabled()-gated)",
+            )
+
+        if rel_path not in TABLE_MUTEX_ALLOWED and TABLE_MUTEX_RE.search(code):
+            report(
+                "table-mutex",
+                "Kernel::table_mutex_ referenced outside src/proc/kernel.cc — the "
+                "process-table lock protects only the pid map; MM state is guarded "
+                "by the per-AS MmLockTable and reclaim::MmGate",
             )
 
         if not writeback_ok and WRITEBACK_RE.search(code):

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/mm/range_ops.h"
+#include "src/reclaim/mm_gate.h"
 #include "src/reclaim/rmap.h"
 #include "src/replay/recorder.h"
 #include "src/util/log.h"
@@ -36,6 +37,12 @@ void AddressSpace::TearDown() {
   if (torn_down_) {
     return;
   }
+  // No AS-gate acquisition here: teardown's callers guarantee no thread is concurrently
+  // driving this address space (one driver thread per process; the OOM killer's victim is
+  // never the process whose allocation is being serviced). Skipping the gate is what lets
+  // the OOM path reap a victim while other threads sit at quota-wait points holding their
+  // own AS gates. The MmGate still excludes the shrinker while frames are released.
+  reclaim::MmGate::SharedScope gate;
   std::vector<std::pair<Vaddr, Vaddr>> ranges;
   ranges.reserve(vmas_.size());
   for (const auto& [start, vma] : vmas_) {
@@ -89,6 +96,8 @@ void AddressSpace::InsertVma(VmArea vma) {
 }
 
 Vaddr AddressSpace::MapAnonymous(uint64_t length, uint32_t prot, bool huge, Vaddr hint) {
+  MmLockTable::WriteScope ws(locks_);  // Layout mutation: excludes faulters and readers.
+  reclaim::MmGate::SharedScope gate;
   ODF_CHECK(length > 0);
   uint64_t granule = huge ? kHugePageSize : kPageSize;
   length = (length + granule - 1) & ~(granule - 1);
@@ -105,6 +114,8 @@ Vaddr AddressSpace::MapAnonymous(uint64_t length, uint32_t prot, bool huge, Vadd
 
 Vaddr AddressSpace::MapFile(std::shared_ptr<MemFile> file, uint64_t file_offset,
                             uint64_t length, uint32_t prot, bool shared, Vaddr hint) {
+  MmLockTable::WriteScope ws(locks_);
+  reclaim::MmGate::SharedScope gate;
   ODF_CHECK(file != nullptr);
   ODF_CHECK(length > 0);
   ODF_CHECK(file_offset % kPageSize == 0) << "file offset must be page-aligned";
@@ -149,6 +160,8 @@ void AddressSpace::SplitVmaAt(Vaddr va) {
 }
 
 void AddressSpace::Unmap(Vaddr start, uint64_t length) {
+  MmLockTable::WriteScope ws(locks_);  // Reentrant: Remap shrinks via Unmap.
+  reclaim::MmGate::SharedScope gate;
   ODF_CHECK(IsPageAligned(start));
   length = PageAlignUp(length);
   Vaddr end = start + length;
@@ -164,6 +177,8 @@ void AddressSpace::Unmap(Vaddr start, uint64_t length) {
 }
 
 Vaddr AddressSpace::Remap(Vaddr old_start, uint64_t old_length, uint64_t new_length) {
+  MmLockTable::WriteScope ws(locks_);
+  reclaim::MmGate::SharedScope gate;
   ODF_CHECK(IsPageAligned(old_start));
   old_length = PageAlignUp(old_length);
   new_length = PageAlignUp(new_length);
@@ -207,6 +222,8 @@ Vaddr AddressSpace::Remap(Vaddr old_start, uint64_t old_length, uint64_t new_len
 }
 
 void AddressSpace::Protect(Vaddr start, uint64_t length, uint32_t prot) {
+  MmLockTable::WriteScope ws(locks_);
+  reclaim::MmGate::SharedScope gate;
   ODF_CHECK(IsPageAligned(start));
   length = PageAlignUp(length);
   Vaddr end = start + length;
@@ -219,6 +236,8 @@ void AddressSpace::Protect(Vaddr start, uint64_t length, uint32_t prot) {
 }
 
 void AddressSpace::AdviseDontNeed(Vaddr start, uint64_t length) {
+  MmLockTable::WriteScope ws(locks_);
+  reclaim::MmGate::SharedScope gate;
   ODF_CHECK(IsPageAligned(start));
   length = PageAlignUp(length);
   Vaddr end = start + length;
@@ -238,6 +257,8 @@ void AddressSpace::AdviseDontNeed(Vaddr start, uint64_t length) {
 }
 
 void AddressSpace::Mincore(Vaddr start, uint64_t length, std::vector<uint8_t>* out) {
+  MmLockTable::ReadScope rs(locks_);  // Pure reader: excludes layout mutators only.
+  reclaim::MmGate::SharedScope gate;
   ODF_CHECK(IsPageAligned(start));
   length = PageAlignUp(length);
   out->assign(length / kPageSize, 0);
@@ -268,6 +289,12 @@ void AddressSpace::Mincore(Vaddr start, uint64_t length, std::vector<uint8_t>* o
 void AddressSpace::PopulateRange(Vaddr start, uint64_t length) {
   replay::OpScope op(OpKind::k_populate, owner_pid_);
   op.Arg(start).Arg(length);
+  // Exclusive even though populate only installs: it direct-fills whole tables without the
+  // fault path's shard locks, so concurrent faulters must be excluded outright. Holding the
+  // gate across the quota-wait inside the batch allocations is sound because neither the
+  // shrinker nor the OOM killer ever acquires an address-space gate.
+  MmLockTable::WriteScope ws(locks_);
+  reclaim::MmGate::SharedScope gate;
   if (owner_pid_ == 0) {
     op.Cancel();  // Not reached through a Process: not a schedule entry.
   }

@@ -1,11 +1,15 @@
-// AddressSpace: the simulator's mm_struct. Owns the VMA list, the root page table (PGD), and
-// the software TLB; provides mmap/munmap/mremap/mprotect and pre-faulting.
+// AddressSpace: the simulator's mm_struct. Owns the VMA list, the root page table (PGD), the
+// software TLB, and the sharded MM lock table; provides mmap/munmap/mremap/mprotect and
+// pre-faulting.
 //
-// Thread-safety: each AddressSpace is mutated under its own lock (the mmap_lock analog),
-// taken by the Kernel facade / fork paths. PTE tables shared across address spaces via
-// on-demand-fork are additionally protected by per-table split locks (see range_ops.h), and
-// entry words are accessed through atomic_ref so concurrent walkers in sharing processes are
-// well-defined.
+// Thread-safety (docs/debugging.md "Lock order", docs/performance.md "Lock sharding"):
+// every layout-mutating entry point (the mmap family, fork's copy phase, teardown) takes
+// this space's MmLockTable WriteScope — the mmap_lock analog, but per address space and
+// only writer-vs-reader: faulting threads hold the gate SHARED plus exactly one 2 MiB-range
+// shard mutex, so faults in disjoint ranges never serialize on this structure. PTE tables
+// shared across address spaces via on-demand-fork are additionally protected by per-table
+// split locks (see range_ops.h), and entry words are accessed through atomic_ref so
+// concurrent walkers in sharing processes are well-defined.
 #ifndef ODF_SRC_MM_ADDRESS_SPACE_H_
 #define ODF_SRC_MM_ADDRESS_SPACE_H_
 
@@ -13,13 +17,14 @@
 #include <map>
 #include <vector>
 #include <memory>
-#include <mutex>
 
 #include "src/mm/swap.h"
 #include "src/mm/vma.h"
 #include "src/phys/frame_allocator.h"
+#include "src/pt/mm_locks.h"
 #include "src/pt/tlb.h"
 #include "src/pt/walker.h"
+#include "src/util/relaxed_counter.h"
 
 namespace odf {
 
@@ -27,21 +32,23 @@ namespace reclaim {
 class RmapRegistry;
 }  // namespace reclaim
 
+// Fault counters. Relaxed atomics: concurrent faulters in disjoint shards bump these with
+// no lock in common, and monitoring reads race the bumps by design (util/relaxed_counter.h).
 struct MmStats {
-  uint64_t demand_zero_faults = 0;
-  uint64_t file_faults = 0;
-  uint64_t cow_page_faults = 0;       // 4 KiB data-page copies.
-  uint64_t cow_huge_faults = 0;       // 2 MiB data-page copies.
-  uint64_t cow_reuse_faults = 0;      // Sole owner: write-enabled in place, no copy.
-  uint64_t pte_table_cow_faults = 0;  // Shared PTE table copied on demand (the ODF path).
-  uint64_t pte_table_fixups = 0;      // share_count==1: PMD write-enable, no copy.
-  uint64_t pmd_table_cow_faults = 0;  // Shared PMD table copied (kOnDemandHuge, §4).
-  uint64_t pmd_table_fixups = 0;      // share_count==1: PUD write-enable, no copy.
-  uint64_t swap_in_faults = 0;        // Pages read back from the swap device.
-  uint64_t pages_swapped_out = 0;     // By the clock reclaimer.
-  uint64_t segv_faults = 0;
-  uint64_t oom_faults = 0;            // Faults failed with kOom (allocation denied).
-  uint64_t swap_io_faults = 0;        // Faults failed with kSwapIoError.
+  util::RelaxedCounter demand_zero_faults;
+  util::RelaxedCounter file_faults;
+  util::RelaxedCounter cow_page_faults;       // 4 KiB data-page copies.
+  util::RelaxedCounter cow_huge_faults;       // 2 MiB data-page copies.
+  util::RelaxedCounter cow_reuse_faults;      // Sole owner: write-enabled in place, no copy.
+  util::RelaxedCounter pte_table_cow_faults;  // Shared PTE table copied on demand (ODF path).
+  util::RelaxedCounter pte_table_fixups;      // share_count==1: PMD write-enable, no copy.
+  util::RelaxedCounter pmd_table_cow_faults;  // Shared PMD table copied (kOnDemandHuge, §4).
+  util::RelaxedCounter pmd_table_fixups;      // share_count==1: PUD write-enable, no copy.
+  util::RelaxedCounter swap_in_faults;        // Pages read back from the swap device.
+  util::RelaxedCounter pages_swapped_out;     // By the clock reclaimer.
+  util::RelaxedCounter segv_faults;
+  util::RelaxedCounter oom_faults;            // Faults failed with kOom (allocation denied).
+  util::RelaxedCounter swap_io_faults;        // Faults failed with kSwapIoError.
 };
 
 class AddressSpace {
@@ -106,7 +113,11 @@ class AddressSpace {
   reclaim::RmapRegistry* rmap() { return rmap_; }
   MmStats& stats() { return stats_; }
   const MmStats& stats() const { return stats_; }
-  std::mutex& lock() { return lock_; }
+
+  // The sharded lock table guarding this address space (src/pt/mm_locks.h): the fault path
+  // takes ReadScope + one ShardScope; layout mutators (and fork) take WriteScope; the
+  // lock-free read protocol validates against its shard generations.
+  MmLockTable& locks() { return locks_; }
 
   // Pid of the owning process (0 before attachment); lets mm-layer tracepoints attribute
   // fault events without a dependency on the proc layer.
@@ -136,11 +147,13 @@ class AddressSpace {
   reclaim::RmapRegistry* rmap_;
   Walker walker_;
   FrameId pgd_;
-  Tlb tlb_;
+  // locks_ before tlb_: the TLB routes every invalidation's shard-generation bump into the
+  // lock table, so the table must outlive (construct before, destruct after) the TLB.
+  MmLockTable locks_;
+  Tlb tlb_{&locks_};
   std::map<Vaddr, VmArea> vmas_;  // Keyed by start address.
   Vaddr mmap_cursor_;
   MmStats stats_;
-  std::mutex lock_;
   int32_t owner_pid_ = 0;
   bool torn_down_ = false;
 };

@@ -144,8 +144,8 @@ bool DataCowFault(AddressSpace& as, VmArea& vma, Vaddr va, uint64_t* slot) {
   if (as.rmap() != nullptr) {
     as.rmap()->Add(copy, slot);
   }
+  as.tlb().InvalidatePage(va);  // Gen-before-free: bump the shard before the old frame drops.
   PutMappedPage(allocator, entry, /*huge=*/false);
-  as.tlb().InvalidatePage(va);
   ++as.stats().cow_page_faults;
   CountVm(VmCounter::k_pgfault_cow_page);
   if (tracing) {
@@ -222,8 +222,8 @@ bool SplitHugeMapping(AddressSpace& as, Vaddr chunk_base, uint64_t* pmd_slot) {
   }
   StoreEntry(pmd_slot, Pte::Make(table, kPtePresent | kPteWritable | kPteUser |
                                             (entry.flags() & kPteAccessed)));
+  as.tlb().InvalidateRange(chunk_base, chunk_base + kHugePageSize);  // Gen-before-free.
   PutMappedPage(allocator, entry, /*huge=*/true);
-  as.tlb().InvalidateRange(chunk_base, chunk_base + kHugePageSize);
   CountVm(VmCounter::k_fork_degrade_classic);
   ODF_TRACE(fork_degrade_classic, as.owner_pid(), chunk_base,
             static_cast<uint64_t>(DegradeFlavor::kHugeCowSplit));
@@ -277,8 +277,8 @@ bool HugeCowFault(AddressSpace& as, Vaddr chunk_base, uint64_t* pmd_slot) {
   if (as.rmap() != nullptr) {
     as.rmap()->Add(copy, pmd_slot, /*huge=*/true);
   }
+  as.tlb().InvalidateRange(chunk_base, chunk_base + kHugePageSize);  // Gen-before-free.
   PutMappedPage(allocator, entry, /*huge=*/true);
-  as.tlb().InvalidateRange(chunk_base, chunk_base + kHugePageSize);
   ++as.stats().cow_huge_faults;
   CountVm(VmCounter::k_pgfault_cow_huge);
   if (tracing) {

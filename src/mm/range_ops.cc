@@ -6,6 +6,7 @@
 #include <span>
 
 #include "src/debug/lockdep.h"
+#include "src/pt/mm_locks.h"
 #include "src/reclaim/rmap.h"
 #include "src/trace/metrics.h"
 #include "src/trace/trace.h"
@@ -95,7 +96,10 @@ void DropPteTableReference(FrameAllocator& allocator, SwapSpace* swap,
     }
   }
   allocator.DecRefBatch(std::span<const FrameId>(heads.data(), mapped));
-  allocator.DecRef(table);
+  // The table was published (linked into at least one live tree), so a lock-free walker
+  // may still be reading its (now empty) entries: defer the frame free past the grace
+  // period. The caller drains the epoch before its leak checks can observe the deferral.
+  PtEpoch::Global().Retire(&allocator, table);
 }
 
 void DropPmdTableReference(FrameAllocator& allocator, SwapSpace* swap,
@@ -125,7 +129,7 @@ void DropPmdTableReference(FrameAllocator& allocator, SwapSpace* swap,
     StoreEntry(&entries[i], Pte());
   }
   allocator.DecRefBatch(std::span<const FrameId>(huge_heads.data(), huge_count));
-  allocator.DecRef(table);
+  PtEpoch::Global().Retire(&allocator, table);  // Published table: epoch-deferred free.
 }
 
 FrameId DedicatePmdTable(AddressSpace& as, Vaddr pud_span_base, uint64_t* pud_slot,
@@ -148,6 +152,18 @@ FrameId DedicatePmdTable(AddressSpace& as, Vaddr pud_span_base, uint64_t* pud_sl
   }
 
   debug::MutexGuard guard(PtSplitLock(shared), g_pt_split_lock_class);
+  // Concurrent-faulter recheck: another thread may have dedicated this slot between our
+  // pre-lock snapshot and the split-lock acquisition. Publishing the stale snapshot's
+  // spare would clobber its repoint, so bail out and use what is there now. Identity is
+  // the referenced frame — flag-only changes (a walker's accessed-bit fetch_or, a racing
+  // fixup's writable re-enable) keep the same table and fall through to the share count.
+  {
+    Pte current = LoadEntry(pud_slot);
+    if (!current.IsPresent() || current.IsHuge() || current.frame() != shared) {
+      allocator.DecRef(dedicated);
+      return current.IsPresent() && !current.IsHuge() ? current.frame() : kInvalidFrame;
+    }
+  }
   PageMeta& shared_meta = allocator.GetMeta(shared);
   uint32_t share = shared_meta.pt_share_count.load(std::memory_order_acquire);
   ODF_DCHECK(share >= 1);
@@ -256,6 +272,15 @@ FrameId DedicatePteTable(AddressSpace& as, Vaddr chunk_base, uint64_t* pmd_slot,
   }
 
   debug::MutexGuard guard(PtSplitLock(shared), g_pt_split_lock_class);
+  // Concurrent-faulter recheck (see DedicatePmdTable): a racing thread that won the split
+  // lock first may already have repointed this PMD slot at its own dedicated table.
+  {
+    Pte current = LoadEntry(pmd_slot);
+    if (!current.IsPresent() || current.IsHuge() || current.frame() != shared) {
+      allocator.DecRef(dedicated);
+      return current.IsPresent() && !current.IsHuge() ? current.frame() : kInvalidFrame;
+    }
+  }
   PageMeta& shared_meta = allocator.GetMeta(shared);
   uint32_t share = shared_meta.pt_share_count.load(std::memory_order_acquire);
   ODF_DCHECK(share >= 1);
@@ -385,9 +410,12 @@ void ZapRange(AddressSpace& as, Vaddr start, Vaddr end) {
         bool remainder_live = RangeHasLiveVma(as, pud_base, covered_lo) ||
                               RangeHasLiveVma(as, covered_hi, pud_end);
         if (!remainder_live) {
+          // Gen-before-free: unlink, bump the shard generations, THEN drop the references
+          // (so a lock-free reader's pin-then-generation-recheck can never keep a frame
+          // that this drop frees).
           StoreEntry(pud_slot, Pte());
-          DropPmdTableReference(allocator, as.swap_space(), as.rmap(), pud.frame());
           as.tlb().InvalidateRange(pud_base, pud_end);
+          DropPmdTableReference(allocator, as.swap_space(), as.rmap(), pud.frame());
           // Skip the rest of this PUD span (the loop increment adds one chunk).
           chunk_base = std::min(pud_end, end) - kPteTableSpan;
           continue;
@@ -412,9 +440,9 @@ void ZapRange(AddressSpace& as, Vaddr start, Vaddr end) {
       if (as.rmap() != nullptr) {
         as.rmap()->Remove(pmd.frame(), pmd_slot, /*huge=*/true);
       }
-      PutMappedPage(allocator, pmd, /*huge=*/true);
       StoreEntry(pmd_slot, Pte());
-      as.tlb().InvalidateRange(lo, hi);
+      as.tlb().InvalidateRange(lo, hi);  // Gen-before-free.
+      PutMappedPage(allocator, pmd, /*huge=*/true);
       continue;
     }
 
@@ -430,8 +458,8 @@ void ZapRange(AddressSpace& as, Vaddr start, Vaddr end) {
                                             RangeHasLiveVma(as, hi, chunk_end));
       if (!remainder_live) {
         StoreEntry(pmd_slot, Pte());
+        as.tlb().InvalidateRange(chunk_base, chunk_end);  // Gen-before-free.
         DropPteTableReference(allocator, as.swap_space(), as.rmap(), table);
-        as.tlb().InvalidateRange(chunk_base, chunk_end);
         continue;
       }
       table = DedicatePteTable(as, chunk_base, pmd_slot);
@@ -439,9 +467,9 @@ void ZapRange(AddressSpace& as, Vaddr start, Vaddr end) {
 
     if (full_chunk) {
       StoreEntry(pmd_slot, Pte());
+      as.tlb().InvalidateRange(chunk_base, chunk_end);  // Gen-before-free.
       // Last ref: puts every mapped page and swap slot.
       DropPteTableReference(allocator, as.swap_space(), as.rmap(), table);
-      as.tlb().InvalidateRange(chunk_base, chunk_end);
       continue;
     }
 
@@ -468,13 +496,16 @@ void ZapRange(AddressSpace& as, Vaddr start, Vaddr end) {
         StoreEntry(slot, Pte());
       }
     }
+    as.tlb().InvalidateRange(lo, hi);  // Gen-before-free: entries above are already clear.
     allocator.DecRefBatch(std::span<const FrameId>(heads.data(), mapped));
     if (TableIsEmpty(allocator, table)) {
       StoreEntry(pmd_slot, Pte());
       DropPteTableReference(allocator, as.swap_space(), as.rmap(), table);
     }
-    as.tlb().InvalidateRange(lo, hi);
   }
+  // Epoch-deferred table frees settle before the zap returns: callers (and their leak
+  // checks) rely on the allocator accounting being exact once the range op completes.
+  PtEpoch::Global().Drain();
 }
 
 void MovePageRange(AddressSpace& as, Vaddr old_start, Vaddr new_start, uint64_t length) {
@@ -603,13 +634,18 @@ void FreeTableRecursive(FrameAllocator& allocator, SwapSpace* swap,
     FreeTableRecursive(allocator, swap, rmap, entry.frame(), NextLevel(level));
     StoreEntry(&entries[i], Pte());
   }
-  allocator.DecRef(table);
+  // Published (reachable from the live PGD until a moment ago), so a lock-free walker may
+  // still hold a pointer into it: epoch-defer the free like every other table teardown.
+  PtEpoch::Global().Retire(&allocator, table);
 }
 
 }  // namespace
 
 void FreePageTables(AddressSpace& as) {
   FreeTableRecursive(as.allocator(), as.swap_space(), as.rmap(), as.pgd(), PtLevel::kPgd);
+  // Leak checks (and standalone-allocator destruction) follow immediately; settle the
+  // deferred frees now.
+  PtEpoch::Global().Drain();
 }
 
 }  // namespace odf

@@ -549,6 +549,26 @@ void FrameAllocator::IncRef(FrameId frame) {
   (void)previous;
 }
 
+bool FrameAllocator::TryGetRef(FrameId frame) {
+  PageMeta& meta = GetMeta(frame);
+  // No freed-frame/tail BUG_ONs here: this is called speculatively from the lock-free read
+  // path, where racing a free (and even pinning a reused frame id) is expected and handled
+  // by the caller's shard-generation recheck. A zero count — frame free, mid-free, or a
+  // compound tail — simply fails the pin.
+  uint32_t count = meta.refcount.load(std::memory_order_relaxed);
+  for (;;) {
+    if (count == 0) {
+      return false;
+    }
+    if (meta.refcount.compare_exchange_weak(count, count + 1, std::memory_order_seq_cst,
+                                            std::memory_order_relaxed)) {
+      // Order the pin before the caller's generation recheck (see mm_locks.h).
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      return true;
+    }
+  }
+}
+
 void FrameAllocator::AddRefs(FrameId frame, uint32_t count) {
   PageMeta& meta = GetMeta(frame);
   ODF_VM_BUG_ON_PAGE((meta.flags & kPageFlagAllocated) == 0, meta, frame)

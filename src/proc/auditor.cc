@@ -166,8 +166,10 @@ AuditResult AuditKernel(Kernel& kernel) {
   state.allocator = &kernel.allocator();
   state.result = &result;
 
-  std::vector<Process*> processes = kernel.RunningProcesses();
-  for (Process* process : processes) {
+  // shared_ptr snapshot: a concurrent Wait() reaping a zombie cannot free an address
+  // space out from under the walk.
+  std::vector<std::shared_ptr<Process>> processes = kernel.RunningProcesses();
+  for (const auto& process : processes) {
     WalkAddressSpace(state, process->address_space());
     ++result.processes_audited;
   }
@@ -183,7 +185,7 @@ AuditResult AuditKernel(Kernel& kernel) {
       file_handles.push_back(file);
     }
   });
-  for (Process* process : processes) {
+  for (const auto& process : processes) {
     for (const auto& [start, vma] : process->address_space().vmas()) {
       if (vma.file != nullptr && files.insert(vma.file.get()).second) {
         file_handles.push_back(vma.file);

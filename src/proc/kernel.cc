@@ -1,6 +1,7 @@
 #include "src/proc/kernel.h"
 
 #include <algorithm>
+#include <optional>
 #include <vector>
 
 #include "src/debug/lockdep.h"
@@ -184,20 +185,14 @@ uint64_t Kernel::ReclaimMemory(uint64_t want) {
   }
   // Nothing reclaimable: OOM-kill the largest running process (by mapped bytes), like the
   // kernel's last resort. Its teardown releases frames. Runs OUTSIDE the exclusive gate:
-  // Exit re-enters the mutator path (shared gate) and must not self-deadlock.
-  std::vector<Process*> candidates;
-  {
-    debug::MutexGuard guard(table_mutex_, g_table_lock_class);
-    for (auto& [pid, process] : processes_) {
-      if (process->state() == ProcessState::kRunning) {
-        candidates.push_back(process.get());
-      }
-    }
-  }
-  Process* victim = nullptr;
+  // Exit re-enters the mutator path (shared gate) and must not self-deadlock. The
+  // shared_ptr snapshot keeps every candidate alive while we weigh them against a
+  // concurrent Wait() reaping zombies.
+  std::vector<std::shared_ptr<Process>> candidates = RunningProcesses();
+  std::shared_ptr<Process> victim;
   uint64_t victim_bytes = 0;
-  for (Process* process : candidates) {
-    if (process == active_process_) {
+  for (const std::shared_ptr<Process>& process : candidates) {
+    if (process.get() == active_process_) {
       continue;  // Never kill the process whose allocation we are servicing.
     }
     uint64_t bytes = process->address_space().MappedBytes();
@@ -214,7 +209,7 @@ uint64_t Kernel::ReclaimMemory(uint64_t want) {
                  << " mapped bytes)";
   uint64_t before = allocator_.Stats().allocated_frames;
   ODF_TRACE(oom_kill, victim->pid(), victim_bytes);
-  Exit(*victim, -9);
+  ExitInternal(*victim, -9, /*oom=*/true);
   oom_kills_.fetch_add(1, std::memory_order_relaxed);
   CountVm(VmCounter::k_oom_kills);
   uint64_t after = allocator_.Stats().allocated_frames;
@@ -241,7 +236,7 @@ Process& Kernel::CreateProcess() {
   auto as = std::make_unique<AddressSpace>(&allocator_, &swap_, &rmap_);
   debug::MutexGuard guard(table_mutex_, g_table_lock_class);
   Pid pid = next_pid_++;
-  auto process = std::make_unique<Process>(this, pid, /*parent=*/0, std::move(as));
+  auto process = std::make_shared<Process>(this, pid, /*parent=*/0, std::move(as));
   process->fork_mode_ = default_fork_mode_;
   Process& ref = *process;
   processes_.emplace(pid, std::move(process));
@@ -271,10 +266,18 @@ Process* Kernel::TryFork(Process& parent, ForkMode mode, ForkProfile* profile) {
   // below); the lambda keeps the early rollback return inside the scope.
   Process* forked = [&]() -> Process* {
     debug::MutationScope mutation;
-    reclaim::MmGate::SharedScope gate;  // Mutator: excludes the shrinker (mm_gate.h).
     ODF_CHECK(parent.state() == ProcessState::kRunning);
     ActiveProcessScope immune(&parent);  // The parent must survive its own fork's allocations.
+    // The child AS is constructed BEFORE any lock: its PGD allocation may quota-wait, and
+    // no lock may be held across a quota wait (mm_gate.h rules).
     auto child_as = std::make_unique<AddressSpace>(&allocator_, &swap_, &rmap_);
+    // Copy under the parent's AS gate held exclusively: fork is a whole-AS structural
+    // operation (write-protects entries, bumps share counts) and must not interleave with
+    // the parent's faults from other threads. MmGate shared nests inside per the lock
+    // order. Quota waits inside the copy are still sound — reclaim never takes an AS gate
+    // (the OOM killer's ExitInternal skips the victim's).
+    MmLockTable::WriteScope ws(parent.address_space().locks());
+    reclaim::MmGate::SharedScope gate;  // Mutator: excludes the shrinker (mm_gate.h).
     if (!CopyAddressSpace(parent.address_space(), *child_as, mode, profile, &fork_counters_)) {
       // Transactional rollback: the half-built child holds real references (page refcounts,
       // table share counts, swap-slot refs), all reachable through its own page tables.
@@ -288,7 +291,7 @@ Process* Kernel::TryFork(Process& parent, ForkMode mode, ForkProfile* profile) {
 
     debug::MutexGuard guard(table_mutex_, g_table_lock_class);
     Pid pid = next_pid_++;
-    auto child = std::make_unique<Process>(this, pid, parent.pid(), std::move(child_as));
+    auto child = std::make_shared<Process>(this, pid, parent.pid(), std::move(child_as));
     child->fork_mode_ = parent.fork_mode();
     parent.children_.push_back(pid);
     Process& ref = *child;
@@ -303,16 +306,25 @@ Process* Kernel::TryFork(Process& parent, ForkMode mode, ForkProfile* profile) {
   return forked;
 }
 
-void Kernel::Exit(Process& process, int code) {
+void Kernel::Exit(Process& process, int code) { ExitInternal(process, code, /*oom=*/false); }
+
+void Kernel::ExitInternal(Process& process, int code, bool oom) {
   replay::OpScope op(OpKind::k_exit, process.pid());
   op.Arg(static_cast<uint64_t>(static_cast<int64_t>(code)));
   {
     debug::MutationScope mutation;
-    reclaim::MmGate::SharedScope gate;  // Mutator: excludes the shrinker (mm_gate.h).
+    // Victim's AS gate, exclusive: a normal Exit may race the victim's own driver thread
+    // mid-fault. The OOM killer skips it — its victim is never mid-operation
+    // (ActiveProcessScope), and the killer may already hold ANOTHER process's gate from
+    // the fault path that triggered reclaim; a second gate here would invert lock order.
+    std::optional<MmLockTable::WriteScope> ws;
+    if (!oom) {
+      ws.emplace(process.as_->locks());
+    }
     ODF_CHECK(process.state() == ProcessState::kRunning)
         << "double exit of pid " << process.pid();
     process.exit_code_ = code;
-    process.as_->TearDown();
+    process.as_->TearDown();  // Takes the MmGate shared internally.
     process.state_ = ProcessState::kZombie;
     CountVm(VmCounter::k_proc_exited);
     ODF_TRACE(proc_exit, process.pid(), static_cast<uint64_t>(code));
@@ -346,12 +358,12 @@ Process* Kernel::FindProcess(Pid pid) {
   return it == processes_.end() ? nullptr : it->second.get();
 }
 
-std::vector<Process*> Kernel::RunningProcesses() {
+std::vector<std::shared_ptr<Process>> Kernel::RunningProcesses() {
   debug::MutexGuard guard(table_mutex_, g_table_lock_class);
-  std::vector<Process*> result;
+  std::vector<std::shared_ptr<Process>> result;
   for (auto& [pid, process] : processes_) {
     if (process->state() == ProcessState::kRunning) {
-      result.push_back(process.get());
+      result.push_back(process);
     }
   }
   return result;

@@ -59,7 +59,9 @@ class Kernel {
                                  ForkProfile* profile = nullptr);
 
   // Terminates the process: tears down its address space immediately (dropping page and
-  // shared-table references) and leaves a zombie for the parent to reap.
+  // shared-table references) and leaves a zombie for the parent to reap. Takes the
+  // victim's address-space gate exclusively, so it serializes against that process's
+  // in-flight faults and mapping calls from other threads.
   void Exit(Process& process, int code = 0);
 
   // Reaps one zombie child of `parent`; returns its pid or -1 when there is none. (The
@@ -134,11 +136,22 @@ class Kernel {
   size_t ProcessCount() const;
   size_t RunningProcessCount() const;
 
-  // Snapshot of currently running processes (auditing/reclaim; caller must not race forks).
-  std::vector<Process*> RunningProcesses();
+  // Snapshot of the currently running processes, taken under the process-table lock and
+  // returned by shared_ptr so every entry stays alive (and safely inspectable) even if a
+  // concurrent Wait() reaps it or a fork inserts siblings while the caller iterates.
+  // Safe to call from any thread at any time.
+  std::vector<std::shared_ptr<Process>> RunningProcesses();
 
  private:
   static thread_local Process* active_process_;
+
+  // Shared Exit body. A normal exit (`oom` false) takes the victim's address-space gate
+  // exclusively — the caller may race the victim's own driver thread. The OOM killer
+  // passes `oom` true and SKIPS the gate: its victim is by construction not mid-operation
+  // (ActiveProcessScope excludes the allocating process), and the killer may already sit
+  // inside another process's fault path, where acquiring a second AS gate would invert
+  // the documented lock order.
+  void ExitInternal(Process& process, int code, bool oom);
 
   // Builds the ShrinkContext handed to kswapd and direct reclaim (flush-all-TLBs closure).
   reclaim::ShrinkContext MakeShrinkContext();
@@ -158,8 +171,11 @@ class Kernel {
   // Atomic: the OOM killer can run from any thread's allocation (reclaim callback) while
   // another thread reads the count.
   std::atomic<uint64_t> oom_kills_{0};
+  // Protects ONLY the pid -> Process map (and next_pid_). Address-space state is guarded
+  // by each AS's own MmLockTable; nothing memory-management-sized ever runs under this.
   mutable std::mutex table_mutex_;
-  std::map<Pid, std::unique_ptr<Process>> processes_;
+  // shared_ptr so RunningProcesses() snapshots keep their entries alive against Wait().
+  std::map<Pid, std::shared_ptr<Process>> processes_;
   Pid next_pid_ = 1;
   ForkMode default_fork_mode_ = ForkMode::kClassic;
   ForkCounters fork_counters_;

@@ -7,6 +7,7 @@
 
 #include "src/debug/verify.h"
 #include "src/fi/fault_inject.h"
+#include "src/pt/mm_locks.h"
 #include "src/reclaim/mm_gate.h"
 #include "src/replay/recorder.h"
 #include "src/util/log.h"
@@ -22,59 +23,172 @@ bool Process::AccessMemory(Vaddr va, std::byte* buffer, uint64_t length, AccessT
                            bool set_memory, std::byte memset_value) {
   ODF_CHECK(state_ == ProcessState::kRunning) << "memory access on exited process " << pid_;
   debug::MutationScope mutation;  // Faults allocate frames and rewrite page tables.
-  reclaim::MmGate::SharedScope gate;  // Mutator: excludes the shrinker (mm_gate.h).
   Kernel::ActiveProcessScope immune(this);  // OOM mid-access must pick another victim.
   AddressSpace& as = *as_;
   FrameAllocator& allocator = as.allocator();
+  MmLockTable& locks = as.locks();
+  const uint64_t as_id = locks.as_id();
+  const bool want_write = access == AccessType::kWrite;
   uint64_t done = 0;
   while (done < length) {
     Vaddr current = va + done;
     uint64_t in_page = current & (kPageSize - 1);
     uint64_t chunk = std::min<uint64_t>(length - done, kPageSize - in_page);
+    const uint64_t vpn = current >> kPageShift;
 
-    FrameId frame = kInvalidFrame;
-    bool want_write = access == AccessType::kWrite;
-    if (!as.tlb().Lookup(current, want_write, &frame)) {
-      Translation t = as.walker().Translate(as.pgd(), current, access);
-      if (t.status == TranslateStatus::kOk) {
-        frame = t.frame;
-        as.tlb().Insert(current, frame, want_write);
-      } else {
-        FaultResult result = HandleFault(as, current, access, &frame);
-        if (result != FaultResult::kHandled) {
-          last_fault_result_ = result;
-          return false;
+    // Copies one page-chunk to/from `frame`. Always runs with the frame kept alive (a
+    // refcount pin on the fast paths, the shard+gate locks on the slow path) and the
+    // MmGate held shared (excludes the evictor mid-copy).
+    auto copy_chunk = [&](FrameId frame) {
+      if (want_write) {
+        std::byte* dest = allocator.MaterializeData(frame) + in_page;
+        if (set_memory) {
+          std::memset(dest, static_cast<int>(memset_value), chunk);
+        } else {
+          std::memcpy(dest, buffer + done, chunk);
+        }
+      } else if (buffer != nullptr) {
+        const std::byte* src = allocator.PeekData(frame);
+        if (src == nullptr) {
+          std::memset(buffer + done, 0, chunk);
+        } else {
+          std::memcpy(buffer + done, src + in_page, chunk);
         }
       }
-    }
+    };
 
 #if ODF_MEMORY_FAILURE_COMPILED
     // The injected machine check (fi site mf_ecc): the "hardware" reports an uncorrectable
-    // ECC error on the very frame this access resolved to. MemoryFailure upgrades our
-    // shared gate hold to exclusive for the containment work (mm_gate.h), and the access
-    // that consumed the poison is the one that fails — the BUS_MCEERR_AR delivery model.
-    // The fi decision is recorded, so replay re-poisons the same access deterministically.
-    if (fi::ShouldInject(FiSite::k_mf_ecc)) {
+    // ECC error on the very frame this access resolved to. Consulted exactly once per
+    // resolved page on EVERY path (fast, lock-free, slow), so the recorded decision stream
+    // is identical no matter which path a replay happens to take. MemoryFailure upgrades
+    // any shared gate hold to exclusive for the containment work (mm_gate.h), and the
+    // access that consumed the poison is the one that fails — BUS_MCEERR_AR delivery.
+    auto ecc_trips = [&](FrameId frame) {
+      if (!fi::ShouldInject(FiSite::k_mf_ecc)) {
+        return false;
+      }
       kernel_->MemoryFailure(frame);
       last_fault_result_ = FaultResult::kHwPoison;
-      return false;
-    }
+      return true;
+    };
+#else
+    auto ecc_trips = [&](FrameId) { return false; };
 #endif
 
-    if (access == AccessType::kWrite) {
-      std::byte* dest = allocator.MaterializeData(frame) + in_page;
-      if (set_memory) {
-        std::memset(dest, static_cast<int>(memset_value), chunk);
-      } else {
-        std::memcpy(dest, buffer + done, chunk);
+    bool page_done = false;
+
+    // L0 — per-thread translation cache (mm_locks.h). Entirely lock-free: tag probe, pin
+    // the cached frame's refcount, recheck the covering shard generation. Writes hit only
+    // entries that a WRITE inserted (dirty bit already set at insert time).
+    TransCacheEntry& cached = TranslationCache::SlotFor(as_id, vpn);
+    if (cached.as_id == as_id && cached.vpn == vpn && (!want_write || cached.write_ok) &&
+        cached.gen == locks.ShardGen(current)) {
+      reclaim::MmGate::SharedScope gate;
+      if (allocator.TryGetRef(cached.pin)) {
+        // Pin-then-recheck: the pin is speculative (the frame may have been freed and
+        // reused since the probe), and the generation recheck is what rejects that — any
+        // mutator that unmapped this page bumped the shard BEFORE dropping the frame.
+        if (cached.gen == locks.ShardGen(current)) {
+          FrameId frame = cached.frame;
+          FrameId pin = cached.pin;
+          as.tlb().RecordHit();
+          if (ecc_trips(frame)) {
+            allocator.DecRef(pin);
+            return false;
+          }
+          copy_chunk(frame);
+          allocator.DecRef(pin);
+          page_done = true;
+        } else {
+          allocator.DecRef(cached.pin);
+        }
       }
-    } else if (buffer != nullptr) {
-      const std::byte* src = allocator.PeekData(frame);
-      if (src == nullptr) {
-        std::memset(buffer + done, 0, chunk);
-      } else {
-        std::memcpy(buffer + done, src + in_page, chunk);
+    }
+    if (page_done) {
+      done += chunk;
+      continue;
+    }
+
+    // L1 — lock-free read-side walk (reads only; writes need A/D maintenance and COW
+    // checks). Generation first, then the walk under a PtEpoch guard (retired tables on
+    // the path are still backed memory), then pin + generation recheck outside the guard.
+    if (!want_write) {
+      uint64_t g0 = locks.ShardGen(current);
+      Translation t;
+      bool walked = false;
+      {
+        PtEpoch::ReadGuard guard;
+        if (guard.ok()) {
+          t = as.walker().TranslateLockFree(as.pgd(), current);
+          walked = true;
+        }
       }
+      if (walked && t.status == TranslateStatus::kOk) {
+        // Pin target: the PMD-entry head for huge mappings (its tails carry no refcount);
+        // the leaf frame itself for 4 KiB. A split-compound tail mapped as a 4 KiB PTE
+        // has refcount 0 — the pin fails and the slow path (which may resolve the head
+        // under locks) serves it instead.
+        FrameId pin =
+            t.huge ? t.frame - static_cast<FrameId>((current >> kPageShift) &
+                                                    ((1ULL << kHugePageOrder) - 1))
+                   : t.frame;
+        reclaim::MmGate::SharedScope gate;
+        if (allocator.TryGetRef(pin)) {
+          if (locks.ShardGen(current) == g0) {
+            as.tlb().RecordHit();
+            if (ecc_trips(t.frame)) {
+              allocator.DecRef(pin);
+              return false;
+            }
+            copy_chunk(t.frame);
+            allocator.DecRef(pin);
+            cached = TransCacheEntry{as_id, vpn, g0, t.frame, pin, /*write_ok=*/false};
+            page_done = true;
+          } else {
+            allocator.DecRef(pin);
+          }
+        }
+      }
+    }
+    if (page_done) {
+      done += chunk;
+      continue;
+    }
+
+    // L2 — locked slow path: AS gate shared (excludes layout mutators and fork), exactly
+    // one 2 MiB-shard mutex (serializes faults on this range only — disjoint-range faults
+    // proceed in parallel), MmGate shared (excludes the evictor). Lock order per
+    // docs/debugging.md: AS gate -> shard -> MmGate.
+    {
+      MmLockTable::ReadScope rs(locks);
+      MmLockTable::ShardScope shard(locks, current);
+      reclaim::MmGate::SharedScope gate;
+      FrameId frame = kInvalidFrame;
+      if (!as.tlb().Lookup(current, want_write, &frame)) {
+        Translation t = as.walker().Translate(as.pgd(), current, access);
+        if (t.status == TranslateStatus::kOk) {
+          frame = t.frame;
+          as.tlb().Insert(current, frame, want_write);
+        } else {
+          FaultResult result = HandleFault(as, current, access, &frame);
+          if (result != FaultResult::kHandled) {
+            last_fault_result_ = result;
+            return false;
+          }
+        }
+      }
+      if (ecc_trips(frame)) {
+        return false;
+      }
+      copy_chunk(frame);
+      // Refill the per-thread cache. The generation is read AFTER the fault resolved:
+      // under the shard mutex no other thread can bump this shard (range ops hold the AS
+      // gate exclusively, the evictor holds the MmGate exclusively), so the value is
+      // stable and covers every invalidation the fault itself performed.
+      FrameId pin = ResolveCompoundHead(allocator.GetMeta(frame), frame);
+      cached = TransCacheEntry{as_id,         vpn, locks.ShardGen(current),
+                               frame,         pin, want_write};
     }
     done += chunk;
   }
@@ -88,7 +202,7 @@ bool Process::WriteMemory(Vaddr va, std::span<const std::byte> data) {
   // The buffer is only read on the write path; the const_cast never results in mutation.
   bool ok = AccessMemory(va, const_cast<std::byte*>(data.data()), data.size(),
                          AccessType::kWrite, /*set_memory=*/false, std::byte{0});
-  op.Status(static_cast<uint64_t>(last_fault_result_)).Result(ok ? 1 : 0);
+  op.Status(static_cast<uint64_t>(last_fault_result())).Result(ok ? 1 : 0);
   return ok;
 }
 
@@ -97,7 +211,7 @@ bool Process::ReadMemory(Vaddr va, std::span<std::byte> out) {
   op.Arg(va).Arg(out.size());
   bool ok = AccessMemory(va, out.data(), out.size(), AccessType::kRead, /*set_memory=*/false,
                          std::byte{0});
-  op.Status(static_cast<uint64_t>(last_fault_result_));
+  op.Status(static_cast<uint64_t>(last_fault_result()));
   if (op.active()) {
     // The recorded outcome of a read is a digest of the bytes it returned: replay verifies
     // the replayed kernel serves the same data, not just the same verdict.
@@ -110,7 +224,7 @@ bool Process::MemsetMemory(Vaddr va, std::byte value, uint64_t length) {
   replay::OpScope op(OpKind::k_memset, pid_);
   op.Arg(va).Arg(static_cast<uint64_t>(value)).Arg(length);
   bool ok = AccessMemory(va, nullptr, length, AccessType::kWrite, /*set_memory=*/true, value);
-  op.Status(static_cast<uint64_t>(last_fault_result_)).Result(ok ? 1 : 0);
+  op.Status(static_cast<uint64_t>(last_fault_result())).Result(ok ? 1 : 0);
   return ok;
 }
 
@@ -163,8 +277,8 @@ std::string Process::ReadString(Vaddr va, uint64_t max_length) {
 Vaddr Process::Mmap(uint64_t length, uint32_t prot, bool huge) {
   replay::OpScope op(OpKind::k_mmap, pid_);
   op.Arg(length).Arg(prot).Arg(huge ? 1 : 0);
+  // Gating (AS-gate exclusive + MmGate shared) lives inside AddressSpace now.
   debug::MutationScope mutation;
-  reclaim::MmGate::SharedScope gate;
   Vaddr va = as_->MapAnonymous(length, prot, huge);
   op.Result(va);
   return va;
@@ -175,7 +289,6 @@ void Process::Munmap(Vaddr start, uint64_t length) {
   op.Arg(start).Arg(length);
   {
     debug::MutationScope mutation;
-    reclaim::MmGate::SharedScope gate;
     as_->Unmap(start, length);
   }
   // Zap is where stale-PTE and table-refcount bugs surface; verify the whole kernel after
@@ -187,7 +300,6 @@ Vaddr Process::Mremap(Vaddr old_start, uint64_t old_length, uint64_t new_length)
   replay::OpScope op(OpKind::k_mremap, pid_);
   op.Arg(old_start).Arg(old_length).Arg(new_length);
   debug::MutationScope mutation;
-  reclaim::MmGate::SharedScope gate;
   Vaddr va = as_->Remap(old_start, old_length, new_length);
   op.Result(va);
   return va;
@@ -197,7 +309,6 @@ void Process::MadviseDontNeed(Vaddr start, uint64_t length) {
   replay::OpScope op(OpKind::k_madvise_dontneed, pid_);
   op.Arg(start).Arg(length);
   debug::MutationScope mutation;
-  reclaim::MmGate::SharedScope gate;
   as_->AdviseDontNeed(start, length);
 }
 
@@ -210,7 +321,7 @@ bool Process::TouchRange(Vaddr va, uint64_t length, AccessType access) {
                   ? WriteMemory(current, std::span(&scratch, 1))
                   : ReadMemory(current, std::span(&scratch, 1));
     if (!ok) {
-      op.Status(static_cast<uint64_t>(last_fault_result_));
+      op.Status(static_cast<uint64_t>(last_fault_result()));
       return false;
     }
   }

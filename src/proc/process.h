@@ -4,6 +4,7 @@
 #ifndef ODF_SRC_PROC_PROCESS_H_
 #define ODF_SRC_PROC_PROCESS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -78,8 +79,12 @@ class Process {
   }
 
   // Why the most recent failed memory access failed (kHandled when nothing failed yet, or
-  // after any successful access). The errno analog for the bool memory API above.
-  FaultResult last_fault_result() const { return last_fault_result_; }
+  // after any successful access). The errno analog for the bool memory API above. Atomic
+  // only so monitoring threads reading it against a driver thread's store are well-defined;
+  // the value is still meaningful only to the (single) driver thread.
+  FaultResult last_fault_result() const {
+    return last_fault_result_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class Kernel;
@@ -94,7 +99,7 @@ class Process {
   ProcessState state_ = ProcessState::kRunning;
   int exit_code_ = 0;
   ForkMode fork_mode_ = ForkMode::kClassic;
-  FaultResult last_fault_result_ = FaultResult::kHandled;
+  std::atomic<FaultResult> last_fault_result_{FaultResult::kHandled};
   std::unique_ptr<AddressSpace> as_;
   std::vector<Pid> children_;
 };

@@ -1,0 +1,219 @@
+// Sharded address-space locking, page-table QSBR, and the per-thread translation cache.
+//
+// This is the lock plane behind the "shatter the global MM locks" refactor (ROADMAP item 1):
+//
+//   MmLockTable   one per AddressSpace — a BRAVO reader/writer gate for whole-AS operations
+//                 (range ops, fork, teardown take it exclusive; fault slow paths take it
+//                 shared) plus 64 range shards, each a 2 MiB-granular mutex and a shard
+//                 *generation* counter. Faults in disjoint shards never contend; a range
+//                 op bumps each covered shard generation ONCE (the batched TLB-shootdown
+//                 generation) instead of flushing per PTE.
+//
+//   PtEpoch       a quiescent-state epoch (QSBR) for page-table frames. Lock-free readers
+//                 enter a read section around a table walk; mutators that free a PUBLISHED
+//                 table Retire() it instead of DecRef'ing directly, and Drain() at the end
+//                 of the range op waits for the grace period and performs the deferred
+//                 frees. Unpublished spares (Dedicate* losers) still DecRef directly.
+//
+//   TranslationCache  a per-thread map of (as id, vpn) -> frame, validated by the covering
+//                 shard generation. The hit path is entirely lock-free: probe, pin the
+//                 frame's refcount, recheck the generation, copy.
+//
+// Lock order (documented in docs/debugging.md): MutationScope -> AS gate -> shard mutex
+// (fault path only, exactly one) -> reclaim::MmGate shared -> split locks / rmap /
+// allocator / LRU. The generation protocol's one load-bearing invariant: a mutator bumps
+// the covered shard generation AFTER rewriting entries and BEFORE dropping the frame
+// references those entries held ("gen before free"), so a reader whose pin precedes its
+// successful generation recheck can never hold a stale frame.
+#ifndef ODF_SRC_PT_MM_LOCKS_H_
+#define ODF_SRC_PT_MM_LOCKS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/debug/lockdep.h"
+#include "src/phys/frame_allocator.h"
+#include "src/pt/geometry.h"
+#include "src/util/bravo_gate.h"
+
+namespace odf {
+
+// Lockdep class shared by all 64 shard mutexes of every address space. Exposed so the
+// lockdep death test can drive a shard-vs-shard inversion without building two real ASes.
+debug::LockClass& AsShardLockClass();
+
+// Records a blocked MM-lock acquisition in the contention observability surface:
+// the `lock_contended` vmstat counter, the `lock_contended`/`lock_wait` tracepoints, and
+// the `mm_lock_wait` latency histogram (all of which land in FormatVmstat and the
+// BENCH_*.json sidecars). `kind` is a small site discriminator carried in the trace args:
+// 0 = MmGate reader, 1 = MmGate writer, 2 = AS-gate reader, 3 = AS-gate writer.
+void NoteMmLockWait(uint64_t kind, uint64_t wait_ns);
+
+class MmLockTable {
+ public:
+  static constexpr int kShards = 64;
+
+  MmLockTable();
+  MmLockTable(const MmLockTable&) = delete;
+  MmLockTable& operator=(const MmLockTable&) = delete;
+
+  // Monotonic, never-reused id for this address space; keys the per-thread translation
+  // cache so entries from a destroyed AS can never validate.
+  uint64_t as_id() const { return as_id_; }
+
+  static int ShardOf(Vaddr va) {
+    return static_cast<int>((va >> (kPageShift + kHugePageOrder)) & (kShards - 1));
+  }
+
+  uint64_t ShardGen(Vaddr va) const {
+    return shards_[ShardOf(va)].gen.load(std::memory_order_seq_cst);
+  }
+
+  // Mutator-side generation bumps (the batched shootdown). Callers must respect
+  // gen-before-free: entries already rewritten, frame references not yet dropped.
+  void BumpShard(Vaddr va) {
+    shards_[ShardOf(va)].gen.fetch_add(1, std::memory_order_seq_cst);
+  }
+  // One bump per covered shard, however many pages the range spans.
+  void BumpRange(Vaddr start, Vaddr end);
+  void BumpAll();
+
+  // Whole-AS reader (fault slow path). Fast-path cost: one padded fetch_add + one load.
+  class ReadScope {
+   public:
+    explicit ReadScope(MmLockTable& table) : table_(table), token_(table.gate_.LockShared()) {
+      if (token_.wait_ns != 0) {
+        NoteMmLockWait(/*kind=*/2, token_.wait_ns);
+      }
+    }
+    ReadScope(const ReadScope&) = delete;
+    ReadScope& operator=(const ReadScope&) = delete;
+    ~ReadScope() { table_.gate_.UnlockShared(token_); }
+
+   private:
+    MmLockTable& table_;
+    util::BravoGate::ReadToken token_;
+  };
+
+  // Whole-AS writer (range ops, fork source, mapping changes). Reentrant on the same
+  // thread for the same table (Remap -> Unmap), tracked in a small TLS frame stack.
+  class WriteScope {
+   public:
+    explicit WriteScope(MmLockTable& table);
+    WriteScope(const WriteScope&) = delete;
+    WriteScope& operator=(const WriteScope&) = delete;
+    ~WriteScope();
+
+   private:
+    MmLockTable& table_;
+    bool owner_ = false;  // False when this scope is a reentrant nesting.
+  };
+
+  // One shard's mutex, lockdep-tracked. The fault slow path holds exactly one.
+  class ShardScope {
+   public:
+    ShardScope(MmLockTable& table, Vaddr va)
+        : guard_(table.shards_[ShardOf(va)].mu, AsShardLockClass()) {}
+    ShardScope(const ShardScope&) = delete;
+    ShardScope& operator=(const ShardScope&) = delete;
+
+   private:
+    debug::MutexGuard guard_;
+  };
+
+ private:
+  struct alignas(64) Shard {
+    std::mutex mu;
+    std::atomic<uint64_t> gen{1};
+  };
+
+  util::BravoGate gate_;
+  uint64_t as_id_;
+  Shard shards_[kShards];
+};
+
+// Quiescent-state epoch reclamation for published page-table frames. Global: shared ODF
+// tables are reachable from several address spaces, and one retire list is simplest.
+class PtEpoch {
+ public:
+  static PtEpoch& Global();
+
+  // A lock-free read section. The section must stay lock-free (walk + refcount pin only,
+  // no blocking) so Drain()'s grace wait terminates. `ok()` is false when the thread-slot
+  // table is exhausted (hundreds of concurrent reader threads) — callers then skip the
+  // lock-free path and fault through the locked slow path instead.
+  class ReadGuard {
+   public:
+    ReadGuard();
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+    ~ReadGuard();
+
+    bool ok() const { return slot_ != nullptr; }
+
+   private:
+    std::atomic<uint64_t>* slot_;
+  };
+
+  // Defers `allocator->DecRef(table)` until every reader that might have entered before
+  // now has exited. Only for tables that were PUBLISHED (linked into a live tree).
+  void Retire(FrameAllocator* allocator, FrameId table);
+
+  // Waits out the grace period and performs all deferred frees. Called at the end of every
+  // operation that retired tables, while the caller still excludes new structural mutators;
+  // afterwards FrameAllocator::AllFree()-style accounting is exact again. Must not be
+  // called from inside a ReadGuard.
+  void Drain();
+
+ private:
+  static constexpr int kMaxReaderSlots = 256;
+
+  struct RetiredTable {
+    FrameAllocator* allocator;
+    FrameId table;
+    uint64_t tag;
+  };
+
+  struct alignas(64) ReaderSlot {
+    std::atomic<uint64_t> epoch{0};  // 0 = idle.
+    std::atomic<bool> claimed{false};
+  };
+
+  friend class ReadGuard;
+  std::atomic<uint64_t>* ClaimThreadSlot();
+
+  std::atomic<uint64_t> epoch_{1};
+  ReaderSlot slots_[kMaxReaderSlots];
+  std::mutex retire_mu_;
+  std::vector<RetiredTable> retired_;
+};
+
+// Per-thread translation cache: the L0 in front of the per-AS software TLB. Entries are
+// validated by (as id, vpn, shard generation); a hit costs a probe, a refcount pin, and a
+// generation recheck — no locks, no shared cache lines.
+struct TransCacheEntry {
+  uint64_t as_id = 0;  // 0 = empty slot.
+  uint64_t vpn = 0;
+  uint64_t gen = 0;            // Covering shard generation when inserted.
+  FrameId frame = kInvalidFrame;  // Leaf data frame (tail-resolved for huge mappings).
+  FrameId pin = kInvalidFrame;    // Frame carrying the refcount (compound head).
+  bool write_ok = false;  // True only when inserted by a WRITE access (dirty bit already set).
+};
+
+class TranslationCache {
+ public:
+  static constexpr size_t kEntries = 256;
+
+  // Returns this thread's slot for (as_id, vpn); the caller checks the tags.
+  static TransCacheEntry& SlotFor(uint64_t as_id, uint64_t vpn) {
+    thread_local TransCacheEntry entries[kEntries];
+    size_t index = (vpn ^ (as_id * 0x9E3779B97F4A7C15ull)) & (kEntries - 1);
+    return entries[index];
+  }
+};
+
+}  // namespace odf
+
+#endif  // ODF_SRC_PT_MM_LOCKS_H_

@@ -87,14 +87,40 @@ class Pte {
 
 // Entry words live in table frames and can be read by one sharing process while another
 // modifies them under the table's split lock (exactly the situation hardware handles with
-// cache coherence). atomic_ref with relaxed ordering makes this well-defined C++ at zero
-// cost on x86.
+// cache coherence). atomic_ref makes this well-defined C++ at zero cost on x86.
+//
+// Ordering: stores are release and loads are acquire so that a lock-free reader (the
+// epoch-guarded walk in Process::AccessMemory) that observes a present entry also observes
+// the initialized contents of the table or data frame it points to. On x86 both compile to
+// the same plain MOVs the previous relaxed pair did.
 inline Pte LoadEntry(const uint64_t* slot) {
-  return Pte(std::atomic_ref<const uint64_t>(*slot).load(std::memory_order_relaxed));
+  return Pte(std::atomic_ref<const uint64_t>(*slot).load(std::memory_order_acquire));
 }
 
 inline void StoreEntry(uint64_t* slot, Pte value) {
-  std::atomic_ref<uint64_t>(*slot).store(value.raw(), std::memory_order_relaxed);
+  std::atomic_ref<uint64_t>(*slot).store(value.raw(), std::memory_order_release);
+}
+
+// Compare-and-swap publication for racy install points (intermediate-table links, where two
+// faulting threads in disjoint shards of the same address space may race to populate one
+// shared PGD/PUD slot). On success `expected` is untouched; on failure it receives the
+// entry the slot actually holds.
+inline bool CasEntry(uint64_t* slot, Pte& expected, Pte desired) {
+  uint64_t raw = expected.raw();
+  bool won = std::atomic_ref<uint64_t>(*slot).compare_exchange_strong(
+      raw, desired.raw(), std::memory_order_acq_rel, std::memory_order_acquire);
+  if (!won) {
+    expected = Pte(raw);
+  }
+  return won;
+}
+
+// Monotonic flag set (accessed/dirty harvesting by the walker). A blind store of a stale
+// snapshot could revert a concurrent COW install; fetch_or only ever adds the bit.
+inline Pte SetEntryFlags(uint64_t* slot, uint64_t flags) {
+  uint64_t previous =
+      std::atomic_ref<uint64_t>(*slot).fetch_or(flags, std::memory_order_acq_rel);
+  return Pte(previous | flags);
 }
 
 // Accessed-bit harvest for page aging (the test-and-clear of PTE.A that second-chance /

@@ -34,14 +34,15 @@ Translation Walker::Translate(FrameId pgd, Vaddr va, AccessType access) {
       result.status = TranslateStatus::kNotWritable;
       return result;
     }
-    // Hardware sets the accessed bit on every level it traverses.
+    // Hardware sets the accessed bit on every level it traverses. fetch_or (not a blind
+    // store of the snapshot) so a concurrent COW install or protection change in a sharing
+    // thread is never reverted — the bit set is monotonic.
     if (!entry.IsAccessed()) {
-      StoreEntry(slot, entry.WithFlag(kPteAccessed));
-      entry = LoadEntry(slot);
+      entry = SetEntryFlags(slot, kPteAccessed);
     }
     if (level == PtLevel::kPmd && entry.IsHuge()) {
       if (access == AccessType::kWrite) {
-        StoreEntry(slot, LoadEntry(slot).WithFlag(kPteDirty));
+        SetEntryFlags(slot, kPteDirty);
       }
       FrameId head = entry.frame();
       // Leaf invariants (huge/4k consistency): a huge PMD entry must reference a live
@@ -57,11 +58,12 @@ Translation Walker::Translate(FrameId pgd, Vaddr va, AccessType access) {
       result.frame = head + static_cast<FrameId>(offset);
       result.pte_table = kInvalidFrame;
       result.huge = true;
+      result.slot = slot;
       return result;
     }
     if (level == PtLevel::kPte) {
       if (access == AccessType::kWrite) {
-        StoreEntry(slot, LoadEntry(slot).WithFlag(kPteDirty));
+        SetEntryFlags(slot, kPteDirty);
       }
       FrameId frame = entry.frame();
       // Leaf invariants: a present PTE must reference an allocated, referenced data frame
@@ -80,9 +82,61 @@ Translation Walker::Translate(FrameId pgd, Vaddr va, AccessType access) {
       result.status = TranslateStatus::kOk;
       result.frame = frame;
       result.pte_table = table;
+      result.slot = slot;
       return result;
     }
     result.pte_table = table;  // Will hold the PTE table once we reach the last level.
+    table = entry.frame();
+  }
+  ODF_CHECK(false) << "unreachable walk state";
+  return result;
+}
+
+Translation Walker::TranslateLockFree(FrameId pgd, Vaddr va) {
+  Translation result;
+  FrameId table = pgd;
+  for (int l = 0; l < kPtLevels; ++l) {
+    PtLevel level = static_cast<PtLevel>(l);
+    uint64_t* entries = allocator_->TableEntries(table);
+    uint64_t* slot = &entries[TableIndex(va, level)];
+    Pte entry = LoadEntry(slot);
+    result.fault_level = level;
+    if (!entry.IsPresent()) {
+      result.status = TranslateStatus::kNotPresent;
+      return result;
+    }
+    // Leaf accessed bit: required for the clock/second-chance protocol (a page served by
+    // this walk was referenced and must survive the next reclaim pass). CAS, never
+    // fetch_or — this walk races PTE rewrites by design, and a blind OR on an entry that
+    // was concurrently turned into a swap entry would corrupt the swap-slot payload. A
+    // lost CAS just means someone rewrote the entry; the caller's pin + shard-generation
+    // recheck rejects the stale translation anyway. No dirty stores (read-only walk) and
+    // no ODF_VM_BUG_ON leaf checks (the races those catch are benign here).
+    if (level == PtLevel::kPmd && entry.IsHuge()) {
+      if (!entry.IsAccessed()) {
+        Pte expected = entry;  // CasEntry updates `expected` on failure; keep the snapshot.
+        CasEntry(slot, expected, entry.WithFlag(kPteAccessed));
+      }
+      uint64_t offset = (va >> kPageShift) & ((1ULL << kHugePageOrder) - 1);
+      result.status = TranslateStatus::kOk;
+      result.frame = entry.frame() + static_cast<FrameId>(offset);
+      result.pte_table = kInvalidFrame;
+      result.huge = true;
+      result.slot = slot;
+      return result;
+    }
+    if (level == PtLevel::kPte) {
+      if (!entry.IsAccessed()) {
+        Pte expected = entry;
+        CasEntry(slot, expected, entry.WithFlag(kPteAccessed));
+      }
+      result.status = TranslateStatus::kOk;
+      result.frame = entry.frame();
+      result.pte_table = table;
+      result.slot = slot;
+      return result;
+    }
+    result.pte_table = table;
     table = entry.frame();
   }
   ODF_CHECK(false) << "unreachable walk state";
@@ -120,9 +174,15 @@ uint64_t* Walker::EnsureEntry(FrameId pgd, Vaddr va, PtLevel level) {
     if (!entry.IsPresent()) {
       FrameId child = AllocPageTable(*allocator_);
       // Upper-level links are born writable; permission is enforced at the leaf (or revoked
-      // at the PMD by on-demand-fork's write-protection).
-      entry = Pte::Make(child, kPtePresent | kPteWritable | kPteUser);
-      StoreEntry(slot, entry);
+      // at the PMD by on-demand-fork's write-protection). CAS, not a blind store: two
+      // faulting threads in different 2 MiB shards of one address space share the upper
+      // slots, and the loser of the install race must free its speculative table.
+      Pte desired = Pte::Make(child, kPtePresent | kPteWritable | kPteUser);
+      if (CasEntry(slot, entry, desired)) {
+        entry = desired;
+      } else {
+        allocator_->DecRef(child);
+      }
     }
     ODF_CHECK(!entry.IsHuge()) << "EnsureEntry descending through a huge mapping";
     table = entry.frame();
@@ -145,8 +205,12 @@ uint64_t* Walker::TryEnsureEntry(FrameId pgd, Vaddr va, PtLevel level) {
       if (child == kInvalidFrame) {
         return nullptr;
       }
-      entry = Pte::Make(child, kPtePresent | kPteWritable | kPteUser);
-      StoreEntry(slot, entry);
+      Pte desired = Pte::Make(child, kPtePresent | kPteWritable | kPteUser);
+      if (CasEntry(slot, entry, desired)) {
+        entry = desired;
+      } else {
+        allocator_->DecRef(child);
+      }
     }
     ODF_CHECK(!entry.IsHuge()) << "TryEnsureEntry descending through a huge mapping";
     table = entry.frame();

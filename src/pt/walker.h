@@ -27,6 +27,7 @@ struct Translation {
   FrameId frame = kInvalidFrame;        // Final 4 KiB frame (tail-resolved for huge maps).
   FrameId pte_table = kInvalidFrame;    // Frame of the last-level table (invalid when huge).
   bool huge = false;                    // Mapped by a 2 MiB PMD entry.
+  uint64_t* slot = nullptr;             // Leaf slot the walk resolved (PTE or huge PMD).
 };
 
 class Walker {
@@ -36,6 +37,14 @@ class Walker {
   // Full translation with hardware side effects (accessed/dirty bits), as the CPU would do.
   // Does NOT handle faults; callers route failures to the mm fault handler.
   Translation Translate(FrameId pgd, Vaddr va, AccessType access);
+
+  // Side-effect-free read translation for the epoch-guarded lock-free fast path: no
+  // accessed/dirty stores, no debug-vm leaf invariants (both would misfire on the benign
+  // races the caller's pin-and-generation-recheck protocol is designed to reject). The
+  // caller must hold a PtEpoch read guard so retired tables on the walked path are still
+  // backed by live memory, and must validate the result against the covering shard
+  // generation before trusting the returned frame.
+  Translation TranslateLockFree(FrameId pgd, Vaddr va);
 
   // Returns a pointer to the entry for `va` at `level`, or nullptr if an intermediate table
   // is missing. No side effects.

@@ -1,12 +1,14 @@
 #include "src/reclaim/mm_gate.h"
 
 #include "src/debug/debug.h"
+#include "src/pt/mm_locks.h"
 
 namespace odf {
 namespace reclaim {
 
 thread_local int MmGate::tls_shared_depth_ = 0;
 thread_local int MmGate::tls_exclusive_depth_ = 0;
+thread_local util::BravoGate::ReadToken MmGate::tls_token_;
 
 MmGate& MmGate::Global() {
   static MmGate gate;
@@ -21,20 +23,22 @@ MmGate::SharedScope::SharedScope() {
   if (tls_exclusive_depth_ > 0) {
     // The evictor re-entering a mutator path (OOM kill -> Exit): exclusive subsumes
     // shared. Counted as a shared hold so the destructor stays symmetric, but the
-    // shared_mutex itself is untouched — lock_shared here would self-deadlock.
+    // gate itself is untouched — acquiring shared here would self-deadlock.
     ++tls_shared_depth_;
     return;
   }
   if (tls_shared_depth_++ == 0) {
-    // odf-lint: allow(naked-lock) — shared_mutex; lockdep's MutexGuard wraps std::mutex only.
-    Global().mu_.lock_shared();
+    tls_token_ = Global().gate_.LockShared();
+    if (tls_token_.wait_ns != 0) {
+      NoteMmLockWait(/*kind=*/0, tls_token_.wait_ns);
+    }
   }
 }
 
 MmGate::SharedScope::~SharedScope() {
   ODF_DCHECK(tls_shared_depth_ > 0) << "unbalanced MmGate::SharedScope";
   if (--tls_shared_depth_ == 0 && tls_exclusive_depth_ == 0) {
-    Global().mu_.unlock_shared();
+    Global().gate_.UnlockShared(tls_token_);
   }
 }
 
@@ -47,10 +51,12 @@ MmGate::ExclusiveScope::ExclusiveScope() {
   restored_shared_ = tls_shared_depth_;
   if (restored_shared_ > 0) {
     tls_shared_depth_ = 0;
-    Global().mu_.unlock_shared();
+    Global().gate_.UnlockShared(tls_token_);
   }
-  // odf-lint: allow(naked-lock) — shared_mutex; lockdep's MutexGuard wraps std::mutex only.
-  Global().mu_.lock();
+  uint64_t wait_ns = Global().gate_.LockExclusive();
+  if (wait_ns > 1000) {
+    NoteMmLockWait(/*kind=*/1, wait_ns);
+  }
 }
 
 MmGate::ExclusiveScope::~ExclusiveScope() {
@@ -58,11 +64,10 @@ MmGate::ExclusiveScope::~ExclusiveScope() {
   if (--tls_exclusive_depth_ > 0) {
     return;
   }
-  // odf-lint: allow(naked-lock) — shared_mutex release; MutexGuard wraps std::mutex only.
-  Global().mu_.unlock();
+  Global().gate_.UnlockExclusive();
   if (restored_shared_ > 0) {
-    // odf-lint: allow(naked-lock) — restoring the caller's shared holds after the upgrade.
-    Global().mu_.lock_shared();
+    // Restore the caller's shared holds after the upgrade.
+    tls_token_ = Global().gate_.LockShared();
     tls_shared_depth_ = restored_shared_;
   }
 }

@@ -10,9 +10,10 @@
 // EXCLUSIVE, so an eviction batch observes quiescent page tables and can flush TLBs
 // before any mutator runs again.
 //
-// Rules (lock order: debug::MutationScope -> MmGate -> Kernel::table_mutex_ -> the rest;
-// see the table in docs/debugging.md):
-//   - Mutator entry points (AccessMemory, the mmap family, fork, exit) take SharedScope.
+// Rules (lock order: debug::MutationScope -> per-AS gate -> shard mutex -> MmGate ->
+// Kernel::table_mutex_ -> the rest; see the table in docs/debugging.md):
+//   - Mutator paths (AccessMemory's fault paths, the mmap family, fork, exit) take
+//     SharedScope — INSIDE any per-AS gate or shard lock they hold, never outside.
 //     Shared holds are reentrant per thread and no-ops while the thread holds the gate
 //     exclusively (the OOM killer calls Kernel::Exit from inside an eviction).
 //   - Eviction (kswapd balance rounds, direct reclaim, VerifyKernel) takes
@@ -27,7 +28,7 @@
 #ifndef ODF_SRC_RECLAIM_MM_GATE_H_
 #define ODF_SRC_RECLAIM_MM_GATE_H_
 
-#include <shared_mutex>
+#include "src/util/bravo_gate.h"
 
 namespace odf {
 namespace reclaim {
@@ -72,9 +73,14 @@ class MmGate {
  private:
   MmGate() = default;
 
-  std::shared_mutex mu_;
+  // BRAVO distributed reader/writer gate (util/bravo_gate.h): the shared side is taken on
+  // EVERY memory access by every faulting thread, so the reader fast path must not bounce
+  // a shared cache line — a plain shared_mutex reader count caps multi-thread fault
+  // scaling long before the shard locks do.
+  util::BravoGate gate_;
   static thread_local int tls_shared_depth_;
   static thread_local int tls_exclusive_depth_;
+  static thread_local util::BravoGate::ReadToken tls_token_;
 };
 
 }  // namespace reclaim

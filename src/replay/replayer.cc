@@ -126,7 +126,7 @@ FinalAllocRecord CaptureAllocFinal(Kernel& kernel) {
 
 void FinalizeRecording(Kernel& kernel) {
   std::vector<FinalProcessRecord> processes;
-  for (Process* process : kernel.RunningProcesses()) {
+  for (const auto& process : kernel.RunningProcesses()) {
     processes.push_back(CaptureProcessFinal(*process));
   }
   Recorder::Global().CaptureFinalState(processes, CaptureAllocFinal(kernel));
@@ -154,6 +154,9 @@ bool CounterReplayComparable(uint32_t counter) {
     case VmCounter::k_frames_freed:
     // Background-daemon scheduling.
     case VmCounter::k_kswapd_wake:
+    // Lock contention is timing, not semantics: whether a shared-gate acquisition had to
+    // wait depends on the physical interleaving, which replay does not reproduce.
+    case VmCounter::k_lock_contended:
     // The recorder's own accounting: bumped while recording, quiet while replaying.
     case VmCounter::k_trace_ring_overwrite:
     case VmCounter::k_replay_ops_recorded:

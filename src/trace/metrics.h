@@ -83,7 +83,8 @@ namespace odf {
   X(mf_offline_failed)           \
   X(mf_migrated_pages)           \
   X(mf_sigbus)                   \
-  X(mf_huge_splits)
+  X(mf_huge_splits)              \
+  X(lock_contended)
 
 enum class VmCounter : uint32_t {
 #define ODF_VM_ENUM_MEMBER(name) k_##name,

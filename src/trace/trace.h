@@ -82,7 +82,9 @@ namespace odf {
   X(workingset_refault)         \
   X(mf_hard_offline)            \
   X(mf_soft_offline)            \
-  X(mf_sigbus)
+  X(mf_sigbus)                  \
+  X(lock_contended)             \
+  X(lock_wait)
 
 enum class TraceEventId : uint16_t {
 #define ODF_TRACE_ENUM_MEMBER(name) k_##name,

@@ -9,6 +9,7 @@
 #include <mutex>
 
 #include "src/debug/lockdep.h"
+#include "src/pt/mm_locks.h"
 
 namespace odf {
 namespace {
@@ -67,6 +68,22 @@ TEST(LockdepDeathTest, AbortsOnLockOrderInversion) {
         debug::LockAcquired(a, __FILE__, __LINE__);
       },
       "lock-order inversion: acquiring \"lockdep_test::inv_a\"");
+}
+
+TEST(LockdepDeathTest, AbortsOnNestedShardAcquisition) {
+  if (!debug::Compiled()) {
+    GTEST_SKIP() << "lockdep compiles out with -DODF_DEBUG_VM=OFF";
+  }
+  // All 64 range-shard mutexes of every MmLockTable share ONE lock class ("mm::AsShard"):
+  // the fault slow path holds exactly one shard, so a thread nesting a second shard —
+  // the classic shard-vs-shard ABBA between two faulting threads — is flagged as
+  // same-class recursion at the first acquisition, without needing the two threads to
+  // actually interleave into a deadlock.
+  debug::LockClass& shard_class = AsShardLockClass();
+  debug::LockAcquired(shard_class, __FILE__, __LINE__);
+  EXPECT_DEATH(debug::LockAcquired(shard_class, __FILE__, __LINE__),
+               "recursive acquisition");
+  debug::LockReleased(shard_class);
 }
 
 TEST(LockdepDeathTest, AbortsOnRecursiveSameClassAcquisition) {
