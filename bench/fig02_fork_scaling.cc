@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "bench/bench_common.h"
+#include "src/util/mutex.h"
 
 namespace odf {
 namespace {
@@ -33,12 +34,12 @@ void Run() {
         p = &MakePopulatedProcess(shared_kernel, bytes);
       }
       std::vector<std::thread> threads;
-      std::mutex merge_mutex;
+      odf::util::Mutex merge_mutex;
       for (auto* p : parents) {
         threads.emplace_back([&, p] {
           std::vector<double> times =
               TimeForks(shared_kernel, *p, ForkMode::kClassic, config.reps);
-          std::lock_guard<std::mutex> guard(merge_mutex);
+          odf::util::MutexLock guard(merge_mutex);
           for (double t : times) {
             concurrent.Add(t);
           }

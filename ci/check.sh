@@ -119,6 +119,32 @@ if [[ -z "$ONLY" || "$ONLY" == "mf-off" ]]; then
   fi
 fi
 
+# Static lock-discipline verification (docs/debugging.md): when a clang++ is on PATH,
+# build the default configuration with the thread-safety analysis promoted to errors —
+# every GUARDED_BY/REQUIRES/scoped-capability contract in the tree is checked at compile
+# time — then run the negative-compile harness, which proves the gate actually rejects
+# the six violation classes (and accepts the positive control). Both self-skip on
+# GCC-only containers; the annotations compile to nothing there.
+if [[ -z "$ONLY" || "$ONLY" == "thread-safety" ]]; then
+  if command -v clang++ >/dev/null 2>&1; then
+    note "thread-safety: clang build with -Werror=thread-safety"
+    if ! cmake -B build-clang-tsa -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+         -DCMAKE_CXX_COMPILER=clang++ -DODF_THREAD_SAFETY_ANALYSIS=ON >/dev/null; then
+      FAILURES+=("thread-safety: configure")
+    elif ! cmake --build build-clang-tsa -j "$JOBS"; then
+      FAILURES+=("thread-safety: build")
+    fi
+  else
+    echo "clang++ not installed; skipping -Werror=thread-safety build (GCC ignores the annotations)"
+  fi
+  note "thread-safety: negative-compile harness"
+  bash tests/negative_compile/run.sh
+  NEG_STATUS=$?
+  if [[ $NEG_STATUS -ne 0 && $NEG_STATUS -ne 77 ]]; then
+    FAILURES+=("thread-safety: negative-compile harness")
+  fi
+fi
+
 run_preset asan-ubsan
 # The tsan preset IS the concurrency-under-TSan gate: its ctest preset filters to the
 # `concurrency` label (frame_cache_test, concurrency_test — the disjoint-fault/overlapping-
@@ -135,12 +161,14 @@ if [[ -z "$ONLY" || "$ONLY" == "lint" ]]; then
 
   note "clang-tidy"
   if command -v clang-tidy >/dev/null 2>&1; then
-    # compile_commands.json comes from the lint preset (export-only configure).
-    if ! cmake --preset lint >/dev/null; then
+    # compile_commands.json comes from the default preset, which configures with
+    # CMAKE_EXPORT_COMPILE_COMMANDS=ON — no separate reconfigure. Generate it first
+    # if this invocation runs the lint slice alone.
+    if [[ ! -f build/compile_commands.json ]] && ! cmake --preset default >/dev/null; then
       FAILURES+=("clang-tidy: configure")
     else
       mapfile -t TIDY_SOURCES < <(find src -name '*.cc' | sort)
-      if ! clang-tidy -p build-lint --quiet "${TIDY_SOURCES[@]}"; then
+      if ! clang-tidy -p build --quiet "${TIDY_SOURCES[@]}"; then
         FAILURES+=("clang-tidy")
       fi
     fi

@@ -1,6 +1,12 @@
 #!/usr/bin/env python3
 """odf_lint: repo-specific static checks for the odf simulated kernel.
 
+These rules complement the Clang thread-safety analysis (-Werror=thread-safety,
+see docs/debugging.md "Static lock-discipline analysis"): the capability
+annotations in src/util/thread_annotations.h prove hold-contracts the compiler
+can see; the rules below encode the protocols it cannot — cross-function
+ordering, epoch-guarded walks, and which directory owns which primitive.
+
 Rules (each suppressible per line with `// odf-lint: allow(<rule>)` on the
 offending line or the line above it — always with a reason):
 
@@ -19,6 +25,36 @@ offending line or the line above it — always with a reason):
       lockdep cycle detector in debug-vm builds (and compiles to exactly a
       std::lock_guard otherwise). Infrastructure below or beside the mm layer
       (src/util, src/trace, src/fi, src/debug itself) is exempt.
+
+  raw-std-mutex
+      Outside src/util/, lock primitives must be the annotated wrappers
+      (odf::util::Mutex, SharedMutex, CondVar, MutexLock, ...): a raw
+      std::mutex / std::shared_mutex / std::condition_variable or a std::
+      lock adapter is invisible to the Clang thread-safety analysis, so
+      every GUARDED_BY/REQUIRES contract downstream of it silently stops
+      being checked. src/util/ itself is exempt — that is where the wrappers
+      bottom out on the std primitives.
+
+  lockfree-walk-guard
+      A call to Walker::TranslateLockFree must sit inside a PtEpoch::ReadGuard
+      scope (the guard must appear within the preceding lines of the call).
+      The lock-free walk dereferences page-table frames that a concurrent
+      unmap may retire; only the epoch guard keeps retired tables backed until
+      the walk is out (src/pt/mm_locks.h). The compiler enforces this too
+      (ODF_REQUIRES_SHARED(PtEpoch::Global())) when building with Clang; this
+      rule keeps the contract checked under GCC-only containers.
+
+  gen-before-free
+      In src/mm/ and src/reclaim/, dropping frame references after rewriting
+      page-table entries (allocator.DecRef / DecRefBatch following a
+      StoreEntry in the same function) requires a generation bump — a TLB
+      Invalidate*/FlushAll or an MmLockTable Bump* — between the rewrite and
+      the drop. "Gen before free" is the one load-bearing invariant of the
+      lock-free read protocol (src/pt/mm_locks.h): a reader that pinned the
+      old frame must fail its generation recheck before the frame can be
+      freed and recycled. Paths exempt by construction (never-published
+      frames, exclusive-gate eviction with a deferred flush) carry an allow
+      with the argument.
 
   trace-outside-guard
       trace::Emit may only be called from the ODF_TRACE macro (src/trace). A
@@ -56,10 +92,16 @@ offending line or the line above it — always with a reason):
       bookkeeping, the free-list diversion, and the allocated-vs-free
       quarantine timing the verifier's bijection checks depend on.
 
+Output: one line per finding, `file:line:col: rule-id: message` (the format
+compilers and editors parse), or a JSON array with --json. Fixture files under
+tests/lint_fixtures/ are skipped by the default tree scan (they exist to be
+dirty — tests/lint_selftest.py lints them explicitly).
+
 Exit status: 0 when clean, 1 when any finding is reported, 2 on usage error.
 """
 
 import argparse
+import json
 import os
 import re
 import sys
@@ -68,6 +110,11 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 # Directories scanned at all (relative to the repo root).
 SCAN_DIRS = ("src", "tests", "bench", "examples")
+
+# Deliberately-dirty inputs: lint fixtures (tests/lint_selftest.py lints them
+# explicitly) and the thread-safety negative-compile cases. Never part of the scan.
+FIXTURE_DIR_NAME = "lint_fixtures"
+EXCLUDED_DIR_NAMES = ("lint_fixtures", "negative_compile")
 
 # naked-lock applies only where the mm lock graph lives.
 LOCK_CHECKED_DIRS = (
@@ -79,6 +126,9 @@ LOCK_CHECKED_DIRS = (
     "src/fs",
     "src/reclaim",
 )
+
+# gen-before-free applies where entry-rewrite-then-free sequences live.
+GEN_CHECKED_DIRS = ("src/mm", "src/reclaim")
 
 # direct-writeback: the only places allowed to push pages to the swap device.
 WRITEBACK_ALLOWED = ("src/reclaim/", "src/mm/swap.cc")
@@ -93,6 +143,29 @@ RAW_REFCOUNT_RE = re.compile(
 NAKED_LOCK_RE = re.compile(
     r"std::(?:lock_guard|unique_lock|scoped_lock)\b|\.\s*(?:lock|unlock)\s*\(\s*\)"
 )
+
+# raw-std-mutex: the un-annotated primitives and their adapters.
+RAW_STD_MUTEX_RE = re.compile(
+    r"\bstd::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|recursive_timed_mutex|"
+    r"shared_timed_mutex|condition_variable(?:_any)?|lock_guard|unique_lock|"
+    r"shared_lock|scoped_lock)\b"
+)
+
+# lockfree-walk-guard: a call site (never the qualified definition, which has no
+# object expression). The guard must appear within this many preceding lines.
+LOCKFREE_CALL_RE = re.compile(r"(?:\.|->)\s*TranslateLockFree\s*\(")
+LOCKFREE_GUARD_RE = re.compile(r"\bPtEpoch::ReadGuard\b")
+LOCKFREE_LOOKBACK = 30
+
+# gen-before-free: a frame-reference drop through the allocator...
+GEN_FREE_RE = re.compile(r"\ballocator\s*(?:\.|->)\s*(?:DecRef|DecRefBatch)\s*\(")
+# ... preceded in the same function by an entry rewrite ...
+GEN_STORE_RE = re.compile(r"\bStoreEntry\s*\(")
+# ... with no generation bump in between.
+GEN_BUMP_RE = re.compile(
+    r"\b(?:InvalidatePage|InvalidateRange|FlushAll|BumpShard|BumpRange|BumpAll)\s*\("
+)
+GEN_LOOKBACK = 60
 
 TRACE_CALL_RE = re.compile(r"\btrace::Emit\s*\(")
 
@@ -118,6 +191,10 @@ TRY_DECL_RE = re.compile(
     r"(?P<name>Try[A-Z][A-Za-z0-9]*)\s*\("
 )
 
+# Function-boundary heuristic for backward scans: a closing brace or a definition
+# opener at column zero ends the walk.
+FUNC_BOUNDARY_RE = re.compile(r"^[}»]|^[A-Za-z_].*\)\s*(?:const\s*)?\{?\s*$")
+
 
 def strip_strings_and_line_comment(line):
     """Crude but sufficient: drop string literals, then anything after //."""
@@ -137,6 +214,15 @@ def allowed(rule, lines, index):
     return False
 
 
+def column_of(regex, raw, code):
+    """1-based column of the first match, preferring the raw line (exact editor
+    position) and falling back to the comment-stripped one."""
+    match = regex.search(raw)
+    if match is None:
+        match = regex.search(code)
+    return (match.start() + 1) if match else 1
+
+
 def lint_file(rel_path, findings):
     path = os.path.join(REPO_ROOT, rel_path)
     with open(path, encoding="utf-8") as f:
@@ -146,42 +232,63 @@ def lint_file(rel_path, findings):
         rel_path.startswith(d + os.sep) or rel_path.startswith(d + "/")
         for d in LOCK_CHECKED_DIRS
     )
+    in_gen_dir = any(
+        rel_path.startswith(d + os.sep) or rel_path.startswith(d + "/")
+        for d in GEN_CHECKED_DIRS
+    )
     in_phys = rel_path.startswith("src/phys/")
     in_mf = rel_path.startswith("src/mf/")
     in_trace = rel_path.startswith("src/trace/")
     in_debug = rel_path.startswith("src/debug/")
+    in_util = rel_path.startswith("src/util/")
+    is_fixture = FIXTURE_DIR_NAME in rel_path.split(os.sep) or (
+        FIXTURE_DIR_NAME in rel_path.split("/")
+    )
     writeback_ok = any(
         rel_path.startswith(d) if d.endswith("/") else rel_path == d
         for d in WRITEBACK_ALLOWED
     )
     is_header = rel_path.endswith(".h")
 
+    # Fixtures opt into every directory-scoped rule so one file can exercise each.
+    if is_fixture:
+        in_lock_dir = in_gen_dir = True
+        in_phys = in_mf = in_trace = in_debug = in_util = False
+        writeback_ok = False
+
+    # Pre-strip every line once: the backward-scanning rules need the stripped view
+    # of earlier lines too (a "StoreEntry" in a comment must not count).
+    stripped = []
     in_block_comment = False
-    for index, raw in enumerate(lines):
+    for raw in lines:
         line = raw
-        # Track /* ... */ blocks so commented-out code does not trip the rules.
         if in_block_comment:
             end = line.find("*/")
             if end < 0:
+                stripped.append("")
                 continue
             line = line[end + 2:]
             in_block_comment = False
         if "/*" in line and "*/" not in line[line.find("/*"):]:
             line = line[: line.find("/*")]
             in_block_comment = True
-        code = strip_strings_and_line_comment(line)
+        stripped.append(strip_strings_and_line_comment(line))
+
+    for index, raw in enumerate(lines):
+        code = stripped[index]
         if not code.strip():
             continue
 
-        def report(rule, message):
+        def report(rule, message, col):
             if not allowed(rule, lines, index):
-                findings.append((rel_path, index + 1, rule, message))
+                findings.append((rel_path, index + 1, col, rule, message))
 
         if not in_phys and RAW_REFCOUNT_RE.search(code):
             report(
                 "raw-refcount",
                 "raw refcount/pt_share_count mutation outside src/phys/ — use the "
                 "FrameAllocator IncRef/DecRef/AddRefs/IncPtShare/DecPtShare APIs",
+                column_of(RAW_REFCOUNT_RE, raw, code),
             )
 
         if in_lock_dir and NAKED_LOCK_RE.search(code):
@@ -189,13 +296,61 @@ def lint_file(rel_path, findings):
                 "naked-lock",
                 "naked mutex primitive in an mm-critical directory — use "
                 "odf::debug::MutexGuard so lockdep sees the acquisition",
+                column_of(NAKED_LOCK_RE, raw, code),
             )
+
+        if not in_util and RAW_STD_MUTEX_RE.search(code):
+            report(
+                "raw-std-mutex",
+                "raw std lock primitive outside src/util/ — use odf::util::Mutex / "
+                "SharedMutex / CondVar / MutexLock so the Clang thread-safety "
+                "analysis sees the capability",
+                column_of(RAW_STD_MUTEX_RE, raw, code),
+            )
+
+        if LOCKFREE_CALL_RE.search(code):
+            lo = max(0, index - LOCKFREE_LOOKBACK)
+            guarded = any(
+                LOCKFREE_GUARD_RE.search(stripped[i]) for i in range(lo, index)
+            )
+            if not guarded:
+                report(
+                    "lockfree-walk-guard",
+                    "TranslateLockFree call without a PtEpoch::ReadGuard in the "
+                    "preceding lines — the lock-free walk may dereference retired "
+                    "page-table frames (src/pt/mm_locks.h)",
+                    column_of(LOCKFREE_CALL_RE, raw, code),
+                )
+
+        if in_gen_dir and not is_header and GEN_FREE_RE.search(code):
+            rewrote = False
+            bumped_since_rewrite = False
+            lo = max(0, index - GEN_LOOKBACK)
+            for i in range(index - 1, lo - 1, -1):
+                prev = stripped[i]
+                if FUNC_BOUNDARY_RE.match(prev):
+                    break
+                if GEN_STORE_RE.search(prev):
+                    rewrote = True
+                    break  # Closest rewrite found; bumps scanned on the way here.
+                if GEN_BUMP_RE.search(prev):
+                    bumped_since_rewrite = True
+            if rewrote and not bumped_since_rewrite:
+                report(
+                    "gen-before-free",
+                    "frame references dropped after a StoreEntry with no generation "
+                    "bump in between — bump the covered shard (TLB Invalidate*/"
+                    "FlushAll) before the free so lock-free readers fail their "
+                    "recheck (gen-before-free, src/pt/mm_locks.h)",
+                    column_of(GEN_FREE_RE, raw, code),
+                )
 
         if not in_trace and TRACE_CALL_RE.search(code):
             report(
                 "trace-outside-guard",
                 "direct trace::Emit call outside src/trace — use the "
                 "ODF_TRACE macro (compile-guarded and Enabled()-gated)",
+                column_of(TRACE_CALL_RE, raw, code),
             )
 
         if rel_path not in TABLE_MUTEX_ALLOWED and TABLE_MUTEX_RE.search(code):
@@ -204,6 +359,7 @@ def lint_file(rel_path, findings):
                 "Kernel::table_mutex_ referenced outside src/proc/kernel.cc — the "
                 "process-table lock protects only the pid map; MM state is guarded "
                 "by the per-AS MmLockTable and reclaim::MmGate",
+                column_of(TABLE_MUTEX_RE, raw, code),
             )
 
         if not writeback_ok and WRITEBACK_RE.search(code):
@@ -212,6 +368,7 @@ def lint_file(rel_path, findings):
                 "direct SwapSpace::TryWriteOut call outside src/reclaim/ — evict "
                 "through the shrinker so rmap, LRU, and workingset state stay "
                 "consistent",
+                column_of(WRITEBACK_RE, raw, code),
             )
 
         if not (in_phys or in_mf) and HWPOISON_MARK_RE.search(code):
@@ -220,6 +377,7 @@ def lint_file(rel_path, findings):
                 "MarkHwPoison call outside src/phys/ and src/mf/ — poisoning a "
                 "frame without the offline protocol leaves mappings pointing at "
                 "a quarantine-bound frame",
+                column_of(HWPOISON_MARK_RE, raw, code),
             )
         if not in_phys and HWPOISON_INTERNAL_RE.search(code):
             report(
@@ -227,11 +385,14 @@ def lint_file(rel_path, findings):
                 "quarantine/poison-flag mutation outside src/phys/ — go through "
                 "FrameAllocator::MarkHwPoison so the counters, free-list "
                 "diversion, and verifier bijection stay consistent",
+                column_of(HWPOISON_INTERNAL_RE, raw, code),
             )
 
         if is_header and not in_debug:
             decl = TRY_DECL_RE.match(code)
-            if decl and decl.group("ret").split()[-1] not in ("void", "return"):
+            specifiers = ("void", "return", "explicit", "static", "inline",
+                          "virtual", "constexpr")
+            if decl and decl.group("ret").split()[-1] not in specifiers:
                 has_attr = "[[nodiscard]]" in raw or (
                     index > 0 and "[[nodiscard]]" in lines[index - 1]
                 )
@@ -240,6 +401,7 @@ def lint_file(rel_path, findings):
                         "missing-nodiscard",
                         f"fallible API {decl.group('name')}() returns a value but is "
                         "not [[nodiscard]]",
+                        decl.start("name") + 1,
                     )
 
 
@@ -248,7 +410,8 @@ def collect_files():
         base = os.path.join(REPO_ROOT, top)
         if not os.path.isdir(base):
             continue
-        for root, _dirs, names in os.walk(base):
+        for root, dirs, names in os.walk(base):
+            dirs[:] = [d for d in dirs if d not in EXCLUDED_DIR_NAMES]
             for name in sorted(names):
                 if name.endswith((".h", ".cc")):
                     yield os.path.relpath(os.path.join(root, name), REPO_ROOT)
@@ -257,6 +420,12 @@ def collect_files():
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("files", nargs="*", help="specific files (default: whole tree)")
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit findings as a JSON array of "
+        "{file, line, col, rule, message} objects",
+    )
     args = parser.parse_args()
 
     files = args.files or sorted(collect_files())
@@ -267,8 +436,26 @@ def main():
             return 2
         lint_file(rel_path, findings)
 
-    for rel_path, line, rule, message in findings:
-        print(f"{rel_path}:{line}: [{rule}] {message}")
+    if args.json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "file": rel_path,
+                        "line": line,
+                        "col": col,
+                        "rule": rule,
+                        "message": message,
+                    }
+                    for rel_path, line, col, rule, message in findings
+                ],
+                indent=2,
+            )
+        )
+        return 1 if findings else 0
+
+    for rel_path, line, col, rule, message in findings:
+        print(f"{rel_path}:{line}:{col}: {rule}: {message}")
     if findings:
         print(f"odf_lint: {len(findings)} finding(s) in {len(files)} file(s)")
         return 1

@@ -32,7 +32,7 @@ HeldStack& ThreadHeld() {
   return stack;
 }
 
-// The global class dependency graph. Guarded by its own (deliberately uninstrumented)
+// The global class dependency graph. Guarded by its own (deliberately lockdep-exempt)
 // mutex; it is a leaf lock touched only on the slow path of a first-seen dependency.
 class LockdepGraph {
  public:
@@ -47,7 +47,7 @@ class LockdepGraph {
     if (id >= 0) {
       return id;
     }
-    std::lock_guard<std::mutex> guard(mutex_);
+    util::MutexLock guard(mutex_);
     id = cls.assigned_id();
     if (id >= 0) {
       return id;
@@ -63,7 +63,7 @@ class LockdepGraph {
   // the existing dependency chain when the new edge would close a cycle.
   void AddDependency(const HeldLock& held, int acquired_id, const char* acquired_name,
                      const char* file, uint32_t line) {
-    std::lock_guard<std::mutex> guard(mutex_);
+    util::MutexLock guard(mutex_);
     if (edge_[held.class_id][acquired_id]) {
       return;  // Known-good ordering; nothing to do.
     }
@@ -96,7 +96,7 @@ class LockdepGraph {
 
   LockdepStats Stats() {
     LockdepStats stats;
-    std::lock_guard<std::mutex> guard(mutex_);
+    util::MutexLock guard(mutex_);
     stats.classes = static_cast<uint64_t>(class_count_);
     stats.edges = edge_count_;
     stats.acquisitions = acquisitions_.load(std::memory_order_relaxed);
@@ -106,7 +106,8 @@ class LockdepGraph {
  private:
   // DFS from `from` looking for `to`; fills `path` with the node chain (excluding `to`)
   // and returns its length, or 0 when unreachable. Called under mutex_.
-  int FindPath(int from, int to, int (&path)[kMaxClasses], int depth) {
+  int FindPath(int from, int to, int (&path)[kMaxClasses], int depth)
+      ODF_REQUIRES(mutex_) {
     if (depth >= kMaxClasses) {
       return 0;
     }
@@ -134,13 +135,13 @@ class LockdepGraph {
     return false;
   }
 
-  std::mutex mutex_;
-  int class_count_ = 0;
-  uint64_t edge_count_ = 0;
+  util::Mutex mutex_;
+  int class_count_ ODF_GUARDED_BY(mutex_) = 0;
+  uint64_t edge_count_ ODF_GUARDED_BY(mutex_) = 0;
   std::atomic<uint64_t> acquisitions_{0};
-  const char* names_[kMaxClasses] = {};
-  bool edge_[kMaxClasses][kMaxClasses] = {};
-  std::string contexts_[kMaxClasses][kMaxClasses];
+  const char* names_[kMaxClasses] ODF_GUARDED_BY(mutex_) = {};
+  bool edge_[kMaxClasses][kMaxClasses] ODF_GUARDED_BY(mutex_) = {};
+  std::string contexts_[kMaxClasses][kMaxClasses] ODF_GUARDED_BY(mutex_);
 };
 
 }  // namespace

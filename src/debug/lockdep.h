@@ -28,11 +28,13 @@
 #include "src/debug/debug.h"  // Defines the ODF_DEBUG_VM_COMPILED default; keep first.
 
 #include <cstdint>
-#include <mutex>
 #if ODF_DEBUG_VM_COMPILED
 #include <atomic>
 #include <source_location>
 #endif
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace odf {
 namespace debug {
@@ -71,25 +73,26 @@ class LockClass {
 void LockAcquired(LockClass& cls, const char* file, uint32_t line);
 void LockReleased(LockClass& cls);
 
-class MutexGuard {
+class ODF_SCOPED_CAPABILITY MutexGuard {
  public:
-  MutexGuard(std::mutex& mutex, LockClass& cls,
+  MutexGuard(util::Mutex& mutex, LockClass& cls,
              const std::source_location& loc = std::source_location::current())
+      ODF_ACQUIRE(mutex)
       : mutex_(mutex), cls_(cls) {
     LockAcquired(cls_, loc.file_name(), loc.line());
-    mutex_.lock();  // odf-lint: allow(naked-lock) — this IS the guard.
+    mutex_.lock();
   }
 
   MutexGuard(const MutexGuard&) = delete;
   MutexGuard& operator=(const MutexGuard&) = delete;
 
-  ~MutexGuard() {
-    mutex_.unlock();  // odf-lint: allow(naked-lock) — this IS the guard.
+  ~MutexGuard() ODF_RELEASE() {
+    mutex_.unlock();
     LockReleased(cls_);
   }
 
  private:
-  std::mutex& mutex_;
+  util::Mutex& mutex_;
   LockClass& cls_;
 };
 
@@ -106,14 +109,18 @@ class LockClass {
 inline void LockAcquired(LockClass& /*cls*/, const char* /*file*/, uint32_t /*line*/) {}
 inline void LockReleased(LockClass& /*cls*/) {}
 
-class MutexGuard {
+class ODF_SCOPED_CAPABILITY MutexGuard {
  public:
-  MutexGuard(std::mutex& mutex, LockClass& /*cls*/) : lock_(mutex) {}
+  MutexGuard(util::Mutex& mutex, LockClass& /*cls*/) ODF_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
   MutexGuard(const MutexGuard&) = delete;
   MutexGuard& operator=(const MutexGuard&) = delete;
 
+  ~MutexGuard() ODF_RELEASE() { mutex_.unlock(); }
+
  private:
-  std::lock_guard<std::mutex> lock_;
+  util::Mutex& mutex_;
 };
 
 #endif  // ODF_DEBUG_VM_COMPILED

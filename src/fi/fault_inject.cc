@@ -85,7 +85,7 @@ void FaultInjector::RefreshArmedFlagLocked() {
 
 void FaultInjector::Arm(FiSite site, const FiSiteConfig& config) {
   {
-    std::lock_guard<std::mutex> guard(mutex_);
+    util::MutexLock guard(mutex_);
     Site& s = sites_[static_cast<size_t>(site)];
     s.config = config;
     s.armed = true;
@@ -100,7 +100,7 @@ void FaultInjector::Arm(FiSite site, const FiSiteConfig& config) {
 
 void FaultInjector::Disarm(FiSite site) {
   {
-    std::lock_guard<std::mutex> guard(mutex_);
+    util::MutexLock guard(mutex_);
     sites_[static_cast<size_t>(site)].armed = false;
     RefreshArmedFlagLocked();
   }
@@ -109,7 +109,7 @@ void FaultInjector::Disarm(FiSite site) {
 
 void FaultInjector::Reset(uint64_t seed) {
   {
-    std::lock_guard<std::mutex> guard(mutex_);
+    util::MutexLock guard(mutex_);
     for (Site& site : sites_) {
       site = Site{};
     }
@@ -121,12 +121,12 @@ void FaultInjector::Reset(uint64_t seed) {
 }
 
 void FaultInjector::SetSeed(uint64_t seed) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  util::MutexLock guard(mutex_);
   seed_ = seed;
 }
 
 uint64_t FaultInjector::seed() const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  util::MutexLock guard(mutex_);
   return seed_;
 }
 
@@ -134,7 +134,7 @@ bool FaultInjector::ShouldFail(FiSite site) {
   uint64_t call = 0;
   bool verdict = false;
   {
-    std::lock_guard<std::mutex> guard(mutex_);
+    util::MutexLock guard(mutex_);
     Site& s = sites_[static_cast<size_t>(site)];
     if (!s.armed) {
       return false;
@@ -176,7 +176,7 @@ bool FaultInjector::ShouldFail(FiSite site) {
 }
 
 void FaultInjector::PinForReplay(FiSite site, std::vector<bool> verdicts) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  util::MutexLock guard(mutex_);
   Site& s = sites_[static_cast<size_t>(site)];
   s.config = FiSiteConfig{};
   s.armed = true;
@@ -188,7 +188,7 @@ void FaultInjector::PinForReplay(FiSite site, std::vector<bool> verdicts) {
 }
 
 void FaultInjector::UnpinAll() {
-  std::lock_guard<std::mutex> guard(mutex_);
+  util::MutexLock guard(mutex_);
   for (Site& site : sites_) {
     if (site.pinned) {
       site = Site{};
@@ -199,28 +199,28 @@ void FaultInjector::UnpinAll() {
 }
 
 uint64_t FaultInjector::PinnedOverflow() const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  util::MutexLock guard(mutex_);
   return pinned_overflow_;
 }
 
 bool FaultInjector::IsArmed(FiSite site) const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  util::MutexLock guard(mutex_);
   return sites_[static_cast<size_t>(site)].armed;
 }
 
 FiSiteConfig FaultInjector::SiteConfig(FiSite site) const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  util::MutexLock guard(mutex_);
   return sites_[static_cast<size_t>(site)].config;
 }
 
 FiSiteStats FaultInjector::SiteStats(FiSite site) const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  util::MutexLock guard(mutex_);
   const Site& s = sites_[static_cast<size_t>(site)];
   return FiSiteStats{s.calls, s.injected};
 }
 
 uint64_t FaultInjector::TotalInjected() const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  util::MutexLock guard(mutex_);
   uint64_t total = 0;
   for (const Site& site : sites_) {
     total += site.injected;
@@ -229,7 +229,7 @@ uint64_t FaultInjector::TotalInjected() const {
 }
 
 std::string FaultInjector::FormatStatus() const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  util::MutexLock guard(mutex_);
   std::ostringstream out;
   out << "fault_inject " << (ODF_FAULT_INJECT_COMPILED ? "compiled-in" : "compiled-out")
       << " seed " << seed_ << "\n";

@@ -26,10 +26,12 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 // Set by the build (src/fi/CMakeLists.txt); default to compiled-in for out-of-build users.
 #ifndef ODF_FAULT_INJECT_COMPILED
@@ -171,12 +173,12 @@ class FaultInjector {
     std::vector<bool> pinned_verdicts;
   };
 
-  void RefreshArmedFlagLocked();
+  void RefreshArmedFlagLocked() ODF_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  uint64_t seed_ = kDefaultSeed;
-  uint64_t pinned_overflow_ = 0;
-  std::array<Site, kFiSiteCount> sites_;
+  mutable util::Mutex mutex_;
+  uint64_t seed_ ODF_GUARDED_BY(mutex_) = kDefaultSeed;
+  uint64_t pinned_overflow_ ODF_GUARDED_BY(mutex_) = 0;
+  std::array<Site, kFiSiteCount> sites_ ODF_GUARDED_BY(mutex_);
 };
 
 // Hot-path check used by the Try entry points. Compiled out => constant false; disarmed =>

@@ -12,13 +12,14 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
 
 #include "src/phys/frame_allocator.h"
 #include "src/pt/geometry.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace odf {
 
@@ -65,9 +66,9 @@ class MemFile {
  private:
   std::string name_;
   FrameAllocator* allocator_;
-  mutable std::mutex mutex_;
-  uint64_t size_ = 0;
-  std::unordered_map<uint64_t, FrameId> cache_;
+  mutable util::Mutex mutex_;
+  uint64_t size_ ODF_GUARDED_BY(mutex_) = 0;
+  std::unordered_map<uint64_t, FrameId> cache_ ODF_GUARDED_BY(mutex_);
 };
 
 class MemFilesystem {
@@ -90,8 +91,8 @@ class MemFilesystem {
 
  private:
   FrameAllocator* allocator_;
-  mutable std::mutex mutex_;
-  std::map<std::string, std::shared_ptr<MemFile>> files_;
+  mutable util::Mutex mutex_;
+  std::map<std::string, std::shared_ptr<MemFile>> files_ ODF_GUARDED_BY(mutex_);
 };
 
 }  // namespace odf

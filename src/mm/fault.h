@@ -4,6 +4,8 @@
 #define ODF_SRC_MM_FAULT_H_
 
 #include "src/mm/address_space.h"
+#include "src/reclaim/mm_gate.h"
+#include "src/util/thread_annotations.h"
 
 namespace odf {
 
@@ -59,8 +61,13 @@ enum class DegradeFlavor : uint64_t {
 // denied allocation yields kOom and a failed swap-device read yields kSwapIoError, with the
 // page tables left consistent — nothing is ever half-installed. The retry loop is bounded;
 // a chain that does not converge yields kRetryExhausted instead of aborting.
+// Lock contract (the L2 slow path in Process::AccessMemory): the per-AS gate shared
+// (layout is stable), the covering 2 MiB shard (this range's faults are serialized), and
+// the MmGate shared (the evictor is excluded). See docs/debugging.md for the order.
 FaultResult HandleFault(AddressSpace& as, Vaddr va, AccessType access,
-                        FrameId* frame_out = nullptr);
+                        FrameId* frame_out = nullptr)
+    ODF_REQUIRES_SHARED(as.locks()) ODF_REQUIRES(as.locks().shard_cap)
+        ODF_REQUIRES_SHARED(reclaim::MmGate::Global());
 
 // Splits a present huge PMD mapping into a PTE table of per-4KiB entries onto the same
 // compound's tail frames (write-protected; each page then COWs individually). Used by the
@@ -68,7 +75,13 @@ FaultResult HandleFault(AddressSpace& as, Vaddr va, AccessType access,
 // apart to offline a single dead subpage. Returns false when the one table allocation
 // fails; a concurrent change of *pmd_slot returns true with nothing mutated (the caller's
 // retry loop re-translates). Caller must hold the mutation-side locks of this space.
-bool SplitHugeMapping(AddressSpace& as, Vaddr chunk_base, uint64_t* pmd_slot);
+// Two callers, two regimes the analysis cannot express as one contract: the fault path
+// holds {AS gate shared, shard, MmGate shared}; memory-failure holds {MmGate exclusive},
+// which by itself excludes every faulting thread. Their intersection — some hold on the
+// MmGate — is what the annotation states; the disjunction is enforced at runtime by
+// lockdep and MmGate::ThreadHoldsExclusive() checks.
+bool SplitHugeMapping(AddressSpace& as, Vaddr chunk_base, uint64_t* pmd_slot)
+    ODF_REQUIRES_SHARED(reclaim::MmGate::Global());
 
 }  // namespace odf
 

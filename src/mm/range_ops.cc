@@ -48,8 +48,8 @@ bool TableIsEmpty(FrameAllocator& allocator, FrameId table) {
 
 }  // namespace
 
-std::mutex& PtSplitLock(FrameId table) {
-  static std::array<std::mutex, kSplitLockCount> locks;
+util::Mutex& PtSplitLock(FrameId table) {
+  static std::array<util::Mutex, kSplitLockCount> locks;
   return locks[table % kSplitLockCount];
 }
 
@@ -95,6 +95,10 @@ void DropPteTableReference(FrameAllocator& allocator, SwapSpace* swap,
       StoreEntry(&entries[i], Pte());
     }
   }
+  // The caller bumped every covered shard generation before dropping its last table
+  // share (ZapRange's "unlink, bump, THEN drop" ordering); by the time this runs no
+  // lock-free reader can pass its generation recheck.
+  // odf-lint: allow(gen-before-free)
   allocator.DecRefBatch(std::span<const FrameId>(heads.data(), mapped));
   // The table was published (linked into at least one live tree), so a lock-free walker
   // may still be reading its (now empty) entries: defer the frame free past the grace
@@ -128,6 +132,9 @@ void DropPmdTableReference(FrameAllocator& allocator, SwapSpace* swap,
     }
     StoreEntry(&entries[i], Pte());
   }
+  // Same contract as DropPteTableReference: the caller's range invalidation already
+  // bumped the covered generations.
+  // odf-lint: allow(gen-before-free)
   allocator.DecRefBatch(std::span<const FrameId>(huge_heads.data(), huge_count));
   PtEpoch::Global().Retire(&allocator, table);  // Published table: epoch-deferred free.
 }

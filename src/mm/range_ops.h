@@ -5,15 +5,15 @@
 #ifndef ODF_SRC_MM_RANGE_OPS_H_
 #define ODF_SRC_MM_RANGE_OPS_H_
 
-#include <mutex>
-
 #include "src/mm/address_space.h"
+#include "src/util/mutex.h"
 
 namespace odf {
 
 // Split page-table locks (the kernel's per-table spinlock analog): serialize structural
-// mutation of a PTE table that may be shared across address spaces.
-std::mutex& PtSplitLock(FrameId table);
+// mutation of a PTE table that may be shared across address spaces. An annotated
+// capability: lock sites use debug::MutexGuard, so the analysis sees the RAII extent.
+util::Mutex& PtSplitLock(FrameId table);
 
 // How a range operation allocates the page-table frames it needs.
 //   kNoFail — abort on hard OOM, never consult fault injection (teardown/rollback paths

@@ -83,8 +83,12 @@ uint64_t ClockReclaimAddressSpace(AddressSpace& as, SwapSpace& swap, uint64_t wa
           }
           StoreEntry(slot, Pte::MakeSwap(swap_slot));
         }
-        allocator.DecRef(frame);
+        // Gen-before-free (mm_locks.h): bump the shard generation while the entry's
+        // frame reference is still held, so a lock-free reader that pinned the frame
+        // before the rewrite fails its generation recheck instead of keeping a frame
+        // that the DecRef below may free and recycle.
         as.tlb().InvalidatePage(va);
+        allocator.DecRef(frame);
         ++as.stats().pages_swapped_out;
         CountVm(VmCounter::k_pgswapout);
         ODF_TRACE(page_swap_out, as.owner_pid(), va);

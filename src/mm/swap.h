@@ -15,10 +15,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "src/phys/page_meta.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace odf {
 
@@ -76,10 +77,10 @@ class SwapSpace {
     uint32_t refs = 0;
   };
 
-  mutable std::mutex mutex_;
-  std::vector<Slot> slots_;
-  std::vector<SwapSlot> free_slots_;
-  SwapStats stats_;
+  mutable util::Mutex mutex_;
+  std::vector<Slot> slots_ ODF_GUARDED_BY(mutex_);
+  std::vector<SwapSlot> free_slots_ ODF_GUARDED_BY(mutex_);
+  SwapStats stats_ ODF_GUARDED_BY(mutex_);
 };
 
 }  // namespace odf

@@ -25,9 +25,9 @@ std::atomic<uint64_t> g_next_allocator_id{1};
 // materialising different frames never serialise on one mutex, and the shared-pool lock is
 // kept out of the data path entirely.
 constexpr size_t kMaterializeStripes = 64;
-std::mutex g_materialize_stripes[kMaterializeStripes];
+util::Mutex g_materialize_stripes[kMaterializeStripes];
 
-std::mutex& MaterializeStripe(FrameId frame) {
+util::Mutex& MaterializeStripe(FrameId frame) {
   return g_materialize_stripes[frame % kMaterializeStripes];
 }
 

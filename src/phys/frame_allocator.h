@@ -19,11 +19,12 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "src/phys/page_meta.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace odf {
 
@@ -238,12 +239,12 @@ class FrameAllocator {
   };
 
   // Grows the metadata array by one chunk and pushes its frames onto the free list.
-  void AddChunkLocked();
-  FrameId PopFreeLocked();
-  void FreeOneLocked(FrameId frame);
-  void FreeBatchLocked(std::span<const FrameId> frames);
+  void AddChunkLocked() ODF_REQUIRES(mutex_);
+  FrameId PopFreeLocked() ODF_REQUIRES(mutex_);
+  void FreeOneLocked(FrameId frame) ODF_REQUIRES(mutex_);
+  void FreeBatchLocked(std::span<const FrameId> frames) ODF_REQUIRES(mutex_);
   // Parks a free poisoned frame on the quarantine list (terminal; never popped again).
-  void QuarantineLocked(FrameId frame);
+  void QuarantineLocked(FrameId frame) ODF_REQUIRES(mutex_);
 
   // Cache fast paths. AllocateFromCache returns kInvalidFrame when the cache must stand
   // down (frame limit armed); FreeToCache requires an order-0 non-compound frame whose
@@ -281,25 +282,26 @@ class FrameAllocator {
   // Wakes the pressure callback when `want` more frames would leave free below LOW.
   void MaybeWakeReclaim(uint64_t want);
 
-  mutable std::mutex mutex_;
+  mutable util::Mutex mutex_;
   std::atomic<uint64_t> frame_limit_{0};
   std::atomic<uint64_t> wm_min_{0};
   std::atomic<uint64_t> wm_low_{0};
   std::atomic<uint64_t> wm_high_{0};
   // Explicit SetWatermarks pins the values; otherwise SetFrameLimit re-derives them.
-  bool watermarks_explicit_ = false;  // Under mutex_.
-  ReclaimCallback reclaim_callback_;
-  PressureCallback pressure_callback_;
+  bool watermarks_explicit_ ODF_GUARDED_BY(mutex_) = false;
+  ReclaimCallback reclaim_callback_ ODF_GUARDED_BY(mutex_);
+  PressureCallback pressure_callback_ ODF_GUARDED_BY(mutex_);
   std::atomic<bool> pressure_armed_{false};
-  std::vector<std::unique_ptr<PageMeta[]>> chunks_;  // Ownership; indexing goes via the spine.
+  // Ownership; indexing goes via the spine.
+  std::vector<std::unique_ptr<PageMeta[]>> chunks_ ODF_GUARDED_BY(mutex_);
   std::array<std::atomic<PageMeta*>, kMaxChunks> chunk_table_{};
-  std::vector<FrameId> free_list_;
+  std::vector<FrameId> free_list_ ODF_GUARDED_BY(mutex_);
   // Free list of 512-aligned compound candidates (freed compounds are recycled whole).
-  std::vector<FrameId> compound_free_list_;
+  std::vector<FrameId> compound_free_list_ ODF_GUARDED_BY(mutex_);
   // Terminal parking lot for hwpoisoned frames: never popped, never re-entering any free
   // list. A quarantined frame keeps its data buffer (corrupted contents stay inspectable
   // in crash dumps and replay logs — the poison-on-free memset is skipped for them).
-  std::vector<FrameId> quarantine_;
+  std::vector<FrameId> quarantine_ ODF_GUARDED_BY(mutex_);
   AtomicStats stats_;
 };
 

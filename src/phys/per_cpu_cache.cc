@@ -1,11 +1,11 @@
 #include "src/phys/per_cpu_cache.h"
 
 #include <algorithm>
-#include <mutex>
 #include <vector>
 
 #include "src/debug/lockdep.h"
 #include "src/phys/frame_allocator.h"
+#include "src/util/mutex.h"
 
 namespace odf {
 namespace phys_internal {
@@ -19,14 +19,14 @@ debug::LockClass g_registry_lock_class("phys_internal::Registry::mu");
 // (first allocation by a thread, thread exit, allocator destruction); every hot-path
 // lookup is served from the thread_local table below without any lock.
 struct Registry {
-  std::mutex mu;
+  util::Mutex mu;
   struct AllocatorEntry {
     const FrameAllocator* allocator = nullptr;
     std::vector<PerCpuCache*> caches;
   };
-  std::vector<AllocatorEntry> allocators;
+  std::vector<AllocatorEntry> allocators ODF_GUARDED_BY(mu);
 
-  AllocatorEntry* Find(const FrameAllocator* allocator) {
+  AllocatorEntry* Find(const FrameAllocator* allocator) ODF_REQUIRES(mu) {
     for (AllocatorEntry& entry : allocators) {
       if (entry.allocator == allocator) {
         return &entry;

@@ -15,7 +15,6 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "src/core/fork.h"
@@ -27,6 +26,8 @@
 #include "src/reclaim/kswapd.h"
 #include "src/reclaim/lru.h"
 #include "src/reclaim/rmap.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace odf {
 
@@ -173,10 +174,10 @@ class Kernel {
   std::atomic<uint64_t> oom_kills_{0};
   // Protects ONLY the pid -> Process map (and next_pid_). Address-space state is guarded
   // by each AS's own MmLockTable; nothing memory-management-sized ever runs under this.
-  mutable std::mutex table_mutex_;
+  mutable util::Mutex table_mutex_;
   // shared_ptr so RunningProcesses() snapshots keep their entries alive against Wait().
-  std::map<Pid, std::shared_ptr<Process>> processes_;
-  Pid next_pid_ = 1;
+  std::map<Pid, std::shared_ptr<Process>> processes_ ODF_GUARDED_BY(table_mutex_);
+  Pid next_pid_ ODF_GUARDED_BY(table_mutex_) = 1;
   ForkMode default_fork_mode_ = ForkMode::kClassic;
   ForkCounters fork_counters_;
 };

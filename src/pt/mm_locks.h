@@ -30,13 +30,15 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
+#include <source_location>
 #include <vector>
 
 #include "src/debug/lockdep.h"
 #include "src/phys/frame_allocator.h"
 #include "src/pt/geometry.h"
 #include "src/util/bravo_gate.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace odf {
 
@@ -51,9 +53,22 @@ debug::LockClass& AsShardLockClass();
 // 0 = MmGate reader, 1 = MmGate writer, 2 = AS-gate reader, 3 = AS-gate writer.
 void NoteMmLockWait(uint64_t kind, uint64_t wait_ns);
 
-class MmLockTable {
+// The whole-AS gate is itself a capability ("as_gate"): ReadScope/WriteScope below carry
+// the acquire/release contracts, and mutation entry points declare ODF_REQUIRES(table) /
+// ODF_REQUIRES_SHARED(table) so that calling them without the right scope in sight is a
+// compile error under -Wthread-safety.
+class ODF_CAPABILITY("as_gate") MmLockTable {
  public:
   static constexpr int kShards = 64;
+
+  // The static stand-in for the 64 shard mutexes. The analysis cannot model a
+  // dynamically-indexed lock array, so all shards of a table are ONE fictional
+  // capability: ShardScope acquires `shard_cap`, and functions that assume "the covering
+  // shard is held" declare ODF_REQUIRES(table.shard_cap). The fiction is *stricter* than
+  // the runtime in exactly one way — holding two shards at once becomes a compile-time
+  // double-acquire — which matches the discipline (and lockdep's same-class-nesting
+  // abort): the fault path holds exactly one shard, ever.
+  class ODF_CAPABILITY("shard") ShardCapability {};
 
   MmLockTable();
   MmLockTable(const MmLockTable&) = delete;
@@ -81,16 +96,19 @@ class MmLockTable {
   void BumpAll();
 
   // Whole-AS reader (fault slow path). Fast-path cost: one padded fetch_add + one load.
-  class ReadScope {
+  // The BravoGate token protocol underneath is below the analysis (like std::atomic);
+  // this scope carries the shared-capability contract for it.
+  class ODF_SCOPED_CAPABILITY ReadScope {
    public:
-    explicit ReadScope(MmLockTable& table) : table_(table), token_(table.gate_.LockShared()) {
+    explicit ReadScope(MmLockTable& table) ODF_ACQUIRE_SHARED(table)
+        : table_(table), token_(table.gate_.LockShared()) {
       if (token_.wait_ns != 0) {
         NoteMmLockWait(/*kind=*/2, token_.wait_ns);
       }
     }
     ReadScope(const ReadScope&) = delete;
     ReadScope& operator=(const ReadScope&) = delete;
-    ~ReadScope() { table_.gate_.UnlockShared(token_); }
+    ~ReadScope() ODF_RELEASE_GENERIC() { table_.gate_.UnlockShared(token_); }
 
    private:
     MmLockTable& table_;
@@ -98,34 +116,51 @@ class MmLockTable {
   };
 
   // Whole-AS writer (range ops, fork source, mapping changes). Reentrant on the same
-  // thread for the same table (Remap -> Unmap), tracked in a small TLS frame stack.
-  class WriteScope {
+  // thread for the same table (Remap -> Unmap), tracked in a small TLS frame stack; the
+  // reentrancy is cross-function (Remap holds, calls Unmap which opens its own scope),
+  // which the intraprocedural analysis never sees, so no opt-out is needed here.
+  class ODF_SCOPED_CAPABILITY WriteScope {
    public:
-    explicit WriteScope(MmLockTable& table);
+    explicit WriteScope(MmLockTable& table) ODF_ACQUIRE(table);
     WriteScope(const WriteScope&) = delete;
     WriteScope& operator=(const WriteScope&) = delete;
-    ~WriteScope();
+    ~WriteScope() ODF_RELEASE();
 
    private:
     MmLockTable& table_;
     bool owner_ = false;  // False when this scope is a reentrant nesting.
   };
 
-  // One shard's mutex, lockdep-tracked. The fault slow path holds exactly one.
-  class ShardScope {
+  // One shard's mutex, lockdep-tracked. The fault slow path holds exactly one. Runtime
+  // locks shards_[ShardOf(va)].mu; the analysis is told about the `shard_cap` fiction
+  // instead (see ShardCapability), so the ctor/dtor bodies are necessarily opted out —
+  // allowlist entries 1+2 of ≤5 (docs/debugging.md).
+  class ODF_SCOPED_CAPABILITY ShardScope {
    public:
-    ShardScope(MmLockTable& table, Vaddr va)
-        : guard_(table.shards_[ShardOf(va)].mu, AsShardLockClass()) {}
+    ShardScope(MmLockTable& table, Vaddr va,
+               const std::source_location& loc = std::source_location::current())
+        ODF_ACQUIRE(table.shard_cap) ODF_NO_THREAD_SAFETY_ANALYSIS
+        : mu_(table.shards_[ShardOf(va)].mu) {
+      debug::LockAcquired(AsShardLockClass(), loc.file_name(), loc.line());
+      mu_.lock();  // odf-lint: allow(naked-lock) — this IS the scoped guard.
+    }
     ShardScope(const ShardScope&) = delete;
     ShardScope& operator=(const ShardScope&) = delete;
+    ~ShardScope() ODF_RELEASE() ODF_NO_THREAD_SAFETY_ANALYSIS {
+      mu_.unlock();  // odf-lint: allow(naked-lock) — this IS the scoped guard.
+      debug::LockReleased(AsShardLockClass());
+    }
 
    private:
-    debug::MutexGuard guard_;
+    util::Mutex& mu_;
   };
+
+  // All 64 shard mutexes as one static capability — see ShardCapability.
+  ShardCapability shard_cap;
 
  private:
   struct alignas(64) Shard {
-    std::mutex mu;
+    util::Mutex mu;
     std::atomic<uint64_t> gen{1};
   };
 
@@ -136,20 +171,27 @@ class MmLockTable {
 
 // Quiescent-state epoch reclamation for published page-table frames. Global: shared ODF
 // tables are reachable from several address spaces, and one retire list is simplest.
-class PtEpoch {
+//
+// The epoch is a capability ("epoch", always via PtEpoch::Global() in attribute
+// expressions): ReadGuard acquires it shared, Walker::TranslateLockFree requires it
+// shared, and Drain() excludes it — "lock-free walk outside a read section" and "drain
+// from inside a read section" are both compile errors under -Wthread-safety.
+class ODF_CAPABILITY("epoch") PtEpoch {
  public:
   static PtEpoch& Global();
 
   // A lock-free read section. The section must stay lock-free (walk + refcount pin only,
   // no blocking) so Drain()'s grace wait terminates. `ok()` is false when the thread-slot
   // table is exhausted (hundreds of concurrent reader threads) — callers then skip the
-  // lock-free path and fault through the locked slow path instead.
-  class ReadGuard {
+  // lock-free path and fault through the locked slow path instead. (The analysis treats
+  // the section as entered either way — slot exhaustion only *widens* the guard, it never
+  // lets a walk escape it; the odf_lint lockfree-walk-guard rule covers the scoping.)
+  class ODF_SCOPED_CAPABILITY ReadGuard {
    public:
-    ReadGuard();
+    ReadGuard() ODF_ACQUIRE_SHARED(Global());
     ReadGuard(const ReadGuard&) = delete;
     ReadGuard& operator=(const ReadGuard&) = delete;
-    ~ReadGuard();
+    ~ReadGuard() ODF_RELEASE_GENERIC();
 
     bool ok() const { return slot_ != nullptr; }
 
@@ -164,8 +206,8 @@ class PtEpoch {
   // Waits out the grace period and performs all deferred frees. Called at the end of every
   // operation that retired tables, while the caller still excludes new structural mutators;
   // afterwards FrameAllocator::AllFree()-style accounting is exact again. Must not be
-  // called from inside a ReadGuard.
-  void Drain();
+  // called from inside a ReadGuard (statically enforced: excludes the epoch capability).
+  void Drain() ODF_EXCLUDES(Global());
 
  private:
   static constexpr int kMaxReaderSlots = 256;
@@ -186,8 +228,8 @@ class PtEpoch {
 
   std::atomic<uint64_t> epoch_{1};
   ReaderSlot slots_[kMaxReaderSlots];
-  std::mutex retire_mu_;
-  std::vector<RetiredTable> retired_;
+  util::Mutex retire_mu_;
+  std::vector<RetiredTable> retired_ ODF_GUARDED_BY(retire_mu_);
 };
 
 // Per-thread translation cache: the L0 in front of the per-AS software TLB. Entries are

@@ -9,7 +9,9 @@
 
 #include "src/phys/frame_allocator.h"
 #include "src/pt/geometry.h"
+#include "src/pt/mm_locks.h"
 #include "src/pt/pte.h"
+#include "src/util/thread_annotations.h"
 
 namespace odf {
 
@@ -44,7 +46,8 @@ class Walker {
   // caller must hold a PtEpoch read guard so retired tables on the walked path are still
   // backed by live memory, and must validate the result against the covering shard
   // generation before trusting the returned frame.
-  Translation TranslateLockFree(FrameId pgd, Vaddr va);
+  Translation TranslateLockFree(FrameId pgd, Vaddr va)
+      ODF_REQUIRES_SHARED(PtEpoch::Global());
 
   // Returns a pointer to the entry for `va` at `level`, or nullptr if an intermediate table
   // is missing. No side effects.

@@ -15,12 +15,12 @@
 #define ODF_SRC_RECLAIM_KSWAPD_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 
 #include "src/reclaim/shrink.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace odf {
 namespace reclaim {
@@ -55,10 +55,10 @@ class Kswapd {
 
   ShrinkContext ctx_;
   std::thread thread_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;     // Under mu_.
-  bool pending_ = false;  // Under mu_.
+  util::Mutex mu_;
+  util::CondVar cv_;
+  bool stop_ ODF_GUARDED_BY(mu_) = false;
+  bool pending_ ODF_GUARDED_BY(mu_) = false;
   std::atomic<bool> running_{false};
   Stats stats_;
 };

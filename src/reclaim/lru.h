@@ -20,11 +20,12 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "src/phys/page_meta.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace odf {
 namespace reclaim {
@@ -82,15 +83,18 @@ class PageLru {
     std::list<FrameId>::iterator where;
   };
 
-  void EraseLocked(FrameId frame);
-  void InsertLocked(FrameId frame, bool active);
+  void EraseLocked(FrameId frame) ODF_REQUIRES(mu_);
+  void InsertLocked(FrameId frame, bool active) ODF_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::list<FrameId> active_;    // Head = most recently activated.
-  std::list<FrameId> inactive_;  // Head = most recently deactivated; tail = eviction next.
-  std::unordered_map<FrameId, Node> index_;
-  std::unordered_map<uint64_t, uint64_t> shadows_;  // swap slot -> eviction epoch
-  uint64_t eviction_epoch_ = 0;
+  mutable util::Mutex mu_;
+  // Head = most recently activated.
+  std::list<FrameId> active_ ODF_GUARDED_BY(mu_);
+  // Head = most recently deactivated; tail = eviction next.
+  std::list<FrameId> inactive_ ODF_GUARDED_BY(mu_);
+  std::unordered_map<FrameId, Node> index_ ODF_GUARDED_BY(mu_);
+  // swap slot -> eviction epoch
+  std::unordered_map<uint64_t, uint64_t> shadows_ ODF_GUARDED_BY(mu_);
+  uint64_t eviction_epoch_ ODF_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace reclaim

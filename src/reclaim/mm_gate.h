@@ -29,11 +29,19 @@
 #define ODF_SRC_RECLAIM_MM_GATE_H_
 
 #include "src/util/bravo_gate.h"
+#include "src/util/thread_annotations.h"
 
 namespace odf {
 namespace reclaim {
 
-class MmGate {
+// Capability "mm_gate", always named MmGate::Global() in attribute expressions:
+// SharedScope/ExclusiveScope carry the acquire/release contracts, and evictor-only
+// machinery (rmap::Snapshot, LRU eviction walks) declares ODF_REQUIRES(Global()) so a
+// call without an exclusive scope in sight is a compile error. The reentrant/upgrade
+// protocol lives in TLS + the unannotated BravoGate underneath, and is cross-function
+// (the nested scope is opened in a callee), so the intraprocedural analysis never sees
+// a same-function double acquire and no opt-outs are needed.
+class ODF_CAPABILITY("mm_gate") MmGate {
  public:
   static MmGate& Global();
 
@@ -47,10 +55,10 @@ class MmGate {
 
   // Mutator side: shared hold for the duration of one memory operation. Reentrant per
   // thread; a no-op while the calling thread holds the gate exclusively.
-  class SharedScope {
+  class ODF_SCOPED_CAPABILITY SharedScope {
    public:
-    SharedScope();
-    ~SharedScope();
+    SharedScope() ODF_ACQUIRE_SHARED(Global());
+    ~SharedScope() ODF_RELEASE_GENERIC();
     SharedScope(const SharedScope&) = delete;
     SharedScope& operator=(const SharedScope&) = delete;
   };
@@ -59,10 +67,10 @@ class MmGate {
   // shared (a mutator entering direct reclaim from the allocation quota wait), the shared
   // holds are released before blocking for exclusive and re-taken on scope exit — the
   // caller must re-validate any state derived under the dropped shared hold. Reentrant.
-  class ExclusiveScope {
+  class ODF_SCOPED_CAPABILITY ExclusiveScope {
    public:
-    ExclusiveScope();
-    ~ExclusiveScope();
+    ExclusiveScope() ODF_ACQUIRE(Global());
+    ~ExclusiveScope() ODF_RELEASE();
     ExclusiveScope(const ExclusiveScope&) = delete;
     ExclusiveScope& operator=(const ExclusiveScope&) = delete;
 

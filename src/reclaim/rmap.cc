@@ -19,8 +19,8 @@ debug::LockClass g_rmap_shard_lock_class("RmapRegistry::Shard::mu");
 }  // namespace
 
 struct RmapRegistry::Shard {
-  mutable std::mutex mu;
-  std::unordered_map<FrameId, FrameEntry> frames;
+  mutable util::Mutex mu;
+  std::unordered_map<FrameId, FrameEntry> frames ODF_GUARDED_BY(mu);
 };
 
 RmapRegistry::RmapRegistry(FrameAllocator* allocator)

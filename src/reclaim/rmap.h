@@ -23,11 +23,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "src/phys/frame_allocator.h"
+#include "src/reclaim/mm_gate.h"
+#include "src/util/thread_annotations.h"
 
 namespace odf {
 namespace reclaim {
@@ -75,7 +76,8 @@ class RmapRegistry {
 
   // Copies `frame`'s locations into `out` (appended). A snapshot is only actionable while
   // the caller holds the MmGate exclusively — otherwise slots may be rewritten under it.
-  void Snapshot(FrameId frame, std::vector<RmapLocation>* out) const;
+  void Snapshot(FrameId frame, std::vector<RmapLocation>* out) const
+      ODF_REQUIRES(MmGate::Global());
 
   // Totals across all shards (verify / meminfo).
   uint64_t TotalLocations() const;
@@ -84,7 +86,7 @@ class RmapRegistry {
   // Calls fn(frame, slot, huge) for every location. Callers must hold the MmGate
   // exclusively (the verifier does); shard locks are taken one at a time.
   template <typename Fn>
-  void ForEachLocation(Fn&& fn) const {
+  void ForEachLocation(Fn&& fn) const ODF_REQUIRES(MmGate::Global()) {
     for (size_t i = 0; i < kShards; ++i) {
       ForEachLocationInShard(i, [&](FrameId frame, const uint64_t* slot, bool huge) {
         fn(frame, slot, huge);

@@ -161,6 +161,10 @@ uint64_t ShrinkInactiveList(ShrinkContext& ctx, uint64_t want, uint64_t scan,
       // One reference per cleared mapping; the last one frees the frame (the
       // refcount == locations.size() test above guarantees it).
       for (size_t i = 0; i < locations.size(); ++i) {
+        // The evictor holds the MmGate exclusively, so every allocating path (fault,
+        // fork: gate-shared) is blocked and the freed frame cannot be recycled before
+        // ReclaimPages' deferred FlushAll bumps the generations — before the gate drops.
+        // odf-lint: allow(gen-before-free)
         allocator.DecRef(frame);
       }
       ++freed;

@@ -49,7 +49,7 @@ Recorder::ThreadStream& Recorder::StreamForThisThread() {
   }
   // Slow path: first op on this thread in this recording.
   trace::TraceRing& ring = trace::Tracer::Global().RingForThisThread();
-  std::lock_guard<std::mutex> guard(mutex_);
+  util::MutexLock guard(mutex_);
   auto stream = std::make_unique<ThreadStream>();
   stream->tid = ring.tid();
   stream->ring = &ring;
@@ -127,7 +127,7 @@ void Recorder::RotateChunkLocked(ThreadStream& stream) {
 
 void Recorder::MaybeRotate(ThreadStream& stream) {
   if (stream.open.size() >= kChunkTargetBytes) {
-    std::lock_guard<std::mutex> guard(mutex_);
+    util::MutexLock guard(mutex_);
     RotateChunkLocked(stream);
   }
 }
@@ -218,7 +218,7 @@ bool Recorder::Start(const RecorderOptions& options) {
   if (recording()) {
     return false;
   }
-  std::lock_guard<std::mutex> guard(mutex_);
+  util::MutexLock guard(mutex_);
   options_ = options;
   if (const char* dir = std::getenv("ODF_REPLAY_DUMP_DIR"); dir != nullptr && dir[0] != '\0') {
     options_.dump_dir = dir;
@@ -268,7 +268,7 @@ void Recorder::Stop() {
   fi::SetDecisionHook(nullptr);
   fi::SetConfigHook(nullptr);
   SetAbortHook(nullptr);
-  std::lock_guard<std::mutex> guard(mutex_);
+  util::MutexLock guard(mutex_);
   if (options_.force_tracing) {
     trace::SetEnabled(trace_was_enabled_);
   }
@@ -304,7 +304,7 @@ void Recorder::Stop() {
 
 void Recorder::CaptureFinalState(const std::vector<FinalProcessRecord>& processes,
                                  const FinalAllocRecord& alloc) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  util::MutexLock guard(mutex_);
   trailer_.clear();
   for (const FinalProcessRecord& process : processes) {
     EncodeFinalProcess(trailer_, process);
@@ -415,13 +415,13 @@ bool Recorder::WriteLogLocked(const std::string& path, std::string* error) {
 }
 
 bool Recorder::WriteLog(const std::string& path, std::string* error) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  util::MutexLock guard(mutex_);
   return WriteLogLocked(path, error);
 }
 
 std::string Recorder::DumpNow() {
-  std::unique_lock<std::mutex> lock(mutex_, std::try_to_lock);
-  if (!lock.owns_lock()) {
+  util::TryMutexLock lock(mutex_);
+  if (!lock.ok()) {
     std::fprintf(stderr, "[odf replay] recorder busy; black-box dump skipped\n");
     return "";
   }
@@ -448,12 +448,12 @@ std::string Recorder::DumpNow() {
 }
 
 RecorderMode Recorder::mode() const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  util::MutexLock guard(mutex_);
   return options_.mode;
 }
 
 RecorderStats Recorder::CollectStats() const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  util::MutexLock guard(mutex_);
   RecorderStats stats;
   stats.mode = options_.mode;
   stats.recording = g_recording.load(std::memory_order_relaxed);
@@ -543,7 +543,7 @@ bool Recorder::Configure(std::string_view spec, std::string* error) {
     } else if (key == "dir") {
       options.dump_dir = value;
     } else if (key == "dump") {
-      std::lock_guard<std::mutex> guard(mutex_);
+      util::MutexLock guard(mutex_);
       std::string write_error;
       if (!WriteLogLocked(value, &write_error)) {
         return fail(write_error);

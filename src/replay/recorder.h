@@ -29,7 +29,6 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -39,6 +38,8 @@
 #include "src/replay/log.h"
 #include "src/trace/metrics.h"
 #include "src/trace/trace.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 // Set by the build (src/replay/CMakeLists.txt); default to compiled-in for out-of-build users.
 #ifndef ODF_REPLAY_COMPILED
@@ -274,30 +275,34 @@ class Recorder {
 
   ThreadStream& StreamForThisThread();
   void DrainRing(ThreadStream& stream, uint64_t up_to);
-  void RotateChunkLocked(ThreadStream& stream);
+  void RotateChunkLocked(ThreadStream& stream) ODF_REQUIRES(mutex_);
   void MaybeRotate(ThreadStream& stream);
-  std::string BuildHeaderJson() const;
-  [[nodiscard]] bool WriteLogLocked(const std::string& path, std::string* error);
+  std::string BuildHeaderJson() const ODF_REQUIRES(mutex_);
+  [[nodiscard]] bool WriteLogLocked(const std::string& path, std::string* error)
+      ODF_REQUIRES(mutex_);
   static void FiDecisionHook(FiSite site, uint64_t call, bool verdict);
   static void FiConfigHook(FiSite site, const FiSiteConfig* config);
   static void AbortDumpHook();
 
-  mutable std::mutex mutex_;
-  RecorderOptions options_;
+  mutable util::Mutex mutex_;
+  RecorderOptions options_ ODF_GUARDED_BY(mutex_);
   std::atomic<uint64_t> generation_{0};  // Bumped by Start; invalidates TLS stream caches.
-  bool ever_started_ = false;
+  bool ever_started_ ODF_GUARDED_BY(mutex_) = false;
   std::atomic<uint64_t> next_seq_{0};
-  std::vector<std::unique_ptr<ThreadStream>> streams_;
-  std::deque<RetainedChunk> retained_;  // Rotation order == drop order.
-  uint64_t next_rotation_index_ = 0;
-  uint64_t retained_bytes_ = 0;
-  uint64_t ops_dropped_ = 0, events_dropped_ = 0, fi_dropped_ = 0;
-  std::vector<uint8_t> trailer_;  // Final-state + meta records.
-  bool finalized_ = false;
-  uint64_t fi_seed_ = 0;
-  bool trace_was_enabled_ = false;  // Tracer state to restore at Stop.
-  std::array<uint64_t, kVmCounterCount> vm_baseline_{};
-  std::map<const trace::TraceRing*, uint64_t> ring_baseline_;  // Heads at Start.
+  std::vector<std::unique_ptr<ThreadStream>> streams_ ODF_GUARDED_BY(mutex_);
+  std::deque<RetainedChunk> retained_ ODF_GUARDED_BY(mutex_);  // Rotation order == drop order.
+  uint64_t next_rotation_index_ ODF_GUARDED_BY(mutex_) = 0;
+  uint64_t retained_bytes_ ODF_GUARDED_BY(mutex_) = 0;
+  uint64_t ops_dropped_ ODF_GUARDED_BY(mutex_) = 0;
+  uint64_t events_dropped_ ODF_GUARDED_BY(mutex_) = 0;
+  uint64_t fi_dropped_ ODF_GUARDED_BY(mutex_) = 0;
+  std::vector<uint8_t> trailer_ ODF_GUARDED_BY(mutex_);  // Final-state + meta records.
+  bool finalized_ ODF_GUARDED_BY(mutex_) = false;
+  uint64_t fi_seed_ ODF_GUARDED_BY(mutex_) = 0;
+  bool trace_was_enabled_ ODF_GUARDED_BY(mutex_) = false;  // Tracer state to restore at Stop.
+  std::array<uint64_t, kVmCounterCount> vm_baseline_ ODF_GUARDED_BY(mutex_){};
+  std::map<const trace::TraceRing*, uint64_t> ring_baseline_
+      ODF_GUARDED_BY(mutex_);  // Heads at Start.
   LatencyHistogram* append_histogram_ = nullptr;
 };
 

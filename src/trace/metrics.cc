@@ -20,7 +20,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter& MetricsRegistry::RegisterCounter(const std::string& name) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  util::MutexLock guard(mutex_);
   auto& slot = counters_[name];
   if (slot == nullptr) {
     slot = std::make_unique<Counter>();
@@ -29,7 +29,7 @@ Counter& MetricsRegistry::RegisterCounter(const std::string& name) {
 }
 
 LatencyHistogram& MetricsRegistry::RegisterHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  util::MutexLock guard(mutex_);
   auto& slot = histograms_[name];
   if (slot == nullptr) {
     slot = std::make_unique<LatencyHistogram>();
@@ -43,7 +43,7 @@ std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::SnapshotCounters(
     VmCounter counter = static_cast<VmCounter>(i);
     snapshot.emplace_back(VmCounterName(counter), ReadVm(counter));
   }
-  std::lock_guard<std::mutex> guard(mutex_);
+  util::MutexLock guard(mutex_);
   for (const auto& [name, counter] : counters_) {
     snapshot.emplace_back(name, counter->Value());
   }
@@ -57,14 +57,14 @@ uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
       return ReadVm(counter);
     }
   }
-  std::lock_guard<std::mutex> guard(mutex_);
+  util::MutexLock guard(mutex_);
   auto it = counters_.find(std::string(name));
   return it == counters_.end() ? 0 : it->second->Value();
 }
 
 std::vector<std::pair<std::string, const LatencyHistogram*>> MetricsRegistry::Histograms()
     const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  util::MutexLock guard(mutex_);
   std::vector<std::pair<std::string, const LatencyHistogram*>> result;
   result.reserve(histograms_.size());
   for (const auto& [name, histogram] : histograms_) {
@@ -92,7 +92,7 @@ void MetricsRegistry::ResetForTest() {
   for (auto& counter : g_vm_counters) {
     counter.store(0, std::memory_order_relaxed);
   }
-  std::lock_guard<std::mutex> guard(mutex_);
+  util::MutexLock guard(mutex_);
   for (auto& [name, counter] : counters_) {
     counter->Reset();
   }

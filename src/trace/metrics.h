@@ -15,13 +15,14 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "src/util/histogram.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace odf {
 
@@ -155,9 +156,9 @@ class MetricsRegistry {
   void ResetForTest();
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+  mutable util::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ ODF_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_ ODF_GUARDED_BY(mutex_);
 };
 
 }  // namespace odf

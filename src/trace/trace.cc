@@ -92,7 +92,7 @@ Tracer& Tracer::Global() {
 
 TraceRing& Tracer::RingForThisThread() {
   if (t_ring == nullptr) {
-    std::lock_guard<std::mutex> guard(mutex_);
+    util::MutexLock guard(mutex_);
     rings_.push_back(std::make_unique<TraceRing>(static_cast<uint16_t>(rings_.size())));
     t_ring = rings_.back().get();
   }
@@ -100,7 +100,7 @@ TraceRing& Tracer::RingForThisThread() {
 }
 
 std::vector<std::vector<TraceEvent>> Tracer::CollectPerThread() const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  util::MutexLock guard(mutex_);
   std::vector<std::vector<TraceEvent>> per_thread;
   per_thread.reserve(rings_.size());
   for (const auto& ring : rings_) {
@@ -120,7 +120,7 @@ std::vector<TraceEvent> Tracer::CollectAll() const {
 }
 
 std::vector<const TraceRing*> Tracer::Rings() const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  util::MutexLock guard(mutex_);
   std::vector<const TraceRing*> rings;
   rings.reserve(rings_.size());
   for (const auto& ring : rings_) {
@@ -130,7 +130,7 @@ std::vector<const TraceRing*> Tracer::Rings() const {
 }
 
 std::vector<Tracer::RingStats> Tracer::CollectRingStats() const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  util::MutexLock guard(mutex_);
   std::vector<RingStats> stats;
   stats.reserve(rings_.size());
   for (const auto& ring : rings_) {
@@ -140,14 +140,14 @@ std::vector<Tracer::RingStats> Tracer::CollectRingStats() const {
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> guard(mutex_);
+  util::MutexLock guard(mutex_);
   for (auto& ring : rings_) {
     ring->Reset();
   }
 }
 
 size_t Tracer::ThreadCount() const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  util::MutexLock guard(mutex_);
   return rings_.size();
 }
 

@@ -27,11 +27,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/trace/metrics.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 // Set by the build (src/trace/CMakeLists.txt); default to compiled-in for out-of-build users.
 #ifndef ODF_TRACE_COMPILED
@@ -216,8 +217,8 @@ class Tracer {
  private:
   Tracer() = default;
 
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<TraceRing>> rings_;
+  mutable util::Mutex mutex_;
+  std::vector<std::unique_ptr<TraceRing>> rings_ ODF_GUARDED_BY(mutex_);
 };
 
 }  // namespace trace

@@ -20,9 +20,18 @@
 #include <shared_mutex>
 #include <thread>
 
+#include "src/util/thread_annotations.h"
+
 namespace odf::util {
 
-class BravoGate {
+// A capability to the thread-safety analysis, but its token-passing methods are
+// deliberately NOT annotated: the analysis cannot follow a ReadToken from LockShared to
+// UnlockShared (it tracks lexical scopes, not values), so BravoGate sits below the
+// analysis like std::atomic does. The annotated contract lives entirely in the scoped
+// wrappers that own the tokens — reclaim::MmGate::{Shared,Exclusive}Scope and
+// MmLockTable::{Read,Write}Scope declare ACQUIRE/RELEASE on the wrapper capability —
+// which also keeps the conditional fallback protocol here free of opt-outs.
+class ODF_CAPABILITY("bravo_gate") BravoGate {
  public:
   static constexpr int kSlots = 64;
 

@@ -4,12 +4,13 @@
 #define ODF_SRC_UTIL_LATENCY_RECORDER_H_
 
 #include <cstddef>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "src/util/mutex.h"
 #include "src/util/stats.h"
+#include "src/util/thread_annotations.h"
 
 namespace odf {
 
@@ -20,23 +21,23 @@ class LatencyRecorder {
 
   // Thread-safe append of one latency sample (any consistent unit; callers use microseconds).
   void Record(double value) {
-    std::lock_guard<std::mutex> guard(mutex_);
+    util::MutexLock guard(mutex_);
     samples_.push_back(value);
   }
 
   void Clear() {
-    std::lock_guard<std::mutex> guard(mutex_);
+    util::MutexLock guard(mutex_);
     samples_.clear();
   }
 
   size_t count() const {
-    std::lock_guard<std::mutex> guard(mutex_);
+    util::MutexLock guard(mutex_);
     return samples_.size();
   }
 
   // Snapshot of all samples recorded so far.
   std::vector<double> Samples() const {
-    std::lock_guard<std::mutex> guard(mutex_);
+    util::MutexLock guard(mutex_);
     return samples_;
   }
 
@@ -49,8 +50,8 @@ class LatencyRecorder {
   static std::span<const double> PaperPercentiles();
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<double> samples_;
+  mutable util::Mutex mutex_;
+  std::vector<double> samples_ ODF_GUARDED_BY(mutex_);
 };
 
 }  // namespace odf

@@ -3,13 +3,14 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "src/util/mutex.h"
 
 namespace odf {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_log_mutex;
+util::Mutex g_log_mutex;
 std::atomic<AbortHook> g_abort_hook{nullptr};
 
 const char* LevelName(LogLevel level) {
@@ -36,7 +37,7 @@ void LogMessage(LogLevel level, const char* file, int line, const std::string& m
   if (level < g_level.load(std::memory_order_relaxed)) {
     return;
   }
-  std::lock_guard<std::mutex> guard(g_log_mutex);
+  util::MutexLock guard(g_log_mutex);
   std::fprintf(stderr, "[odf %s %s:%d] %s\n", LevelName(level), file, line, message.c_str());
 }
 
@@ -45,7 +46,7 @@ void SetAbortHook(AbortHook hook) { g_abort_hook.store(hook, std::memory_order_r
 void FatalCheckFailure(const char* file, int line, const char* condition,
                        const std::string& message) {
   {
-    std::lock_guard<std::mutex> guard(g_log_mutex);
+    util::MutexLock guard(g_log_mutex);
     std::fprintf(stderr, "[odf FATAL %s:%d] check failed: %s%s%s\n", file, line, condition,
                  message.empty() ? "" : " — ", message.c_str());
     std::fflush(stderr);

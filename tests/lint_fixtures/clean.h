@@ -1,0 +1,17 @@
+// Lint fixture (header rules, suppressed): see clean.cc. Never compiled.
+#ifndef ODF_TESTS_LINT_FIXTURES_CLEAN_H_
+#define ODF_TESTS_LINT_FIXTURES_CLEAN_H_
+
+namespace odf_fixture {
+
+class Fallible {
+ public:
+  // odf-lint: allow(missing-nodiscard)
+  bool TryAllocate(int frames);
+
+  [[nodiscard]] bool TryReserve(int frames);
+};
+
+}  // namespace odf_fixture
+
+#endif  // ODF_TESTS_LINT_FIXTURES_CLEAN_H_

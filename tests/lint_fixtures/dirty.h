@@ -1,0 +1,16 @@
+// Lint fixture (header rules): see dirty.cc. Never compiled.
+#ifndef ODF_TESTS_LINT_FIXTURES_DIRTY_H_
+#define ODF_TESTS_LINT_FIXTURES_DIRTY_H_
+
+namespace odf_fixture {
+
+class Fallible {
+ public:
+  bool TryAllocate(int frames);  // missing-nodiscard
+
+  [[nodiscard]] bool TryReserve(int frames);  // fine: has the attribute
+};
+
+}  // namespace odf_fixture
+
+#endif  // ODF_TESTS_LINT_FIXTURES_DIRTY_H_

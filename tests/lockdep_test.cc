@@ -6,8 +6,6 @@
 // and the tests skip.
 #include <gtest/gtest.h>
 
-#include <mutex>
-
 #include "src/debug/lockdep.h"
 #include "src/pt/mm_locks.h"
 
@@ -22,7 +20,7 @@ TEST(LockdepTest, MutexGuardCountsAcquisitions) {
     GTEST_SKIP() << "lockdep compiles out with -DODF_DEBUG_VM=OFF";
   }
   static debug::LockClass cls("lockdep_test::counted");
-  std::mutex mutex;
+  util::Mutex mutex;
   uint64_t before = debug::GetLockdepStats().acquisitions;
   {
     debug::MutexGuard guard(mutex, cls);

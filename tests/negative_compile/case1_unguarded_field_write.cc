@@ -1,0 +1,20 @@
+// Negative-compile case: writing a GUARDED_BY field without holding its mutex.
+// Expected Clang diagnostic: writing variable 'value_' requires holding mutex 'mu_'
+// [-Werror,-Wthread-safety-analysis]. See tests/negative_compile/run.sh.
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void BumpWithoutLock() { ++value_; }  // VIOLATION: mu_ not held.
+
+ private:
+  odf::util::Mutex mu_;
+  int value_ ODF_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+void Use() { Counter().BumpWithoutLock(); }

@@ -1,0 +1,11 @@
+// Negative-compile case: the lock-free page-table walk outside a PtEpoch read
+// guard. Expected Clang diagnostic: calling function 'TranslateLockFree' requires
+// holding mutex 'odf::PtEpoch::Global()'.
+#include "src/pt/walker.h"
+
+odf::Translation WalkWithoutEpochGuard(odf::Walker& walker, odf::FrameId pgd,
+                                       odf::Vaddr va) {
+  // VIOLATION: no PtEpoch::ReadGuard — retired tables on the path may be freed
+  // mid-walk.
+  return walker.TranslateLockFree(pgd, va);
+}

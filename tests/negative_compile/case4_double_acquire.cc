@@ -1,0 +1,11 @@
+// Negative-compile case: two shard scopes on one table. All 64 range shards are
+// modeled as ONE capability (MmLockTable::shard_cap) precisely so that nesting two —
+// lockdep's same-class-nesting abort, a deadlock when the dynamic indices collide —
+// is a compile error. Expected Clang diagnostic: acquiring mutex 't.shard_cap' that
+// is already held.
+#include "src/pt/mm_locks.h"
+
+void TwoShardsAtOnce(odf::MmLockTable& t, odf::Vaddr a, odf::Vaddr b) {
+  odf::MmLockTable::ShardScope first(t, a);
+  odf::MmLockTable::ShardScope second(t, b);  // VIOLATION: shard_cap already held.
+}

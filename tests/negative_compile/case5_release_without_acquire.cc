@@ -1,0 +1,7 @@
+// Negative-compile case: releasing a mutex this scope never acquired. Expected
+// Clang diagnostic: releasing mutex 'mu' that was not held.
+#include "src/util/mutex.h"
+
+void ReleaseWithoutAcquire(odf::util::Mutex& mu) {
+  mu.unlock();  // VIOLATION: nothing acquired it on this path.
+}

@@ -1,0 +1,13 @@
+// Negative-compile case: holding the AS gate SHARED while calling a function that
+// requires it EXCLUSIVE (a range op under a fault-path hold). Expected Clang
+// diagnostic: calling function 'MutateLayout' requires holding mutex 't'
+// exclusively (it is held shared).
+#include "src/pt/mm_locks.h"
+#include "src/util/thread_annotations.h"
+
+void MutateLayout(odf::MmLockTable& t) ODF_REQUIRES(t);
+
+void MutateUnderSharedHold(odf::MmLockTable& t) {
+  odf::MmLockTable::ReadScope rs(t);  // Shared hold only.
+  MutateLayout(t);  // VIOLATION: exclusive required.
+}
